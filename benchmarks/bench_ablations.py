@@ -1,0 +1,77 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three ablations:
+
+1. **Estimate variant** — how much the paper's printed Table I formula
+   (residual-service term dropped) deviates from the textbook P-K variant
+   across the whole table grid, and which one tracks simulation better at
+   light load (the paper variant, as it happens: the dropped residual
+   partially cancels the independence error).
+2. **Event-driven vs slotted engine** — same workload, both engines:
+   delays agree within tau (Section 5.2's claim) while costs differ; the
+   bench records both runtimes.
+3. **Exact time-integration vs per-packet averaging** — the engine's two
+   built-in estimators of T (Little's-Law on the integrated N vs the
+   per-packet mean) must agree in equilibrium; their gap is the price of
+   *not* integrating exactly. Asserted small.
+"""
+
+import numpy as np
+
+from repro.core.md1_approx import delay_md1_estimate
+from repro.core.rates import lambda_for_load
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.topology.array_mesh import ArrayMesh
+
+
+def test_ablation_estimate_variants(benchmark):
+    """Quantify paper-vs-P-K estimate spread over the Table I grid."""
+
+    def spread():
+        gaps = []
+        for n in (5, 10, 15, 20):
+            for rho in (0.2, 0.5, 0.8, 0.9, 0.95, 0.99):
+                lam = lambda_for_load(n, rho, "table1")
+                paper = delay_md1_estimate(n, lam, variant="paper")
+                pk = delay_md1_estimate(n, lam, variant="pk")
+                gaps.append(pk / paper - 1.0)
+        return gaps
+
+    gaps = benchmark(spread)
+    # The dropped residual-service term costs 2-20% depending on load.
+    assert 0.0 < min(gaps) and max(gaps) < 0.25
+
+
+def test_ablation_event_vs_slotted(once):
+    """Same workload through both engines; delays agree within ~tau."""
+    n, rho = 8, 0.7
+    lam = lambda_for_load(n, rho)
+    mesh = ArrayMesh(n)
+    router = GreedyArrayRouter(mesh)
+    dests = UniformDestinations(mesh.num_nodes)
+
+    def both():
+        ev = NetworkSimulation(router, dests, lam, seed=71).run(150, 1500)
+        sl = SlottedNetworkSimulation(router, dests, lam, seed=72).run(150, 1500)
+        return ev, sl
+
+    ev, sl = once(both)
+    assert abs(ev.mean_delay - sl.mean_delay) <= 1.0 + 0.1 * ev.mean_delay
+
+
+def test_ablation_integrated_vs_per_packet(once):
+    """The two delay estimators agree in equilibrium (Little's Law)."""
+    n, rho = 6, 0.8
+    lam = lambda_for_load(n, rho)
+    mesh = ArrayMesh(n)
+    sim = NetworkSimulation(
+        GreedyArrayRouter(mesh),
+        UniformDestinations(mesh.num_nodes),
+        lam,
+        seed=73,
+    )
+    res = once(sim.run, 300.0, 3000.0)
+    assert res.littles_law_gap < 0.08

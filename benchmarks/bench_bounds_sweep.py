@@ -1,0 +1,28 @@
+"""Regenerate the bounds sweep (Theorem 7 vs Theorems 8/10/12/14) and
+check the paper's gap claims: consistency at every load, the Theorem 12
+improvement factor, and gap -> 2*s-bar (3 even / <6 odd) as rho -> 1."""
+
+from repro.experiments import bounds_sweep
+
+
+def test_regenerate_bounds_sweep(once):
+    result = once(bounds_sweep.run, bounds_sweep.QUICK_SWEEP)
+    print()
+    print(result.render())
+    problems = bounds_sweep.shape_checks(result)
+    assert problems == [], "\n".join(problems)
+
+
+def test_bound_summary_fast(benchmark):
+    """Microbench: all bounds at one operating point (even + odd n)."""
+    from repro.core.lower_bounds import bound_summary
+    from repro.core.rates import lambda_for_load
+
+    def both():
+        return (
+            bound_summary(8, lambda_for_load(8, 0.95)),
+            bound_summary(9, lambda_for_load(9, 0.95)),
+        )
+
+    even, odd = benchmark(both)
+    assert even.is_consistent() and odd.is_consistent()

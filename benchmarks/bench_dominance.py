@@ -1,0 +1,12 @@
+"""Regenerate the Theorem 5 dominance experiment: FIFO <= PS = Jackson,
+with the N(t) tail ordering and the product-form closed form."""
+
+from repro.experiments import dominance
+
+
+def test_regenerate_dominance(once):
+    result = once(dominance.run, dominance.QUICK_DOM)
+    print()
+    print(result.render())
+    problems = dominance.shape_checks(result)
+    assert problems == [], "\n".join(problems)

@@ -1,0 +1,67 @@
+"""Engine microbenchmarks: event throughput, route construction, traffic
+solving. These guard the performance envelope the repro band flagged
+("easy to write but slow for large-mesh statistics")."""
+
+import numpy as np
+
+from repro.core.rates import array_edge_rates, edge_rates_from_routing, lambda_for_load
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.topology.array_mesh import ArrayMesh
+
+
+def test_fifo_engine_throughput(once):
+    """Time the main engine on a 10x10 mesh at rho = 0.8 (~0.5M hop events)."""
+    n, rho = 10, 0.8
+    lam = lambda_for_load(n, rho, "table1")
+    mesh = ArrayMesh(n)
+    sim = NetworkSimulation(
+        GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes), lam, seed=3
+    )
+    res = once(sim.run, 100.0, 1500.0)
+    assert res.generated > 10_000
+    assert res.littles_law_gap < 0.1
+
+
+def test_slotted_engine_throughput(once):
+    """Time the slotted engine on the same workload."""
+    n, rho = 10, 0.8
+    lam = lambda_for_load(n, rho, "table1")
+    mesh = ArrayMesh(n)
+    sim = SlottedNetworkSimulation(
+        GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes), lam, seed=4
+    )
+    res = once(sim.run, 100, 1500)
+    assert res.generated > 10_000
+
+
+def test_route_construction(benchmark):
+    """Per-packet path building on a 25x25 mesh (the hot per-arrival cost)."""
+    mesh = ArrayMesh(25)
+    router = GreedyArrayRouter(mesh)
+    pairs = [(0, mesh.num_nodes - 1), (37, 401), (600, 24), (312, 313)]
+
+    def build():
+        return [router.path(s, t) for s, t in pairs]
+
+    paths = benchmark(build)
+    assert len(paths[0]) == 48  # corner-to-corner diameter 2(n-1)
+
+
+def test_traffic_solver_exact(benchmark):
+    """The O(nodes^2 * path) exact solver on a 10x10 mesh."""
+    mesh = ArrayMesh(10)
+    router = GreedyArrayRouter(mesh)
+    dests = UniformDestinations(mesh.num_nodes)
+
+    rates = benchmark(edge_rates_from_routing, router, dests, 0.2)
+    assert np.allclose(rates, array_edge_rates(mesh, 0.2))
+
+
+def test_closed_form_rates(benchmark):
+    """Theorem 6 closed-form rate map on a 25x25 mesh."""
+    mesh = ArrayMesh(25)
+    rates = benchmark(array_edge_rates, mesh, 0.1)
+    assert rates.shape == (mesh.num_edges,)

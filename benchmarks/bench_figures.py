@@ -1,0 +1,21 @@
+"""Regenerate Figures 1 and 2 (layering and saturated edges) and time them."""
+
+from repro.experiments import figure1, figure2
+
+
+def test_regenerate_figure1(benchmark):
+    result = benchmark(figure1.run, 4)
+    print()
+    print(result.render())
+    assert result.layered
+    assert result.row_label_range == (1, 3)
+    assert result.col_label_range == (4, 6)
+
+
+def test_regenerate_figure2(once):
+    even, odd = once(figure2.run_pair, 6, 5)
+    print()
+    print(even.render())
+    print(odd.render())
+    assert even.max_on_route == 2 and even.s_bar == 1.5
+    assert odd.max_on_route == 4 and odd.s_bar < 3.0

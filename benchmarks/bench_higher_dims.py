@@ -1,0 +1,28 @@
+"""Regenerate the Section 5.2 higher-dimensional array extension: per-axis
+Theorem 6 rates, the k-D bound sandwich, and the gap -> k+1 claim."""
+
+from repro.experiments import higher_dims
+
+
+def test_regenerate_higher_dims(once):
+    result = once(higher_dims.run, higher_dims.QUICK_KD)
+    print()
+    print(result.render())
+    problems = higher_dims.shape_checks(result)
+    assert problems == [], "\n".join(problems)
+
+
+def test_kd_closed_forms_fast(benchmark):
+    """Microbench: the k-D rate map + upper bound for a 6^3 array."""
+    from repro.core.kd_bounds import kd_delay_upper_bound, kd_edge_rates
+    from repro.topology.array_mesh import KDArray
+
+    array = KDArray((6, 6, 6))
+
+    def both():
+        rates = kd_edge_rates(array, 0.3)
+        return rates, kd_delay_upper_bound(6, 3, 0.3)
+
+    rates, ub = benchmark(both)
+    assert rates.shape == (array.num_edges,)
+    assert ub > 0

@@ -1,0 +1,27 @@
+"""Regenerate the Section 4.5 hypercube/butterfly gap analysis: our gap
+2(dp+1-p) vs the previous 2d, validated by a simulated hypercube."""
+
+from repro.experiments import hypercube_bounds
+
+
+def test_regenerate_hypercube_bounds(once):
+    result = once(hypercube_bounds.run, hypercube_bounds.QUICK_HC)
+    print()
+    print(result.render())
+    problems = hypercube_bounds.shape_checks(result)
+    assert problems == [], "\n".join(problems)
+
+
+def test_gap_formulas_fast(benchmark):
+    """Microbench: the full (d, p) gap table."""
+    from repro.core.hypercube_bounds import hypercube_gap_copy, hypercube_gap_markov
+
+    def table():
+        return [
+            (d, p, hypercube_gap_copy(d), hypercube_gap_markov(d, p))
+            for d in range(2, 16)
+            for p in (0.1, 0.25, 0.5, 0.75, 0.9)
+        ]
+
+    rows = benchmark(table)
+    assert all(g1 < g0 for _, _, g0, g1 in rows)

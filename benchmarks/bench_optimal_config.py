@@ -1,0 +1,28 @@
+"""Regenerate the Section 5.1 experiment: optimal vs standard allocation,
+including the beyond-4/n stability demonstration (capacity 6/(n+1))."""
+
+from repro.experiments import optimal_config
+
+
+def test_regenerate_optimal_config(once):
+    result = once(optimal_config.run, optimal_config.QUICK_OPT)
+    print()
+    print(result.render())
+    problems = optimal_config.shape_checks(result)
+    assert problems == [], "\n".join(problems)
+
+
+def test_optimal_rates_fast(benchmark):
+    """Microbench: Theorem 15 allocation on a 20x20 rate map."""
+    import numpy as np
+
+    from repro.core.optimization import optimal_service_rates
+    from repro.core.rates import array_edge_rates
+    from repro.topology.array_mesh import ArrayMesh
+
+    mesh = ArrayMesh(20)
+    rates = array_edge_rates(mesh, 0.15)
+    budget = 4.0 * 20 * 19
+
+    phi = benchmark(optimal_service_rates, rates, 1.0, budget)
+    assert np.all(phi > rates)

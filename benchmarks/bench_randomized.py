@@ -1,0 +1,14 @@
+"""Regenerate the Section 6 randomized-greedy comparison: the mixture is
+not better than standard greedy, and its rate map is provably identical."""
+
+from repro.experiments import randomized_greedy
+
+
+def test_regenerate_randomized_greedy(once):
+    result = once(
+        randomized_greedy.run, randomized_greedy.QUICK_RAND, processes=1
+    )
+    print()
+    print(result.render())
+    problems = randomized_greedy.shape_checks(result)
+    assert problems == [], "\n".join(problems)

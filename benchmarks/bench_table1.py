@@ -1,0 +1,34 @@
+"""Regenerate Table I (simulation vs M/D/1 estimate) and time it.
+
+Shape claims asserted (see repro.experiments.table1): the estimate tracks
+simulation at light load, over-estimates for n >= 10 at heavy load, and
+the simulation honors the Theorem 7 upper bound.
+"""
+
+from repro.experiments import configs, table1
+
+
+def test_regenerate_table1(once):
+    result = once(table1.run, configs.QUICK)
+    print()
+    print(result.render())
+    problems = table1.shape_checks(result)
+    assert problems == [], "\n".join(problems)
+
+
+def test_table1_estimate_columns_fast(benchmark):
+    """Microbench: the analytic side of Table I (all 24 paper cells)."""
+    from repro.core.md1_approx import delay_md1_estimate
+    from repro.core.rates import lambda_for_load
+
+    def all_cells():
+        out = []
+        for n in (5, 10, 15, 20):
+            for rho in (0.2, 0.5, 0.8, 0.9, 0.95, 0.99):
+                lam = lambda_for_load(n, rho, "table1")
+                out.append(delay_md1_estimate(n, lam, variant="paper"))
+        return out
+
+    values = benchmark(all_cells)
+    assert len(values) == 24
+    assert abs(values[0] - 3.256) < 5e-4  # paper's first printed estimate

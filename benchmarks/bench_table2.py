@@ -1,0 +1,16 @@
+"""Regenerate Table II (r = E[R]/E[N]) and time it.
+
+Shape claims: r < n-bar-2 everywhere, r nearly rho-independent, and
+r/n-bar-2 in the ~0.7 band for n >= 10 — the paper's Section 4.4 evidence
+that the Theorem 12 constant is loose.
+"""
+
+from repro.experiments import configs, table2
+
+
+def test_regenerate_table2(once):
+    result = once(table2.run, configs.QUICK)
+    print()
+    print(result.render())
+    problems = table2.shape_checks(result)
+    assert problems == [], "\n".join(problems)

@@ -1,0 +1,16 @@
+"""Regenerate Table III (r_s = E[R_s]/E[N]) and time it.
+
+Shape claims: r_s < s-bar(n) for every n and the even/odd parity split
+(even-n r_s below every odd-n r_s) — the Section 4.6 evidence behind the
+3-vs-6 asymmetry of Theorem 14.
+"""
+
+from repro.experiments import table3
+
+
+def test_regenerate_table3(once):
+    result = once(table3.run, table3.QUICK3)
+    print()
+    print(result.render())
+    problems = table3.shape_checks(result)
+    assert problems == [], "\n".join(problems)

@@ -1,0 +1,12 @@
+"""Regenerate the Section 6 torus observations: layering obstruction,
+Theorem 10 lower bound (no upper bound exists), torus beats open array."""
+
+from repro.experiments import torus
+
+
+def test_regenerate_torus(once):
+    result = once(torus.run, torus.QUICK_TORUS)
+    print()
+    print(result.render())
+    problems = torus.shape_checks(result)
+    assert problems == [], "\n".join(problems)

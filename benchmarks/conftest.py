@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one table/figure/claim of the paper at the
+QUICK preset, asserts the paper's shape claims, and times the regeneration
+with pytest-benchmark. Simulation benches use a single round (they are
+long-running stochastic jobs, not microbenchmarks); the engine/analytics
+microbenches use normal multi-round timing.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables printed alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Benchmark a long-running callable exactly once (round=1)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regenerate every table, figure and claim of the paper in one run.
+
+Writes an EXPERIMENTS.md-style report with each artifact's regenerated
+contents and the verdicts of its shape checks.
+
+Run:
+    python examples/reproduce_tables.py               # QUICK preset (minutes)
+    python examples/reproduce_tables.py --full        # paper-scale (hours on 1 CPU)
+    python examples/reproduce_tables.py -o report.md  # also write to a file
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import render_report, run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale horizons (much slower; use all cores)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for the simulation grids (default: all cores)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the markdown report to this path",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    sections = run_all(full=args.full, processes=args.processes)
+    report = render_report(sections)
+    print(report)
+    print(f"\n[total wall time: {time.time() - t0:.1f}s]")
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+        print(f"[report written to {args.output}]")
+    failures = [s.title for s in sections if s.problems]
+    if failures:
+        print(f"[shape-check failures in: {', '.join(failures)}]")
+        return 1
+    print("[all shape checks passed]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""repro — reproduction of Mitzenmacher, "Bounds on the Greedy Routing
+Algorithm for Array Networks" (SPAA 1994; JCSS 53:317-327, 1996).
+
+The library has five layers:
+
+* :mod:`repro.topology` / :mod:`repro.routing` — array meshes (plus torus,
+  hypercube, butterfly, linear array), greedy routing and its variants,
+  destination distributions;
+* :mod:`repro.queueing` — M/M/1, M/D/1, M/G/1, product-form networks,
+  Little's Law, stochastic dominance;
+* :mod:`repro.sim` — event-driven FIFO/PS/Jackson/rushed/slotted network
+  simulators with exact time-integrated statistics;
+* :mod:`repro.core` — the paper's results: Theorem 6 rates, the Theorem 7
+  upper bound, the Section 4.2 M/D/1 estimate, the Theorem 8/10/12/14
+  lower bounds, layering (Lemma 2), saturation constants, Theorem 15
+  optimal rate allocation, and the Section 4.5 hypercube/butterfly gaps;
+* :mod:`repro.experiments` — regenerates every table and figure.
+
+Quickstart
+----------
+>>> from repro import ArrayMesh, GreedyArrayRouter, UniformDestinations
+>>> from repro import NetworkSimulation, bound_summary, lambda_for_load
+>>> n, rho = 6, 0.8
+>>> lam = lambda_for_load(n, rho)
+>>> mesh = ArrayMesh(n)
+>>> sim = NetworkSimulation(GreedyArrayRouter(mesh),
+...                         UniformDestinations(mesh.num_nodes), lam, seed=1)
+>>> result = sim.run(warmup=200, horizon=2000)
+>>> bounds = bound_summary(n, lam)
+>>> bounds.lower_best <= result.mean_delay <= bounds.upper * 1.1
+True
+"""
+
+from repro.topology import (
+    ArrayMesh,
+    Butterfly,
+    Hypercube,
+    KDArray,
+    LinearArray,
+    Topology,
+    Torus,
+)
+from repro.routing import (
+    ButterflyRouter,
+    GeometricStopDestinations,
+    GreedyArrayRouter,
+    GreedyHypercubeRouter,
+    GreedyKDRouter,
+    GreedyTorusRouter,
+    LineStopChain,
+    MatrixDestinations,
+    PBiasedHypercubeDestinations,
+    RandomizedGreedyArrayRouter,
+    Router,
+    UniformDestinations,
+)
+from repro.queueing import (
+    MD1Queue,
+    MG1Queue,
+    MM1Queue,
+    ProductFormNetwork,
+)
+from repro.sim import (
+    NetworkSimulation,
+    PSNetworkSimulation,
+    RushedNetworkSimulation,
+    SimResult,
+    SlottedNetworkSimulation,
+)
+from repro.core import (
+    BoundSummary,
+    array_edge_rates,
+    asymptotic_gap,
+    best_lower_bound,
+    bound_summary,
+    copy_lower_bound,
+    delay_md1_estimate,
+    delay_upper_bound,
+    lambda_for_load,
+    markov_lower_bound,
+    mean_distance,
+    optimal_capacity,
+    optimal_service_rates,
+    s_bar,
+    saturated_lower_bound,
+    st_lower_bound,
+    standard_capacity,
+    trivial_lower_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # topology
+    "Topology",
+    "ArrayMesh",
+    "KDArray",
+    "LinearArray",
+    "Torus",
+    "Hypercube",
+    "Butterfly",
+    # routing
+    "Router",
+    "GreedyArrayRouter",
+    "GreedyKDRouter",
+    "RandomizedGreedyArrayRouter",
+    "GreedyTorusRouter",
+    "GreedyHypercubeRouter",
+    "ButterflyRouter",
+    "UniformDestinations",
+    "MatrixDestinations",
+    "PBiasedHypercubeDestinations",
+    "GeometricStopDestinations",
+    "LineStopChain",
+    # queueing
+    "MM1Queue",
+    "MD1Queue",
+    "MG1Queue",
+    "ProductFormNetwork",
+    # sim
+    "NetworkSimulation",
+    "PSNetworkSimulation",
+    "RushedNetworkSimulation",
+    "SlottedNetworkSimulation",
+    "SimResult",
+    # core
+    "array_edge_rates",
+    "lambda_for_load",
+    "mean_distance",
+    "delay_upper_bound",
+    "delay_md1_estimate",
+    "st_lower_bound",
+    "trivial_lower_bound",
+    "copy_lower_bound",
+    "markov_lower_bound",
+    "saturated_lower_bound",
+    "best_lower_bound",
+    "bound_summary",
+    "BoundSummary",
+    "asymptotic_gap",
+    "s_bar",
+    "standard_capacity",
+    "optimal_capacity",
+    "optimal_service_rates",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``bounds``    print every bound of the paper at an (n, rho) point
+``simulate``  run the standard model and compare against the bounds
+``tables``    regenerate the paper's tables/figures (QUICK preset)
+``figure1`` / ``figure2``  print the layering / saturated-edge figures
+
+Examples
+--------
+::
+
+    python -m repro bounds -n 10 --rho 0.9
+    python -m repro simulate -n 8 --rho 0.8 --horizon 3000 --seed 7
+    python -m repro figure2 -n 5
+    python -m repro tables -o report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.lower_bounds import asymptotic_gap, bound_summary
+from repro.core.rates import lambda_for_load
+from repro.util.tables import Table
+
+
+def _cmd_bounds(args) -> int:
+    lam = lambda_for_load(args.n, args.rho, args.convention)
+    b = bound_summary(args.n, lam)
+    t = Table(
+        title=(
+            f"Bounds for the {args.n}x{args.n} array at rho={args.rho} "
+            f"(lambda={lam:.5f})"
+        ),
+        headers=["bound", "value"],
+    )
+    t.add_row(["lower: trivial (n-bar)", b.lower_trivial])
+    t.add_row(["lower: Thm 8 (any scheme)", b.lower_st_any])
+    t.add_row(["lower: Thm 8 (oblivious)", b.lower_st_oblivious])
+    t.add_row(["lower: Thm 10 (copy)", b.lower_copy])
+    t.add_row(["lower: Thm 12 (Markovian)", b.lower_markov])
+    t.add_row(["lower: Thm 14 (saturated)", b.lower_saturated])
+    t.add_row(["estimate: Sec 4.2 (M/D/1)", b.estimate])
+    t.add_row(["upper: Thm 7 (Jackson/PS)", b.upper])
+    print(t.render())
+    print(
+        f"gap upper/best-lower = {b.gap:.3f}; rho->1 limit = "
+        f"{asymptotic_gap(args.n):.3f} ({'even' if args.n % 2 == 0 else 'odd'} n)"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.routing.destinations import UniformDestinations
+    from repro.routing.greedy import GreedyArrayRouter
+    from repro.sim.fifo_network import NetworkSimulation
+    from repro.topology.array_mesh import ArrayMesh
+    from repro.core.rates import array_edge_rates
+    from repro.core.saturation import saturated_edge_mask
+
+    lam = lambda_for_load(args.n, args.rho, args.convention)
+    mesh = ArrayMesh(args.n)
+    mask = saturated_edge_mask(array_edge_rates(mesh, lam))
+    sim = NetworkSimulation(
+        GreedyArrayRouter(mesh),
+        UniformDestinations(mesh.num_nodes),
+        lam,
+        saturated_mask=mask,
+        seed=args.seed,
+    )
+    res = sim.run(args.warmup, args.horizon, track_maxima=True)
+    b = bound_summary(args.n, lam)
+    print(res.summary_line())
+    print(
+        f"bounds: [{b.lower_best:.3f}, {b.upper:.3f}]  estimate {b.estimate:.3f}"
+        f"  max delay {res.max_delay:.2f}  max queue {res.max_queue_length}"
+    )
+    ok = b.lower_best <= res.mean_delay <= b.upper * 1.05
+    print(f"sandwich: {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
+def _cmd_tables(args) -> int:
+    from repro.experiments.runner import render_report, run_all
+
+    sections = run_all(full=args.full, processes=args.processes)
+    report = render_report(sections)
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+    return 1 if any(s.problems for s in sections) else 0
+
+
+def _cmd_figure1(args) -> int:
+    from repro.experiments import figure1
+
+    res = figure1.run(args.n)
+    print(res.render())
+    return 0 if res.layered else 1
+
+
+def _cmd_figure2(args) -> int:
+    from repro.experiments import figure2
+
+    print(figure2.run(args.n).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Bounds and simulation for greedy routing on array networks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bounds", help="print all bounds at (n, rho)")
+    p.add_argument("-n", type=int, default=10)
+    p.add_argument("--rho", type=float, default=0.9)
+    p.add_argument("--convention", choices=("exact", "table1"), default="exact")
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("simulate", help="simulate the standard model")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--rho", type=float, default=0.8)
+    p.add_argument("--convention", choices=("exact", "table1"), default="exact")
+    p.add_argument("--warmup", type=float, default=300.0)
+    p.add_argument("--horizon", type=float, default=3000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("tables", help="regenerate every table/figure")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--processes", type=int, default=None)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("figure1", help="print the Lemma 2 layering figure")
+    p.add_argument("-n", type=int, default=4)
+    p.set_defaults(func=_cmd_figure1)
+
+    p = sub.add_parser("figure2", help="print the saturated-edges figure")
+    p.add_argument("-n", type=int, default=6)
+    p.set_defaults(func=_cmd_figure2)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly like a
+        # well-behaved Unix tool.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Section 4.5: bounds for the hypercube and butterfly.
+
+Setting: a d-dimensional hypercube where a node at Hamming distance ``k``
+from the source is the destination with probability ``p^k (1-p)^{d-k}``
+(uniform when ``p = 1/2``); greedy routing crosses each dimension in
+canonical order, each with probability ``p``. Every directed edge then
+carries rate ``lam * p``, so the network load is ``rho = lam p``.
+
+Headline comparison (the paper's improvement over Stamoulis–Tsitsiklis):
+
+* previous gap between upper and lower bounds as ``rho -> 1``: ``2d`` for
+  every ``p`` (from the bracket ``p/2 <= lim (1-rho)(T - dp) <= dp``);
+* Theorem 12 with ``d-bar = 1 + p(d-1)`` gives gap ``2(dp + 1 - p) < 2d``
+  for all ``p`` in (0, 1) — approaching 2 as ``p -> 0``, equal to ``d+1``
+  at the uniform ``p = 1/2``;
+* butterfly: every packet crosses exactly ``d`` edges, so Theorem 10 gives
+  gap ``2d``, matching Stamoulis–Tsitsiklis (no improvement available from
+  Theorem 14 either: all queues are saturated by symmetry, in both
+  topologies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.md1_approx import md1_network_number
+from repro.core.remaining_distance import hypercube_max_expected_remaining_distance
+from repro.util.validation import check_load, check_positive, check_probability
+
+
+def _check_d(d: int) -> int:
+    if not isinstance(d, int) or isinstance(d, bool) or d < 1:
+        raise ValueError(f"dimension d must be an int >= 1, got {d!r}")
+    return d
+
+
+def hypercube_edge_rate(d: int, lam: float, p: float = 0.5) -> float:
+    """Arrival rate ``lam * p`` on every directed hypercube edge.
+
+    Each of the ``2^d`` nodes generates at rate ``lam``; a packet crosses
+    dimension ``k`` with probability ``p`` independently, and by symmetry
+    the dimension-``k`` traffic spreads evenly over that dimension's
+    ``2^d`` directed edges.
+    """
+    _check_d(d)
+    check_positive(lam, "lam", strict=False)
+    check_probability(p, "p")
+    return lam * p
+
+
+def hypercube_load(d: int, lam: float, p: float = 0.5) -> float:
+    """Network load ``rho = lam p`` (every edge is equally loaded)."""
+    return hypercube_edge_rate(d, lam, p)
+
+
+def hypercube_mean_distance(d: int, p: float = 0.5) -> float:
+    """Mean route length ``d p`` (Binomial(d, p) crossings)."""
+    _check_d(d)
+    check_probability(p, "p")
+    return d * p
+
+
+def hypercube_delay_upper_bound(d: int, lam: float, p: float = 0.5) -> float:
+    """Theorem 7's analogue: product-form bound ``T <= d p / (1 - rho)``.
+
+    ``sum_e lam_e/(1-lam_e) = d 2^d rho/(1-rho)`` over external rate
+    ``lam 2^d`` with ``lam = rho/p``.
+    """
+    rho = hypercube_load(d, lam, p)
+    check_load(rho, "rho")
+    if lam <= 0:
+        raise ValueError(f"lam must be positive, got {lam}")
+    return d * rho / ((1.0 - rho) * lam)
+
+
+def hypercube_markov_lower_bound(d: int, lam: float, p: float = 0.5) -> float:
+    """Theorem 12 on the hypercube: independent-M/D/1 total over
+    ``d-bar = 1 + p(d-1)`` and the external rate."""
+    rho = hypercube_load(d, lam, p)
+    check_load(rho, "rho")
+    if lam <= 0:
+        raise ValueError(f"lam must be positive, got {lam}")
+    num_edges = d * (1 << d)
+    total = md1_network_number(np.full(num_edges, rho), variant="pk")
+    d_bar = hypercube_max_expected_remaining_distance(d, p)
+    return total / (d_bar * lam * (1 << d))
+
+
+def hypercube_gap_markov(d: int, p: float = 0.5) -> float:
+    """Our upper/lower gap as ``rho -> 1``: ``2 (d p + 1 - p)``."""
+    _check_d(d)
+    check_probability(p, "p")
+    return 2.0 * (d * p + 1.0 - p)
+
+
+def hypercube_gap_copy(d: int) -> float:
+    """The previous (Stamoulis–Tsitsiklis / Theorem 10) gap: ``2d``."""
+    _check_d(d)
+    return 2.0 * d
+
+
+def butterfly_gap(d: int) -> float:
+    """Butterfly gap from Theorem 10: ``2d`` (every route has length d,
+    so the copy count cannot be improved — matches S-T)."""
+    _check_d(d)
+    return 2.0 * d
+
+
+def st_limit_bracket(d: int, p: float = 0.5) -> tuple[float, float]:
+    """The prior bounds' bracket on ``lim_{rho->1} (1-rho)(T - dp)``:
+    ``[p/2, dp]`` (paper Section 4.5)."""
+    _check_d(d)
+    check_probability(p, "p")
+    return (p / 2.0, d * p)
+
+
+def hypercube_limit_scaled_bounds(d: int, p: float, rho: float) -> tuple[float, float]:
+    """Evaluate ``(1-rho)(T_bound - dp)`` for our lower bound and the
+    product-form upper bound at finite ``rho`` — the quantity whose
+    ``rho -> 1`` limits Section 4.5 brackets. Used by the hypercube
+    experiment to plot convergence toward ``[dp/(2(dp+1-p)), dp]``."""
+    check_load(rho, "rho")
+    if rho <= 0:
+        raise ValueError("rho must be positive for the scaled bracket")
+    lam = rho / p
+    lower = hypercube_markov_lower_bound(d, lam, p)
+    upper = hypercube_delay_upper_bound(d, lam, p)
+    dp = hypercube_mean_distance(d, p)
+    return ((1.0 - rho) * (lower - dp), (1.0 - rho) * (upper - dp))

@@ -1,0 +1,192 @@
+"""Layered networks (Theorem 1's first hypothesis; Lemma 2, Figure 1).
+
+A labelling of the arcs *layers* the network if every packet crosses arcs
+with strictly increasing labels. Lemma 2's labelling of the array (paper's
+1-based coordinates):
+
+=========================  =========
+edge                       label
+=========================  =========
+``((i, j), (i, j+1))``     ``j``
+``((i, j+1), (i, j))``     ``n - j``
+``((i, j), (i+1, j))``     ``n + i - 1``
+``((i+1, j), (i, j))``     ``2n - i - 1``
+=========================  =========
+
+Row labels lie in ``1..n-1`` and increase along any one-directional row
+leg; column labels lie in ``n..2n-2`` and increase along any column leg —
+so a row-first greedy route is strictly increasing (Figure 1).
+
+The torus, by contrast, cannot be layered under greedy routing (for tori
+of side at least 4): its route legs chain around directed rings — e.g. on
+a 4-ring the legs 0->1->2, 1->2->3, 2->3->0, 3->0->1 force the cyclic
+precedence e01 < e12 < e23 < e30 < e01 — so a strictly-increasing
+labelling cannot exist. :func:`find_layering_obstruction` finds such a
+cycle constructively in the "follows" digraph of consecutively-used edge
+pairs, which is the machine-checkable form of the paper's Section 6
+remark. (Degenerate exception, found by this reproduction's tests: on the
+3x3 torus shortest-way greedy legs are at most one edge, so no two
+same-dimension edges are ever consecutive and a layering *does* exist —
+the paper's non-layerability claim concerns routes that actually traverse
+rings.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.topology.array_mesh import DOWN, LEFT, RIGHT, UP, ArrayMesh
+from repro.util.validation import check_side
+
+
+def array_layering_labels(mesh: ArrayMesh) -> np.ndarray:
+    """Lemma 2's labels for every edge of a square mesh, by edge id."""
+    if not mesh.is_square:
+        raise ValueError("Lemma 2's labelling is stated for square meshes")
+    n = mesh.side
+    labels = np.zeros(mesh.num_edges, dtype=np.int64)
+    for i0 in range(n):
+        for j0 in range(n):
+            i, j = i0 + 1, j0 + 1  # paper's 1-based coordinates
+            if j0 < n - 1:  # right edge ((i,j),(i,j+1)): label j
+                labels[mesh.directed_edge_id(i0, j0, RIGHT)] = j
+                # left edge ((i,j+1),(i,j)): label n - j
+                labels[mesh.directed_edge_id(i0, j0 + 1, LEFT)] = n - j
+            if i0 < n - 1:  # down edge ((i,j),(i+1,j)): label n + i - 1
+                labels[mesh.directed_edge_id(i0, j0, DOWN)] = n + i - 1
+                # up edge ((i+1,j),(i,j)): label 2n - i - 1
+                labels[mesh.directed_edge_id(i0 + 1, j0, UP)] = 2 * n - i - 1
+    return labels
+
+
+def verify_layering(
+    router: Router,
+    labels: np.ndarray,
+    *,
+    source_nodes: Sequence[int] | None = None,
+    dest_nodes: Sequence[int] | None = None,
+) -> bool:
+    """True iff labels strictly increase along every canonical route."""
+    topo = router.topology
+    labels = np.asarray(labels)
+    if labels.shape != (topo.num_edges,):
+        raise ValueError(
+            f"labels must have one entry per edge ({topo.num_edges}), "
+            f"got shape {labels.shape}"
+        )
+    sources = (
+        list(range(topo.num_nodes)) if source_nodes is None else list(source_nodes)
+    )
+    dests = list(range(topo.num_nodes)) if dest_nodes is None else list(dest_nodes)
+    for src in sources:
+        for dst in dests:
+            if dst == src:
+                continue
+            path = router.path(src, dst)
+            for a, b in zip(path, path[1:]):
+                if labels[b] <= labels[a]:
+                    return False
+    return True
+
+
+def follows_digraph(
+    router: Router,
+    *,
+    source_nodes: Sequence[int] | None = None,
+    dest_nodes: Sequence[int] | None = None,
+):
+    """The "follows" digraph on edge ids: arc ``a -> b`` iff some canonical
+    route crosses ``b`` immediately after ``a``. A layering exists iff this
+    digraph is acyclic (labels = any topological order)."""
+    import networkx as nx
+
+    topo = router.topology
+    g = nx.DiGraph()
+    g.add_nodes_from(range(topo.num_edges))
+    sources = (
+        list(range(topo.num_nodes)) if source_nodes is None else list(source_nodes)
+    )
+    dests = list(range(topo.num_nodes)) if dest_nodes is None else list(dest_nodes)
+    for src in sources:
+        for dst in dests:
+            if dst == src:
+                continue
+            path = router.path(src, dst)
+            for a, b in zip(path, path[1:]):
+                g.add_edge(int(a), int(b))
+    return g
+
+
+def find_layering_obstruction(
+    router: Router,
+    *,
+    source_nodes: Sequence[int] | None = None,
+    dest_nodes: Sequence[int] | None = None,
+) -> list[int] | None:
+    """A cycle of edge ids witnessing that no layering exists, or None.
+
+    Returns None exactly when a layering exists (the follows digraph is
+    acyclic). On the greedy torus this returns a directed ring of edges,
+    mechanising the paper's "any network containing a ring of directed
+    edges cannot be layered" for the concrete routing scheme in use.
+    """
+    import networkx as nx
+
+    g = follows_digraph(router, source_nodes=source_nodes, dest_nodes=dest_nodes)
+    try:
+        cycle = nx.find_cycle(g)
+    except nx.NetworkXNoCycle:
+        return None
+    return [a for a, _b in cycle]
+
+
+def layering_from_follows(router: Router) -> np.ndarray | None:
+    """Construct a valid layering by topological sort, or None if impossible.
+
+    This gives an alternative, machine-generated labelling for any layered
+    scheme (tests check it validates alongside Lemma 2's hand labelling).
+    """
+    import networkx as nx
+
+    g = follows_digraph(router)
+    if not nx.is_directed_acyclic_graph(g):
+        return None
+    order = list(nx.topological_sort(g))
+    labels = np.zeros(router.topology.num_edges, dtype=np.int64)
+    for rank, e in enumerate(order):
+        labels[e] = rank + 1
+    return labels
+
+
+def render_figure1(n: int) -> str:
+    """ASCII rendering of Figure 1 (the layered labelling) for side ``n``.
+
+    Each cell shows the labels of the four edges leaving the node:
+    ``R`` right, ``L`` left, ``D`` down, ``U`` up (dashes at borders).
+    """
+    check_side(n, "n")
+    mesh = ArrayMesh(n)
+    labels = array_layering_labels(mesh)
+    lines = [f"Figure 1: layering the {n}x{n} array (Lemma 2 labels)"]
+    for i in range(n):
+        row_cells = []
+        for j in range(n):
+            parts = []
+            for tag, direction, ok in (
+                ("R", RIGHT, j < n - 1),
+                ("L", LEFT, j > 0),
+                ("D", DOWN, i < n - 1),
+                ("U", UP, i > 0),
+            ):
+                if ok:
+                    parts.append(
+                        f"{tag}{labels[mesh.directed_edge_id(i, j, direction)]}"
+                    )
+                else:
+                    parts.append(f"{tag}-")
+            row_cells.append("[" + " ".join(f"{p:>4}" for p in parts) + "]")
+        lines.append(" ".join(row_cells))
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Lower bounds on the average delay (Theorems 8, 10, 12, 14).
+
+Four bounds, in increasing sophistication, all returned in one
+:class:`BoundSummary` next to the upper bound and the M/D/1 estimate:
+
+* **trivial** — a packet pays one unit per edge, so ``T >= n-bar``.
+* **Stamoulis–Tsitsiklis** (Theorem 8) — single-cut bounds
+  ``T >= f (1 + rho/(2n(1-rho)))`` for any scheme and
+  ``T >= f (1 + rho/(2(1-rho)))`` for oblivious schemes, with ``f = 1/2``
+  (even n) or ``1/2 - 1/n^2`` (odd n).
+* **copy bound** (Theorem 10) — comparing with the "rushed" system that
+  receives a copy of each packet at every queue it will visit:
+  ``E[N-bar] <= d E[N]`` with ``d`` the maximum route length (``2(n-1)``
+  on the array), where ``N-bar`` is the total across independent M/D/1
+  queues with matched rates. Via Lemma 9 + Little's Law the resulting
+  delay bound sits within ``4n - 4`` of the upper bound.
+* **Markovian bound** (Theorem 12) — ``d`` improves to the maximum
+  expected remaining distance ``d-bar = n - 1/2``; gap ``2n - 1``.
+* **saturated bound** (Theorem 14) — as ``rho -> 1`` only saturated edges
+  matter; with ``s-bar`` (3/2 even / <3 odd) the gap becomes the paper's
+  headline constant: **3 for even n, at most 6 for odd n**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distances import mean_distance
+from repro.core.md1_approx import md1_network_number
+from repro.core.rates import load_for_lambda, total_external_rate
+from repro.core.remaining_distance import array_max_expected_remaining_distance
+from repro.core.saturation import s_bar, saturated_edge_mask
+from repro.util.validation import check_load, check_positive, check_side
+
+
+def _st_prefactor(n: int) -> float:
+    """Theorem 8's ``f``: 1/2 for even n, 1/2 - 1/n^2 for odd n."""
+    return 0.5 if n % 2 == 0 else 0.5 - 1.0 / (n * n)
+
+
+def st_lower_bound(n: int, rho: float, *, oblivious: bool = True) -> float:
+    """Theorem 8 (Stamoulis–Tsitsiklis style) lower bound on T.
+
+    Parameters
+    ----------
+    n:
+        Array side.
+    rho:
+        Network load in [0, 1).
+    oblivious:
+        True (default) gives the stronger bound valid for oblivious
+        schemes — greedy routing is oblivious; False gives the weaker
+        bound valid for *any* routing scheme.
+    """
+    check_side(n, "n")
+    check_load(rho, "rho")
+    f = _st_prefactor(n)
+    if oblivious:
+        return f * (1.0 + rho / (2.0 * (1.0 - rho)))
+    return f * (1.0 + rho / (2.0 * n * (1.0 - rho)))
+
+
+def trivial_lower_bound(n: int) -> float:
+    """``T >= n-bar``: unit delay per edge crossed."""
+    return mean_distance(n)
+
+
+def _array_md1_total(n: int, lam: float) -> float:
+    """``E[N-bar]``: independent-M/D/1 total with Theorem 6 rates."""
+    i = np.arange(1, n)
+    lam_e = (lam / n) * i * (n - i)
+    rates = np.repeat(lam_e, 4 * n)  # 4 direction blocks x n edges per i
+    return md1_network_number(rates, variant="pk")
+
+
+def copy_lower_bound(n: int, lam: float) -> float:
+    """Theorem 10: ``T >= E[N-bar] / (d * lam n^2)`` with ``d = 2(n-1)``."""
+    check_side(n, "n")
+    check_positive(lam, "lam")
+    d = 2 * (n - 1)
+    return _array_md1_total(n, lam) / (d * total_external_rate(n, lam))
+
+
+def markov_lower_bound(n: int, lam: float) -> float:
+    """Theorem 12: ``d`` improved to ``d-bar = n - 1/2``."""
+    check_side(n, "n")
+    check_positive(lam, "lam")
+    d_bar = array_max_expected_remaining_distance(n)
+    return _array_md1_total(n, lam) / (d_bar * total_external_rate(n, lam))
+
+
+def saturated_lower_bound(n: int, lam: float, *, markovian: bool = True) -> float:
+    """Theorem 14: only saturated queues counted, divided by s-bar (or s).
+
+    The comparison system keeps one copy of a packet per *saturated* queue
+    it will cross; unsaturated edges are assumed delay-free, which only
+    lowers the bound. Dividing the saturated-only independent-M/D/1 total
+    by ``s-bar`` (Markovian networks) or ``s`` (general) and the external
+    rate gives a bound whose separation from Theorem 7 stays constant as
+    ``rho -> 1``.
+
+    Parameters
+    ----------
+    n, lam:
+        Array side and per-node rate.
+    markovian:
+        Use ``s-bar`` (default, valid for the Markovian greedy array);
+        False uses the cruder route-count constant ``s`` (2 even / 4 odd).
+    """
+    check_side(n, "n")
+    check_positive(lam, "lam")
+    i = np.arange(1, n)
+    lam_e = (lam / n) * i * (n - i)
+    rates = np.repeat(lam_e, 4 * n)
+    mask = saturated_edge_mask(rates)
+    sat_total = md1_network_number(rates[mask], variant="pk")
+    if markovian:
+        divisor = s_bar(n)
+    else:
+        divisor = 2.0 if n % 2 == 0 else 4.0
+    return sat_total / (divisor * total_external_rate(n, lam))
+
+
+def best_lower_bound(n: int, lam: float) -> float:
+    """The maximum of all applicable lower bounds at this operating point."""
+    rho = load_for_lambda(n, lam)
+    return max(
+        trivial_lower_bound(n),
+        st_lower_bound(n, rho, oblivious=True),
+        copy_lower_bound(n, lam),
+        markov_lower_bound(n, lam),
+        saturated_lower_bound(n, lam),
+    )
+
+
+def asymptotic_gap(n: int) -> float:
+    """The paper's headline constant: ``2 * s-bar`` — the factor separating
+    the Theorem 7 upper bound from the Theorem 14 lower bound as
+    ``rho -> 1``. Exactly 3 for even n; below 6 for odd n."""
+    check_side(n, "n")
+    return 2.0 * s_bar(n)
+
+
+@dataclass(frozen=True)
+class BoundSummary:
+    """Every bound of the paper evaluated at one operating point.
+
+    Attributes mirror the theorems; ``upper`` is Theorem 7, ``estimate``
+    the Section 4.2 approximation (textbook P-K variant), and the
+    ``lower_*`` fields Theorems 8/10/12/14 plus the trivial bound.
+    """
+
+    n: int
+    lam: float
+    rho: float
+    upper: float
+    estimate: float
+    lower_trivial: float
+    lower_st_any: float
+    lower_st_oblivious: float
+    lower_copy: float
+    lower_markov: float
+    lower_saturated: float
+
+    @property
+    def lower_best(self) -> float:
+        """Best (largest) lower bound."""
+        return max(
+            self.lower_trivial,
+            self.lower_st_any,
+            self.lower_st_oblivious,
+            self.lower_copy,
+            self.lower_markov,
+            self.lower_saturated,
+        )
+
+    @property
+    def gap(self) -> float:
+        """Upper bound over best lower bound."""
+        return self.upper / self.lower_best
+
+    def is_consistent(self) -> bool:
+        """Every lower bound must sit below the upper bound."""
+        return self.lower_best <= self.upper * (1 + 1e-12)
+
+
+def bound_summary(n: int, lam: float) -> BoundSummary:
+    """Evaluate every bound of the paper at ``(n, lam)``."""
+    from repro.core.md1_approx import delay_md1_estimate
+    from repro.core.upper_bound import delay_upper_bound
+
+    check_side(n, "n")
+    check_positive(lam, "lam")
+    rho = load_for_lambda(n, lam)
+    check_load(rho, "rho")
+    return BoundSummary(
+        n=n,
+        lam=lam,
+        rho=rho,
+        upper=delay_upper_bound(n, lam),
+        estimate=delay_md1_estimate(n, lam, variant="pk"),
+        lower_trivial=trivial_lower_bound(n),
+        lower_st_any=st_lower_bound(n, rho, oblivious=False),
+        lower_st_oblivious=st_lower_bound(n, rho, oblivious=True),
+        lower_copy=copy_lower_bound(n, lam),
+        lower_markov=markov_lower_bound(n, lam),
+        lower_saturated=saturated_lower_bound(n, lam),
+    )

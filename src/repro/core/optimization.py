@@ -1,0 +1,191 @@
+"""Optimal transmission-rate allocation under a budget (Section 5.1).
+
+Theorem 15 (classical Kleinrock square-root assignment via Lagrange
+multipliers): with per-queue cost ``d_j`` per unit of service rate and
+total budget ``D > sum_j lam_j d_j``, the Jackson-network mean number is
+minimised by
+
+    phi_j = lam_j + sqrt(lam_j / d_j) * D_star / sum_k sqrt(lam_k d_k),
+    D_star = D - sum_k lam_k d_k,
+
+yielding ``N = (sum_k sqrt(lam_k d_k))^2 / D_star`` and, via Little's Law,
+the optimal mean delay. Because the Jackson model upper-bounds the
+constant-service model (Theorem 5), the optimally-allocated delay is an
+upper bound for constant transmission too.
+
+Headline corollary (reproduced by :mod:`repro.experiments.optimal_config`):
+with unit costs and the standard array budget ``D = 4n(n-1)``, the system
+stays stable for every ``lam < 6/(n+1)``, versus ``lam < 4/n`` for the
+uniform unit-rate configuration (even n) — optimally spreading capacity
+buys a factor ``(3/2) * n/(n+1)`` of extra admissible load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_side
+
+
+def _validated(lams, costs):
+    lam = np.asarray(lams, dtype=float)
+    if lam.ndim != 1 or lam.size == 0:
+        raise ValueError("lams must be a non-empty 1-D array")
+    if np.any(lam < 0):
+        raise ValueError("arrival rates must be non-negative")
+    if np.isscalar(costs):
+        d = np.full_like(lam, float(costs))
+    else:
+        d = np.asarray(costs, dtype=float)
+        if d.shape != lam.shape:
+            raise ValueError(f"costs shape {d.shape} != lams shape {lam.shape}")
+    if np.any(d <= 0):
+        raise ValueError("costs must be positive")
+    return lam, d
+
+
+def budget_surplus(lams, costs, budget: float) -> float:
+    """``D_star = D - sum_j lam_j d_j`` — money left after bare stability."""
+    lam, d = _validated(lams, costs)
+    check_positive(budget, "budget")
+    return float(budget - np.sum(lam * d))
+
+
+def optimal_service_rates(lams, costs, budget: float) -> np.ndarray:
+    """Theorem 15's optimal ``phi_j`` under ``sum_j d_j phi_j = D``.
+
+    Raises
+    ------
+    ValueError
+        If ``D_star <= 0`` (no allocation can stabilise the network).
+    """
+    lam, d = _validated(lams, costs)
+    dstar = budget_surplus(lams, costs, budget)
+    if dstar <= 0:
+        raise ValueError(
+            f"budget {budget} cannot stabilise the network: "
+            f"D_star = {dstar} <= 0"
+        )
+    weight = np.sqrt(lam * d)
+    denom = float(weight.sum())
+    if denom == 0.0:
+        raise ValueError("at least one queue must carry traffic")
+    return lam + np.sqrt(lam / d) * dstar / denom
+
+
+def optimal_mean_number(lams, costs, budget: float) -> float:
+    """Minimal Jackson mean number: ``(sum_j sqrt(lam_j d_j))^2 / D_star``."""
+    lam, d = _validated(lams, costs)
+    dstar = budget_surplus(lams, costs, budget)
+    if dstar <= 0:
+        raise ValueError(f"D_star = {dstar} <= 0: unstabilisable budget")
+    return float(np.sum(np.sqrt(lam * d)) ** 2 / dstar)
+
+
+def optimal_delay(lams, costs, budget: float, total_external_rate: float) -> float:
+    """Optimal mean delay via Little's Law (an upper bound for the
+    constant-service model by Theorem 5)."""
+    check_positive(total_external_rate, "total_external_rate")
+    return optimal_mean_number(lams, costs, budget) / total_external_rate
+
+
+def uniform_mean_number(lams, costs, budget: float) -> float:
+    """Jackson mean number when the budget is spread *uniformly in rate*:
+    every queue gets the same ``phi = D / sum_j d_j`` (the standard array
+    is the special case phi = 1, D = 4n(n-1), unit costs). Baseline for
+    the optimal-vs-standard comparison."""
+    lam, d = _validated(lams, costs)
+    check_positive(budget, "budget")
+    phi = budget / float(d.sum())
+    if np.any(lam >= phi):
+        raise ValueError(
+            f"uniform allocation phi = {phi} is unstable for max rate {lam.max()}"
+        )
+    return float(np.sum(lam / (phi - lam)))
+
+
+def standard_capacity(n: int) -> float:
+    """Largest admissible per-node rate of the unit-rate array:
+    ``4/n`` (even n) or ``4n/(n^2-1)`` (odd n)."""
+    check_side(n, "n")
+    if n % 2 == 0:
+        return 4.0 / n
+    return 4.0 * n / (n * n - 1.0)
+
+
+def optimal_capacity(n: int) -> float:
+    """Largest admissible per-node rate with an optimally allocated budget
+    ``D = 4n(n-1)``, unit costs: ``6/(n+1)``.
+
+    Derivation: ``D_star = 4n(n-1) - sum_e lam_e`` and the sum of edge
+    rates equals ``n-bar * lam * n^2`` (each packet contributes one arrival
+    per edge crossed), so ``D_star > 0`` iff ``lam < 6/(n+1)``.
+    """
+    check_side(n, "n")
+    return 6.0 / (n + 1.0)
+
+
+def discrete_service_rates(
+    lams,
+    costs,
+    budget: float,
+    choices,
+) -> np.ndarray:
+    """Greedy rounding of Theorem 15 onto a finite rate menu (Section 5.1's
+    closing remark: "one might instead wish to choose transmission rates
+    from a finite set of possibilities ... it can provide a suitable first
+    approximation").
+
+    Strategy: start every queue at the smallest menu rate above its arrival
+    rate (infeasible if none exists); then, while budget remains, repeatedly
+    grant the upgrade with the best marginal decrease in Jackson mean number
+    per unit cost. Heuristic, not optimal — mirrors the paper's framing.
+
+    Parameters
+    ----------
+    choices:
+        Sorted iterable of available service rates.
+
+    Returns
+    -------
+    np.ndarray
+        A feasible menu allocation with ``sum_j d_j phi_j <= budget``.
+    """
+    lam, d = _validated(lams, costs)
+    menu = np.asarray(sorted(set(float(c) for c in choices)), dtype=float)
+    if menu.size == 0 or np.any(menu <= 0):
+        raise ValueError("choices must be a non-empty set of positive rates")
+    # Minimal feasible assignment.
+    idx = np.searchsorted(menu, lam, side="right")
+    if np.any(idx >= menu.size):
+        raise ValueError(
+            "no menu rate strictly exceeds the largest arrival rate; "
+            "the network cannot be stabilised from these choices"
+        )
+    phi = menu[idx]
+    spend = float(np.sum(d * phi))
+    if spend > budget:
+        raise ValueError(
+            f"minimal feasible menu assignment costs {spend} > budget {budget}"
+        )
+    # Greedy upgrades by marginal benefit per cost.
+    while True:
+        best_gain, best_j = 0.0, -1
+        for j in range(lam.size):
+            k = int(np.searchsorted(menu, phi[j], side="right"))
+            if k >= menu.size:
+                continue
+            upgrade_cost = d[j] * (menu[k] - phi[j])
+            if spend + upgrade_cost > budget or upgrade_cost <= 0:
+                continue
+            now = lam[j] / (phi[j] - lam[j]) if lam[j] > 0 else 0.0
+            then = lam[j] / (menu[k] - lam[j]) if lam[j] > 0 else 0.0
+            gain = (now - then) / upgrade_cost
+            if gain > best_gain:
+                best_gain, best_j = gain, j
+        if best_j < 0:
+            break
+        k = int(np.searchsorted(menu, phi[best_j], side="right"))
+        spend += d[best_j] * (menu[k] - phi[best_j])
+        phi[best_j] = menu[k]
+    return phi

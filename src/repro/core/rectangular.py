@@ -1,0 +1,122 @@
+"""Rectangular arrays ("rectangular arrays are easily handled similarly",
+Section 2.1).
+
+The Theorem 6 counting argument separates cleanly by axis on an
+``r x c`` mesh under row-first greedy routing:
+
+* a right edge out of (1-based) column ``j`` carries ``lam * j(c-j)/c``;
+  a down edge out of row ``i`` carries ``lam * i(r-i)/r`` (and mirrored
+  for left/up) — :func:`repro.core.rates.array_edge_rates` already builds
+  this map for :class:`~repro.topology.ArrayMesh` of any shape;
+* mean distance splits into per-axis terms,
+  ``n-bar(r, c) = (r^2-1)/(3r) + (c^2-1)/(3c)``;
+* the bottleneck is the longer axis: capacity ``4/c`` for even ``c >= r``
+  (odd sides get the usual ``(c^2-1)/c`` correction), so stretching one
+  side of a mesh *lowers* the admissible per-node rate even though it adds
+  links — a useful design fact the square-array formulas hide;
+* the Theorem 7 upper bound becomes a two-axis sum.
+
+Everything is cross-checked against the generic enumeration machinery in
+the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_side
+
+
+def rect_mean_distance(rows: int, cols: int) -> float:
+    """Mean greedy route length on an ``rows x cols`` mesh
+    (self-destinations included): per-axis ``(m^2-1)/(3m)`` summed."""
+    check_side(rows, "rows")
+    check_side(cols, "cols")
+    return (rows * rows - 1) / (3.0 * rows) + (cols * cols - 1) / (3.0 * cols)
+
+
+def _axis_bottleneck(m: int) -> float:
+    """max_i i(m-i)/m — the peak per-axis boundary coefficient."""
+    if m % 2 == 0:
+        return m / 4.0
+    return (m * m - 1.0) / (4.0 * m)
+
+
+def rect_capacity(rows: int, cols: int) -> float:
+    """Largest admissible per-node rate of the rectangular mesh.
+
+    The horizontal bottleneck carries ``lam * max_j j(c-j)/c`` and the
+    vertical one ``lam * max_i i(r-i)/r``; the *longer* axis saturates
+    first. For even sides this is ``4/max(rows, cols)``.
+    """
+    check_side(rows, "rows")
+    check_side(cols, "cols")
+    return 1.0 / max(_axis_bottleneck(rows), _axis_bottleneck(cols))
+
+
+def rect_lambda_for_load(rows: int, cols: int, rho: float) -> float:
+    """Per-node rate achieving network load rho."""
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"rho must lie in [0, 1), got {rho}")
+    return rho * rect_capacity(rows, cols)
+
+
+def rect_delay_upper_bound(rows: int, cols: int, lam: float) -> float:
+    """Theorem 7 on the rectangle: two per-axis sums.
+
+    ``T <= [ 2 rows sum_j mm1(lam j(c-j)/c) + 2 cols sum_i mm1(lam i(r-i)/r) ]
+    / (lam rows cols)`` with ``mm1(x) = x/(1-x)``.
+    """
+    check_side(rows, "rows")
+    check_side(cols, "cols")
+    check_positive(lam, "lam")
+    j = np.arange(1, cols)
+    i = np.arange(1, rows)
+    horiz = lam * j * (cols - j) / cols
+    vert = lam * i * (rows - i) / rows
+    peak = max(horiz.max(initial=0.0), vert.max(initial=0.0))
+    if peak >= 1.0:
+        raise ValueError(f"unstable mesh: bottleneck rate {peak:.6f} >= 1")
+    total = 2.0 * rows * float(np.sum(horiz / (1.0 - horiz)))
+    total += 2.0 * cols * float(np.sum(vert / (1.0 - vert)))
+    return total / (lam * rows * cols)
+
+
+def rect_md1_estimate(rows: int, cols: int, lam: float) -> float:
+    """Section 4.2's independence estimate on the rectangle (P-K variant)."""
+    check_side(rows, "rows")
+    check_side(cols, "cols")
+    check_positive(lam, "lam")
+    j = np.arange(1, cols)
+    i = np.arange(1, rows)
+    horiz = lam * j * (cols - j) / cols
+    vert = lam * i * (rows - i) / rows
+    peak = max(horiz.max(initial=0.0), vert.max(initial=0.0))
+    if peak >= 1.0:
+        raise ValueError(f"unstable mesh: bottleneck rate {peak:.6f} >= 1")
+
+    def md1(x: np.ndarray) -> float:
+        return float(np.sum(x + x**2 / (2.0 * (1.0 - x))))
+
+    total = 2.0 * rows * md1(horiz) + 2.0 * cols * md1(vert)
+    return total / (lam * rows * cols)
+
+
+def squarest_shape(num_nodes: int) -> tuple[int, int]:
+    """The factorisation of ``num_nodes`` closest to square.
+
+    A design helper: among rectangles of equal node count, the squarest
+    has the highest capacity (:func:`rect_capacity` is ``4/max(r, c)``) and
+    the lowest mean distance — quantifying why meshes are built square.
+    """
+    if num_nodes < 4:
+        raise ValueError("need at least 4 nodes for a 2x2 mesh")
+    best: tuple[int, int] | None = None
+    for r in range(2, int(np.sqrt(num_nodes)) + 1):
+        if num_nodes % r == 0 and num_nodes // r >= 2:
+            best = (r, num_nodes // r)
+    if best is None:
+        raise ValueError(
+            f"{num_nodes} has no factorisation with both sides >= 2"
+        )
+    return best

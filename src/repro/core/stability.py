@@ -1,0 +1,65 @@
+"""Stability predicates (Section 2.1 and the Section 5.1 corollary).
+
+A queueing network is stable when every edge load ``lam_e/phi_e`` stays
+below 1 — the paper assumes this throughout and notes the Theorem 7 upper
+bound itself certifies stability for ``rho < 1``. This module gives the
+predicate for arbitrary rate maps plus the array's closed-form capacities
+under both the standard and the optimally-configured allocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimization import optimal_capacity, standard_capacity
+from repro.util.validation import check_positive, check_side
+
+
+def is_stable(edge_rates, service_rates=1.0, *, margin: float = 0.0) -> bool:
+    """True iff every queue satisfies ``lam_e/phi_e < 1 - margin``."""
+    lam = np.asarray(edge_rates, dtype=float)
+    phi = (
+        np.full_like(lam, float(service_rates))
+        if np.isscalar(service_rates)
+        else np.asarray(service_rates, dtype=float)
+    )
+    if phi.shape != lam.shape:
+        raise ValueError("service_rates must broadcast to edge_rates")
+    if np.any(phi <= 0):
+        raise ValueError("service rates must be positive")
+    if not 0.0 <= margin < 1.0:
+        raise ValueError(f"margin must lie in [0, 1), got {margin}")
+    return bool(np.all(lam / phi < 1.0 - margin))
+
+
+def capacity(n: int, *, configured: str = "standard") -> float:
+    """Largest admissible per-node rate of the n-by-n array.
+
+    Parameters
+    ----------
+    configured:
+        ``"standard"`` — unit-rate edges: ``4/n`` even / ``4n/(n^2-1)``
+        odd. ``"optimal"`` — budget ``D = 4n(n-1)`` optimally allocated:
+        ``6/(n+1)`` (Section 5.1).
+    """
+    check_side(n, "n")
+    if configured == "standard":
+        return standard_capacity(n)
+    if configured == "optimal":
+        return optimal_capacity(n)
+    raise ValueError(
+        f"unknown configuration {configured!r}; use 'standard' or 'optimal'"
+    )
+
+
+def capacity_gain(n: int) -> float:
+    """Ratio of optimal to standard capacity: how much more traffic an
+    optimally configured array admits — ``(3/2) n/(n+1)`` for even n."""
+    return capacity(n, configured="optimal") / capacity(n, configured="standard")
+
+
+def stability_margin(n: int, lam: float, *, configured: str = "standard") -> float:
+    """``1 - lam/capacity``: fraction of headroom left at rate ``lam``
+    (negative when the network is overloaded)."""
+    check_positive(lam, "lam", strict=False)
+    return 1.0 - lam / capacity(n, configured=configured)

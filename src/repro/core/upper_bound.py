@@ -1,0 +1,87 @@
+"""The PS / Jackson upper bound (Theorems 5 and 7).
+
+Theorem 5: for the layered, Markovian array network, the FIFO unit-service
+system is stochastically dominated (in total number of packets, hence by
+Little's Law in mean delay) by the same network with Processor-Sharing
+servers, whose equilibrium is product-form and identical to the Jackson
+(exponential-service) model. Theorem 7 instantiates this with the Theorem 6
+rates:
+
+    T  <=  (1/(lam n^2)) sum_e lam_e / (1 - lam_e)
+        =  (4/(lam n)) sum_{i=1}^{n-1} 1 / ( n/(lam i (n-i)) - 1 ).
+
+:func:`delay_upper_bound` evaluates the closed form; the generic variants
+accept any rate map (any topology / service-rate assignment) so the same
+theorem powers the Section 5.1 variable-rate analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queueing.productform import ProductFormNetwork
+from repro.util.validation import check_positive, check_side
+
+
+def number_upper_bound(n: int, lam: float) -> float:
+    """Upper bound on the mean number of packets in the n-by-n array.
+
+    The product-form total ``sum_e lam_e/(1 - lam_e)`` with Theorem 6
+    rates: four direction blocks, each containing ``n`` edges at rate
+    ``(lam/n) i (n-i)`` for every ``i`` in ``1..n-1``.
+    """
+    check_side(n, "n")
+    check_positive(lam, "lam", strict=False)
+    if lam == 0.0:
+        return 0.0
+    i = np.arange(1, n)
+    lam_e = (lam / n) * i * (n - i)
+    if lam_e.max() >= 1.0:
+        raise ValueError(
+            f"unstable array: bottleneck edge rate {lam_e.max():.6f} >= 1"
+        )
+    return float(4.0 * n * np.sum(lam_e / (1.0 - lam_e)))
+
+
+def delay_upper_bound(n: int, lam: float) -> float:
+    """Theorem 7: upper bound on the average delay of the n-by-n array.
+
+    Parameters
+    ----------
+    n:
+        Array side.
+    lam:
+        Per-node generation rate, with ``max_edge_rate(n, lam) < 1``.
+
+    Returns
+    -------
+    float
+        ``(1/(lam n^2)) sum_e lam_e/(1 - lam_e)``.
+    """
+    check_positive(lam, "lam")
+    return number_upper_bound(n, lam) / (lam * n * n)
+
+
+def number_upper_bound_generic(
+    edge_rates: np.ndarray,
+    service_rates: np.ndarray | float = 1.0,
+) -> float:
+    """Product-form mean-number bound for an arbitrary rate map.
+
+    Valid as an upper bound whenever the network satisfies Theorem 1's
+    hypotheses (layered, Markovian routing, Poisson externals) — the array,
+    hypercube and butterfly under greedy routing all qualify; the torus
+    does not (see :func:`repro.core.layering.find_layering_obstruction`).
+    """
+    return ProductFormNetwork.from_rates(edge_rates, service_rates).mean_number()
+
+
+def delay_upper_bound_generic(
+    edge_rates: np.ndarray,
+    total_external_rate: float,
+    service_rates: np.ndarray | float = 1.0,
+) -> float:
+    """Product-form mean-delay bound for an arbitrary rate map."""
+    return ProductFormNetwork.from_rates(edge_rates, service_rates).mean_delay(
+        total_external_rate
+    )

@@ -1,0 +1,74 @@
+"""Experiment sizing presets.
+
+The paper's tables are point estimates from "a small set of simulations"
+with unreported horizons; we size runs by the relaxation time of the
+bottleneck queue, which grows like ``1/(1-rho)^2`` near capacity, and
+expose two presets:
+
+* ``QUICK`` — minutes on a laptop; enough for every *shape* assertion the
+  benchmarks make (who wins, rough factors, parity splits);
+* ``FULL`` — paper-scale statistics for EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Sizing for the (n, rho) simulation grid behind Tables I-III.
+
+    Attributes
+    ----------
+    ns, rhos:
+        The grid (paper: n in {5,10,15,20}, rho in {.2,.5,.8,.9,.95,.99}).
+    base_warmup, base_horizon:
+        Window sizes at light load; both are scaled by the congestion
+        factor ``min(1/(1-rho), cap)`` so heavy-load cells warm up longer.
+    congestion_cap:
+        Upper cap on the congestion scaling factor.
+    seed:
+        Base seed; each cell derives its own (stable across runs).
+    convention:
+        Load convention for ``lambda_for_load`` (Table I used "table1").
+    """
+
+    ns: tuple[int, ...] = (5, 10, 15, 20)
+    rhos: tuple[float, ...] = (0.2, 0.5, 0.8, 0.9, 0.95, 0.99)
+    base_warmup: float = 300.0
+    base_horizon: float = 3000.0
+    congestion_cap: float = 40.0
+    seed: int = 20260612
+    convention: str = "table1"
+
+    def warmup_for(self, rho: float) -> float:
+        """Warmup scaled by congestion (longer transients near capacity)."""
+        return self.base_warmup * min(1.0 / (1.0 - rho), self.congestion_cap)
+
+    def horizon_for(self, rho: float) -> float:
+        """Measurement horizon scaled by congestion."""
+        return self.base_horizon * min(1.0 / (1.0 - rho), self.congestion_cap)
+
+    def cell_seed(self, n: int, rho: float) -> int:
+        """Deterministic per-cell seed."""
+        return (self.seed * 1_000_003 + n * 1009 + int(round(rho * 1000))) % 2**31
+
+
+#: Benchmark-friendly preset: small grid, short windows.
+QUICK = GridConfig(
+    ns=(5, 10),
+    rhos=(0.2, 0.5, 0.8, 0.9),
+    base_warmup=100.0,
+    base_horizon=800.0,
+    congestion_cap=8.0,
+)
+
+#: Paper-scale preset (use with multiprocessing; minutes to ~an hour).
+FULL = GridConfig(
+    ns=(5, 10, 15, 20),
+    rhos=(0.2, 0.5, 0.8, 0.9, 0.95, 0.99),
+    base_warmup=500.0,
+    base_horizon=5000.0,
+    congestion_cap=60.0,
+)

@@ -1,0 +1,36 @@
+"""Little's Law: ``N = T * lambda`` (paper Section 2.2, citing Little 1961).
+
+Used in two directions throughout the library: the bounds convert mean
+number in system to mean delay, and the simulator cross-checks its two
+independent delay estimators (time-averaged N over throughput vs directly
+averaged per-packet delay) against each other.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def littles_law_number(delay: float, rate: float) -> float:
+    """Mean number in system from mean delay and total arrival rate."""
+    check_positive(rate, "rate")
+    check_positive(delay, "delay", strict=False)
+    return delay * rate
+
+
+def littles_law_time(number: float, rate: float) -> float:
+    """Mean delay from mean number in system and total arrival rate."""
+    check_positive(rate, "rate")
+    check_positive(number, "number", strict=False)
+    return number / rate
+
+
+def littles_law_residual(number: float, delay: float, rate: float) -> float:
+    """Relative inconsistency ``|N - T*lam| / max(N, 1)`` of a triple.
+
+    Zero for an exactly consistent triple; the simulator asserts this stays
+    small in equilibrium (it is not exactly zero over a finite horizon
+    because of edge effects at the measurement boundaries).
+    """
+    check_positive(rate, "rate")
+    return abs(number - delay * rate) / max(abs(number), 1.0)

@@ -1,0 +1,114 @@
+"""M/G/1 queue via the Pollaczek-Khinchin mean-value formula.
+
+The paper's Section 4.2 uses exactly this machinery: "Let lambda_d be the
+arrival rate at an M/D/1 queue, N_d be the expected number of packets in
+the queue in equilibrium, and S be the random variable representing the
+service time for a packet. Then we have (for a stable system)
+
+    N_d = E[S] lambda_d + lambda_d^2 E[S^2] / (2 (1 - lambda_d E[S])).
+
+Everything else here (wait, delay, queue length) follows from Little's Law
+applied to the same formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+def pollaczek_khinchin_number(lam: float, es: float, es2: float) -> float:
+    """Mean number in an M/G/1 system (P-K mean-value formula).
+
+    Parameters
+    ----------
+    lam:
+        Poisson arrival rate.
+    es:
+        Mean service time ``E[S]``.
+    es2:
+        Second moment ``E[S^2]`` (so ``Var[S] = es2 - es**2``).
+
+    Returns
+    -------
+    float
+        ``N = lam*E[S] + lam^2 E[S^2] / (2(1 - lam E[S]))``.
+
+    Raises
+    ------
+    ValueError
+        If the queue is unstable (``lam * es >= 1``) or moments are
+        inconsistent (``es2 < es**2``).
+    """
+    lam = check_positive(lam, "lam", strict=False)
+    es = check_positive(es, "es")
+    es2 = check_positive(es2, "es2", strict=False)
+    if es2 < es * es * (1 - 1e-12):
+        raise ValueError(f"E[S^2]={es2} < E[S]^2={es * es}: impossible moments")
+    rho = lam * es
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: load lam*E[S] = {rho} >= 1")
+    return rho + lam * lam * es2 / (2.0 * (1.0 - rho))
+
+
+def pollaczek_khinchin_wait(lam: float, es: float, es2: float) -> float:
+    """Mean time waiting in queue (excluding service) for an M/G/1 queue.
+
+    ``W = lam E[S^2] / (2 (1 - lam E[S]))`` — the P-K wait formula.
+    """
+    lam = check_positive(lam, "lam", strict=False)
+    es = check_positive(es, "es")
+    rho = lam * es
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: load lam*E[S] = {rho} >= 1")
+    return lam * es2 / (2.0 * (1.0 - rho))
+
+
+@dataclass(frozen=True)
+class MG1Queue:
+    """An M/G/1 queue described by its arrival rate and service moments.
+
+    Attributes
+    ----------
+    lam:
+        Poisson arrival rate.
+    es, es2:
+        First and second moments of the service time.
+    """
+
+    lam: float
+    es: float
+    es2: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.lam, "lam", strict=False)
+        check_positive(self.es, "es")
+        if self.es2 < self.es**2 * (1 - 1e-12):
+            raise ValueError("E[S^2] < E[S]^2: impossible moments")
+
+    @property
+    def load(self) -> float:
+        """Utilisation ``rho = lam * E[S]``."""
+        return self.lam * self.es
+
+    @property
+    def stable(self) -> bool:
+        """True iff ``rho < 1``."""
+        return self.load < 1.0
+
+    def mean_number(self) -> float:
+        """Mean number in system (P-K)."""
+        return pollaczek_khinchin_number(self.lam, self.es, self.es2)
+
+    def mean_wait(self) -> float:
+        """Mean wait in queue, excluding service (P-K)."""
+        return pollaczek_khinchin_wait(self.lam, self.es, self.es2)
+
+    def mean_delay(self) -> float:
+        """Mean time in system: wait plus service."""
+        return self.mean_wait() + self.es
+
+    def mean_queue_length(self) -> float:
+        """Mean number waiting (excluding any packet in service)."""
+        return self.lam * self.mean_wait()

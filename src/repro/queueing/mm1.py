@@ -1,0 +1,85 @@
+"""The M/M/1 queue (exponential service) — the Jackson-model building block.
+
+Under the PS/Jackson equilibrium (paper Section 2.2) each edge of the
+network behaves like an independent M/M/1 queue whose number-in-system is
+geometric with mean ``lam_e / (phi_e - lam_e)``; this module provides that
+queue's closed-form quantities, including the full equilibrium pmf used by
+the dominance tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queueing.mg1 import pollaczek_khinchin_number
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """An M/M/1 queue with arrival rate ``lam`` and service rate ``phi``.
+
+    Attributes
+    ----------
+    lam:
+        Poisson arrival rate.
+    phi:
+        Service rate (mean service time ``1/phi``); the paper's unit-rate
+        edges have ``phi = 1``.
+    """
+
+    lam: float
+    phi: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.lam, "lam", strict=False)
+        check_positive(self.phi, "phi")
+
+    @property
+    def load(self) -> float:
+        """Utilisation ``rho = lam / phi``."""
+        return self.lam / self.phi
+
+    @property
+    def stable(self) -> bool:
+        """True iff ``rho < 1``."""
+        return self.load < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.stable:
+            raise ValueError(f"unstable M/M/1 queue: rho = {self.load} >= 1")
+
+    def mean_number(self) -> float:
+        """Mean number in system: ``rho / (1 - rho) = lam / (phi - lam)``."""
+        self._require_stable()
+        return self.lam / (self.phi - self.lam)
+
+    def mean_delay(self) -> float:
+        """Mean time in system: ``1 / (phi - lam)``."""
+        self._require_stable()
+        return 1.0 / (self.phi - self.lam)
+
+    def mean_wait(self) -> float:
+        """Mean wait in queue (excluding service)."""
+        return self.mean_delay() - 1.0 / self.phi
+
+    def mean_queue_length(self) -> float:
+        """Mean number waiting (excluding in service): ``rho^2/(1-rho)``."""
+        self._require_stable()
+        rho = self.load
+        return rho * rho / (1.0 - rho)
+
+    def number_pmf(self, kmax: int) -> np.ndarray:
+        """Equilibrium P(N = k) for k = 0..kmax: geometric ``(1-rho) rho^k``."""
+        self._require_stable()
+        rho = self.load
+        return (1.0 - rho) * rho ** np.arange(kmax + 1)
+
+    def matches_pollaczek_khinchin(self) -> bool:
+        """Sanity identity: the P-K formula with exponential moments
+        (``E[S]=1/phi``, ``E[S^2]=2/phi^2``) reproduces ``rho/(1-rho)``."""
+        self._require_stable()
+        pk = pollaczek_khinchin_number(self.lam, 1.0 / self.phi, 2.0 / self.phi**2)
+        return bool(np.isclose(pk, self.mean_number()))

@@ -1,0 +1,108 @@
+"""Product-form (PS / Jackson) network equilibrium.
+
+Paper Section 2.2: "under the PS discipline the network becomes a
+product-form network ... the number of packets at each queue has a
+geometric distribution with mean ``lam_e / (phi_e - lam_e)``", and Section
+3.3 identifies this with the Jackson open-network equilibrium. Given the
+per-edge arrival rates (from :mod:`repro.core.rates`) and service rates,
+this module computes the equilibrium mean number in system and — via
+Little's Law — the Theorem 5/7 delay upper bound for any topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queueing.littleslaw import littles_law_time
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ProductFormNetwork:
+    """A product-form network: per-queue Poisson-like rates and servers.
+
+    Attributes
+    ----------
+    arrival_rates:
+        Per-queue total arrival rate ``lam_e`` (length = number of queues).
+    service_rates:
+        Per-queue service rate ``phi_e``; scalar 1.0 broadcasts to all
+        queues (the paper's standard unit-capacity edges).
+    """
+
+    arrival_rates: np.ndarray
+    service_rates: np.ndarray
+
+    @staticmethod
+    def from_rates(
+        arrival_rates: np.ndarray,
+        service_rates: np.ndarray | float = 1.0,
+    ) -> "ProductFormNetwork":
+        """Build a network, broadcasting a scalar service rate."""
+        lam = np.asarray(arrival_rates, dtype=float)
+        if lam.ndim != 1:
+            raise ValueError(f"arrival_rates must be 1-D, got shape {lam.shape}")
+        if np.any(lam < 0):
+            raise ValueError("arrival rates must be non-negative")
+        if np.isscalar(service_rates):
+            phi = np.full_like(lam, float(service_rates))
+        else:
+            phi = np.asarray(service_rates, dtype=float)
+            if phi.shape != lam.shape:
+                raise ValueError(
+                    f"service_rates shape {phi.shape} != arrival_rates shape {lam.shape}"
+                )
+        if np.any(phi <= 0):
+            raise ValueError("service rates must be positive")
+        return ProductFormNetwork(lam, phi)
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-queue utilisation ``rho_e = lam_e / phi_e``."""
+        return self.arrival_rates / self.service_rates
+
+    @property
+    def network_load(self) -> float:
+        """The paper's ``rho = max_e lam_e / phi_e``."""
+        return float(self.loads.max()) if self.loads.size else 0.0
+
+    @property
+    def stable(self) -> bool:
+        """True iff every queue has ``rho_e < 1``."""
+        return self.network_load < 1.0
+
+    def _require_stable(self) -> None:
+        if not self.stable:
+            raise ValueError(
+                f"unstable network: max load {self.network_load} >= 1"
+            )
+
+    def mean_number_per_queue(self) -> np.ndarray:
+        """Equilibrium mean number at each queue: ``lam_e/(phi_e - lam_e)``."""
+        self._require_stable()
+        return self.arrival_rates / (self.service_rates - self.arrival_rates)
+
+    def mean_number(self) -> float:
+        """Equilibrium mean total number in the network."""
+        return float(self.mean_number_per_queue().sum())
+
+    def mean_delay(self, total_external_rate: float) -> float:
+        """Mean time in system by Little's Law over the whole network.
+
+        Parameters
+        ----------
+        total_external_rate:
+            The overall packet generation rate (``lam * n^2`` on the array);
+            this is the denominator of Little's Law, not the sum of the
+            per-edge rates (packets traverse several edges).
+        """
+        check_positive(total_external_rate, "total_external_rate")
+        return littles_law_time(self.mean_number(), total_external_rate)
+
+    def queue_pmf(self, e: int, kmax: int) -> np.ndarray:
+        """Geometric equilibrium pmf of queue ``e`` for k = 0..kmax."""
+        self._require_stable()
+        rho = float(self.loads[e])
+        return (1.0 - rho) * rho ** np.arange(kmax + 1)

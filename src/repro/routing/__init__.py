@@ -1,0 +1,42 @@
+"""Routing schemes and destination distributions.
+
+A :class:`~repro.routing.base.Router` turns a ``(source, destination)``
+pair into a sequence of edge ids; a
+:class:`~repro.routing.destinations.DestinationDistribution` says how a
+packet born at a source picks its destination. The two are independent
+axes: the paper's standard model is :class:`GreedyArrayRouter` (row first,
+then column) with :class:`UniformDestinations`, and every extension swaps
+exactly one of the two.
+"""
+
+from repro.routing.base import Router, TabulatedRouter
+from repro.routing.greedy import GreedyArrayRouter, GreedyKDRouter
+from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
+from repro.routing.torus_greedy import GreedyTorusRouter
+from repro.routing.hypercube_greedy import GreedyHypercubeRouter
+from repro.routing.butterfly_routing import ButterflyRouter
+from repro.routing.destinations import (
+    DestinationDistribution,
+    UniformDestinations,
+    MatrixDestinations,
+    PBiasedHypercubeDestinations,
+    GeometricStopDestinations,
+)
+from repro.routing.markov_chain import LineStopChain
+
+__all__ = [
+    "Router",
+    "TabulatedRouter",
+    "GreedyArrayRouter",
+    "GreedyKDRouter",
+    "RandomizedGreedyArrayRouter",
+    "GreedyTorusRouter",
+    "GreedyHypercubeRouter",
+    "ButterflyRouter",
+    "DestinationDistribution",
+    "UniformDestinations",
+    "MatrixDestinations",
+    "PBiasedHypercubeDestinations",
+    "GeometricStopDestinations",
+    "LineStopChain",
+]

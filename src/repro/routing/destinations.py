@@ -1,0 +1,192 @@
+"""Destination distributions.
+
+Every distribution exposes two views of the same law:
+
+* :meth:`~DestinationDistribution.sample` — draw one destination for a
+  packet born at ``src`` (used by the simulator);
+* :meth:`~DestinationDistribution.pmf` — the exact probability vector over
+  all nodes (used by the analytic traffic solver and by tests, which check
+  the two views agree).
+
+The paper's standard model is :class:`UniformDestinations`; Section 4.5
+uses :class:`PBiasedHypercubeDestinations`, and Section 5.2's
+"more likely to travel to nearby destinations" law is
+:class:`GeometricStopDestinations`, built from the Lemma 3 stopping chain.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.routing.markov_chain import LineStopChain
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.hypercube import Hypercube
+from repro.util.validation import check_probability
+
+
+@runtime_checkable
+class DestinationDistribution(Protocol):
+    """Protocol: a per-source law over destination nodes."""
+
+    num_nodes: int
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        """Draw a destination for a packet generated at ``src``."""
+        ...
+
+    def pmf(self, src: int) -> np.ndarray:
+        """Exact destination probabilities (length ``num_nodes``) from ``src``."""
+        ...
+
+
+class UniformDestinations:
+    """Uniform over all nodes, destination may equal the source (the paper's
+    convention: "we allow a packet's destination to be the same as its
+    starting point")."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.num_nodes))
+
+    def pmf(self, src: int) -> np.ndarray:
+        return np.full(self.num_nodes, 1.0 / self.num_nodes)
+
+
+class MatrixDestinations:
+    """An arbitrary row-stochastic destination matrix ``P[src, dst]``.
+
+    Used for hand-crafted non-uniform laws in tests and for freezing any
+    other distribution into explicit form.
+    """
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        p = np.asarray(matrix, dtype=float)
+        if p.ndim != 2 or p.shape[0] != p.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {p.shape}")
+        if np.any(p < 0):
+            raise ValueError("matrix entries must be non-negative")
+        rowsums = p.sum(axis=1)
+        if not np.allclose(rowsums, 1.0, atol=1e-9):
+            raise ValueError("every row must sum to 1")
+        self._p = p / rowsums[:, None]  # exact renormalisation
+        self.num_nodes = p.shape[0]
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        return int(rng.choice(self.num_nodes, p=self._p[src]))
+
+    def pmf(self, src: int) -> np.ndarray:
+        return self._p[src].copy()
+
+
+class PBiasedHypercubeDestinations:
+    """Section 4.5's product-form law on the hypercube.
+
+    A node at Hamming distance ``k`` from the source is the destination
+    with probability ``p^k (1-p)^(d-k)``; equivalently, each bit of the
+    destination differs from the source independently with probability
+    ``p``. ``p = 1/2`` recovers the uniform distribution.
+    """
+
+    def __init__(self, cube: Hypercube, p: float) -> None:
+        self.cube = cube
+        self.p = check_probability(p, "p")
+        self.num_nodes = cube.num_nodes
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        flips = rng.random(self.cube.d) < self.p
+        dst = int(src)
+        for k in range(self.cube.d):
+            if flips[k]:
+                dst ^= 1 << k
+        return dst
+
+    def pmf(self, src: int) -> np.ndarray:
+        d, p = self.cube.d, self.p
+        out = np.empty(self.num_nodes)
+        for dst in range(self.num_nodes):
+            k = self.cube.hamming_distance(src, dst)
+            out[dst] = (p**k) * ((1.0 - p) ** (d - k))
+        return out
+
+
+class GeometricStopDestinations:
+    """Section 5.2's distance-biased law on the array mesh.
+
+    Per dimension, the packet picks a direction (uniformly among those
+    available at its coordinate) and then "stops movement in that direction
+    at each point with probability ``stop``, except at the edge of the
+    array (where the packet must stop)" — i.e. the per-dimension offset is
+    geometric with parameter ``stop``, truncated at the border. The two
+    dimensions are independent. Smaller ``stop`` spreads packets further;
+    the paper's example uses ``stop = 1/2``.
+
+    The law is Markovian in the edge sense required by Theorem 1: the
+    stopping decision depends only on the current node and the direction
+    of travel (i.e. the arc just traversed).
+    """
+
+    def __init__(self, mesh: ArrayMesh, stop: float = 0.5) -> None:
+        self.mesh = mesh
+        self.stop = check_probability(stop, "stop", open_interval=True)
+        self.num_nodes = mesh.num_nodes
+
+    def _axis_pmf(self, coord: int, size: int) -> np.ndarray:
+        """Exact offset law along one axis from coordinate ``coord``."""
+        s = self.stop
+        pmf = np.zeros(size)
+        pmf[coord] = s  # stop immediately at the starting point
+        moving = 1.0 - s
+        directions = [d for d in (-1, +1) if 0 <= coord + d < size]
+        if not directions:  # size == 1: must stop in place
+            pmf[coord] = 1.0
+            return pmf
+        share = moving / len(directions)
+        for d in directions:
+            mass = share
+            j = coord + d
+            while True:
+                at_border = not (0 <= j + d < size)
+                stop_p = 1.0 if at_border else s
+                pmf[j] += mass * stop_p
+                mass *= 1.0 - stop_p
+                if at_border or mass == 0.0:
+                    break
+                j += d
+        return pmf
+
+    def _axis_sample(self, coord: int, size: int, rng: np.random.Generator) -> int:
+        """Draw an offset destination along one axis (runs the chain)."""
+        s = self.stop
+        if rng.random() < s:
+            return coord
+        directions = [d for d in (-1, +1) if 0 <= coord + d < size]
+        if not directions:
+            return coord
+        d = directions[int(rng.integers(len(directions)))]
+        j = coord + d
+        while 0 <= j + d < size and rng.random() >= s:
+            j += d
+        return j
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        i, j = self.mesh.node_coords(src)
+        i2 = self._axis_sample(i, self.mesh.rows, rng)
+        j2 = self._axis_sample(j, self.mesh.cols, rng)
+        return self.mesh.node_id(i2, j2)
+
+    def pmf(self, src: int) -> np.ndarray:
+        i, j = self.mesh.node_coords(src)
+        row_pmf = self._axis_pmf(i, self.mesh.rows)
+        col_pmf = self._axis_pmf(j, self.mesh.cols)
+        return np.outer(row_pmf, col_pmf).reshape(-1)
+
+
+def uniform_for(topology) -> UniformDestinations:
+    """Uniform destinations sized for ``topology`` (convenience factory)."""
+    return UniformDestinations(topology.num_nodes)

@@ -1,0 +1,122 @@
+"""Lemma 3: a Markov chain realising uniform destinations on a line.
+
+The paper proves greedy routing with uniform destinations is Markovian by
+exhibiting a chain that walks a packet along a linear array of ``n``
+elements and stops it uniformly at every position: entering at node ``k``
+(0-based here; the paper is 1-based),
+
+* it stays put with probability ``1/n``,
+* otherwise moves left with probability ``k/n`` or right with probability
+  ``(n-1-k)/n``;
+* while moving left, after each move it stops at node ``j`` with
+  probability ``1/(j+1)``; while moving right, it stops at node ``j`` with
+  probability ``1/(n-j)``.
+
+A telescoping product shows every node is reached with probability exactly
+``1/n`` (Lemma 3); :meth:`LineStopChain.destination_pmf` computes the
+distribution exactly so the tests can verify it, and :meth:`sample` draws
+from the chain so the simulator can route with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_side
+
+#: Movement states of the chain.
+STOPPED, MOVING_LEFT, MOVING_RIGHT = "stopped", "left", "right"
+
+
+class LineStopChain:
+    """The Lemma 3 stopping chain on a line of ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of positions on the line (at least 2).
+
+    Examples
+    --------
+    >>> chain = LineStopChain(4)
+    >>> chain.destination_pmf(2)
+    array([0.25, 0.25, 0.25, 0.25])
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = check_side(n, "n")
+
+    # ------------------------------------------------------------------
+    # Chain primitives
+    # ------------------------------------------------------------------
+    def initial_distribution(self, k: int) -> dict[str, float]:
+        """P(stay), P(start moving left), P(start moving right) from ``k``."""
+        n = self.n
+        if not 0 <= k < n:
+            raise ValueError(f"entry node {k} outside 0..{n - 1}")
+        return {
+            STOPPED: 1.0 / n,
+            MOVING_LEFT: k / n,
+            MOVING_RIGHT: (n - 1 - k) / n,
+        }
+
+    def stop_probability(self, j: int, direction: str) -> float:
+        """Probability of stopping at node ``j`` when arriving in ``direction``."""
+        n = self.n
+        if not 0 <= j < n:
+            raise ValueError(f"node {j} outside 0..{n - 1}")
+        if direction == MOVING_LEFT:
+            return 1.0 / (j + 1)  # forced stop at j == 0
+        if direction == MOVING_RIGHT:
+            return 1.0 / (n - j)  # forced stop at j == n-1
+        raise ValueError(f"direction must be left/right, got {direction!r}")
+
+    # ------------------------------------------------------------------
+    # Exact distribution and sampling
+    # ------------------------------------------------------------------
+    def destination_pmf(self, k: int) -> np.ndarray:
+        """Exact stopping distribution from entry node ``k`` (uniform, Lemma 3)."""
+        n = self.n
+        pmf = np.zeros(n)
+        init = self.initial_distribution(k)
+        pmf[k] += init[STOPPED]
+        # Leftward sweep.
+        mass = init[MOVING_LEFT]
+        j = k - 1
+        while j >= 0 and mass > 0:
+            p = self.stop_probability(j, MOVING_LEFT)
+            pmf[j] += mass * p
+            mass *= 1.0 - p
+            j -= 1
+        # Rightward sweep.
+        mass = init[MOVING_RIGHT]
+        j = k + 1
+        while j < n and mass > 0:
+            p = self.stop_probability(j, MOVING_RIGHT)
+            pmf[j] += mass * p
+            mass *= 1.0 - p
+            j += 1
+        return pmf
+
+    def sample(self, k: int, rng: np.random.Generator) -> int:
+        """Sample a stopping position for a packet entering at ``k``."""
+        n = self.n
+        init = self.initial_distribution(k)
+        u = rng.random()
+        if u < init[STOPPED]:
+            return k
+        moving_left = u < init[STOPPED] + init[MOVING_LEFT]
+        j = k - 1 if moving_left else k + 1
+        direction = MOVING_LEFT if moving_left else MOVING_RIGHT
+        while True:
+            if rng.random() < self.stop_probability(j, direction):
+                return j
+            j += -1 if moving_left else 1
+            if not 0 <= j < n:  # unreachable: borders force a stop
+                raise AssertionError("chain walked off the line")
+
+    def sample_route(self, k: int, rng: np.random.Generator) -> list[int]:
+        """Sample the full node trajectory (entry node included)."""
+        dst = self.sample(k, rng)
+        step = 1 if dst >= k else -1
+        return list(range(k, dst + step, step)) if dst != k else [k]

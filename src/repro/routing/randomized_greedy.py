@@ -1,0 +1,60 @@
+"""Randomized greedy routing (Section 6 remark).
+
+"One might consider a randomized version of greedy routing, where packets
+randomly decide whether to move first to the correct row or the correct
+column." Each packet flips a fair (or biased) coin between the row-first
+and the column-first greedy path. The paper notes the upper-bound argument
+fails for this scheme (it is not layered under any single labelling that
+covers both orders) and reports that simulations show it performs slightly
+worse than standard greedy — a claim our
+:mod:`repro.experiments.randomized_greedy` experiment re-tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import BaseRouter
+from repro.routing.greedy import GreedyArrayRouter
+from repro.topology.array_mesh import ArrayMesh
+from repro.util.validation import check_probability
+
+
+class RandomizedGreedyArrayRouter(BaseRouter):
+    """Coin-flip mixture of row-first and column-first greedy routing.
+
+    Parameters
+    ----------
+    mesh:
+        The array mesh to route on.
+    row_first_probability:
+        Probability of taking the row-first path (default 0.5). With
+        probability ``1 - p`` the column-first path is used instead.
+
+    Notes
+    -----
+    :meth:`path` (the canonical, deterministic path used by analysis)
+    returns the row-first path; randomness only enters via
+    :meth:`sample_path`.
+    """
+
+    def __init__(self, mesh: ArrayMesh, row_first_probability: float = 0.5) -> None:
+        super().__init__(mesh)
+        self.mesh = mesh
+        self.row_first_probability = check_probability(
+            row_first_probability, "row_first_probability"
+        )
+        self._row_first = GreedyArrayRouter(mesh, column_first=False)
+        self._col_first = GreedyArrayRouter(mesh, column_first=True)
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """Canonical (row-first) path."""
+        return self._row_first.path(src, dst)
+
+    def sample_path(
+        self, src: int, dst: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        """Row-first with probability ``p``, else column-first."""
+        if rng.random() < self.row_first_probability:
+            return self._row_first.path(src, dst)
+        return self._col_first.path(src, dst)

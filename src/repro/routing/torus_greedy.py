@@ -1,0 +1,70 @@
+"""Greedy routing on the torus (Section 6 open-problem topology).
+
+Row-first greedy with wraparound: along each dimension the packet takes the
+shorter way around the ring (ties broken toward the positive direction, a
+fixed deterministic rule so the scheme stays oblivious). The paper observes
+that the torus contains directed rings, hence cannot be layered and the
+Theorem 1 upper bound does not apply — but the lower-bound machinery
+(Theorems 10/14) still does, and simulation works fine.
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import BaseRouter
+from repro.topology.array_mesh import DOWN, LEFT, RIGHT, UP
+from repro.topology.torus import Torus
+
+
+def ring_step(frm: int, to: int, size: int) -> int:
+    """Signed step (+1 forward / -1 backward / 0) for the shorter ring way.
+
+    Forward means increasing coordinate mod ``size``; ties (exactly half
+    way around an even ring) resolve to forward.
+    """
+    if frm == to:
+        return 0
+    forward = (to - frm) % size
+    backward = (frm - to) % size
+    return 1 if forward <= backward else -1
+
+
+class GreedyTorusRouter(BaseRouter):
+    """Shortest-way dimension-order greedy routing on a :class:`Torus`."""
+
+    def __init__(self, torus: Torus, *, column_first: bool = False) -> None:
+        super().__init__(torus)
+        self.torus = torus
+        self.column_first = column_first
+
+    def _leg(self, i: int, j: int, target: int, *, horizontal: bool) -> tuple[list[int], int, int]:
+        """Walk one dimension to ``target``; returns (edges, new_i, new_j)."""
+        t = self.torus
+        size = t.cols if horizontal else t.rows
+        cur = j if horizontal else i
+        step = ring_step(cur, target, size)
+        edges: list[int] = []
+        while cur != target:
+            if horizontal:
+                direction = RIGHT if step == 1 else LEFT
+                edges.append(t.directed_edge_id(i, cur, direction))
+            else:
+                direction = DOWN if step == 1 else UP
+                edges.append(t.directed_edge_id(cur, j, direction))
+            cur = (cur + step) % size
+        if horizontal:
+            return edges, i, cur
+        return edges, cur, j
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """Greedy wraparound path; empty when ``src == dst``."""
+        if src == dst:
+            return ()
+        i1, j1 = self.torus.node_coords(src)
+        i2, j2 = self.torus.node_coords(dst)
+        if self.column_first:
+            first, i1, j1 = self._leg(i1, j1, i2, horizontal=False)
+            second, _, _ = self._leg(i1, j1, j2, horizontal=True)
+        else:
+            first, i1, j1 = self._leg(i1, j1, j2, horizontal=True)
+            second, _, _ = self._leg(i1, j1, i2, horizontal=False)
+        return tuple(first + second)

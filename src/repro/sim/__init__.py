@@ -1,0 +1,37 @@
+"""Discrete-event simulation of packet-routing queueing networks.
+
+The engine reproduces the paper's model exactly: Poisson generation at each
+node, unit-time (or per-edge deterministic, or exponential for the Jackson
+comparison) transmission, one packet per edge at a time, infinite FIFO
+buffers. Four simulators share the measurement machinery:
+
+* :class:`NetworkSimulation` — FIFO servers, deterministic or exponential
+  service (the standard model and the Jackson model);
+* :class:`PSNetworkSimulation` — processor-sharing servers (the Theorem 5
+  comparator);
+* :class:`RushedNetworkSimulation` — the Theorem 10 "copies" system Q1;
+* :class:`SlottedNetworkSimulation` — the Section 5.2 slotted-time variant.
+
+Statistics are *exact time integrals* of the piecewise-constant processes
+N(t) (packets in system), R(t) (remaining services) and R_s(t) (remaining
+saturated services), so E[N], r = E[R]/E[N] and r_s = E[R_s]/E[N] — the
+quantities of Tables II and III — carry no sampling error beyond the
+trajectory itself.
+"""
+
+from repro.sim.result import SimResult
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.ps_network import PSNetworkSimulation
+from repro.sim.rushed_network import RushedNetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.sim.measurement import BatchMeans, TimeBatchAccumulator
+
+__all__ = [
+    "SimResult",
+    "NetworkSimulation",
+    "PSNetworkSimulation",
+    "RushedNetworkSimulation",
+    "SlottedNetworkSimulation",
+    "BatchMeans",
+    "TimeBatchAccumulator",
+]

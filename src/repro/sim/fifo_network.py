@@ -1,0 +1,427 @@
+"""The main event-driven simulator: FIFO servers, deterministic or
+exponential service.
+
+This is the paper's standard model when ``service="deterministic"`` with
+unit rates, and the Jackson model when ``service="exponential"``. The hot
+loop is written for CPython speed (repro band 4/5 flags "slow for
+large-mesh statistics" as the risk):
+
+* a single binary heap carries departure events plus one external-arrival
+  sentinel, so the loop is one ``heappop`` per event;
+* external arrivals use a *merged* Poisson stream — one exponential gap at
+  rate ``sum of node rates`` with the source drawn per packet — which is
+  distributionally identical to independent per-node streams and avoids
+  scheduling ``n^2`` separate processes;
+* random numbers are drawn in blocks of 8192 and consumed by index;
+* a fast path batches source/destination draws when sources are uniform
+  and destinations are :class:`UniformDestinations`;
+* per-edge state is plain Python (lists, ``deque``, ``bytearray``) — no
+  attribute lookups or NumPy scalar indexing inside the loop.
+
+Statistics are exact time integrals (see :mod:`repro.sim` docs). After the
+horizon the run *drains* (no further arrivals, events keep processing) so
+per-packet delays are never censored.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.routing.destinations import DestinationDistribution, UniformDestinations
+from repro.sim.measurement import TimeBatchAccumulator
+from repro.sim.result import SimResult
+from repro.util.validation import check_positive
+
+_BLOCK = 8192
+
+DETERMINISTIC, EXPONENTIAL = "deterministic", "exponential"
+
+
+class NetworkSimulation:
+    """Event-driven FIFO network simulation.
+
+    Parameters
+    ----------
+    router:
+        Routing scheme (carries the topology). Randomized routers are
+        sampled per packet via :meth:`Router.sample_path`.
+    destinations:
+        Destination law.
+    node_rate:
+        Per-source Poisson generation rate; a scalar applies to every
+        source, or pass a sequence aligned with ``source_nodes``.
+    service:
+        ``"deterministic"`` (the standard model — service time is exactly
+        ``1/phi_e``) or ``"exponential"`` (the Jackson model — mean
+        ``1/phi_e``).
+    service_rates:
+        Per-edge ``phi_e`` (scalar broadcasts); the paper's standard model
+        is ``1.0``, and the Section 5.1 experiments pass Theorem 15's
+        optimal allocation.
+    source_nodes:
+        Generating nodes (default: all nodes). The butterfly generates
+        only at level-0 nodes.
+    saturated_mask:
+        Optional boolean per-edge mask; when given, the run tracks
+        R_s(t) — remaining saturated services — for Table III.
+    seed:
+        Seed for the run's private :class:`numpy.random.Generator`.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        destinations: DestinationDistribution,
+        node_rate: float | Sequence[float],
+        *,
+        service: str = DETERMINISTIC,
+        service_rates: float | Sequence[float] = 1.0,
+        source_nodes: Sequence[int] | None = None,
+        saturated_mask: Sequence[bool] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if service not in (DETERMINISTIC, EXPONENTIAL):
+            raise ValueError(
+                f"service must be '{DETERMINISTIC}' or '{EXPONENTIAL}', got {service!r}"
+            )
+        self.router = router
+        self.topology = router.topology
+        self.destinations = destinations
+        self.service = service
+        self.seed = int(seed)
+
+        num_edges = self.topology.num_edges
+        if np.isscalar(service_rates):
+            phi = np.full(num_edges, float(service_rates))
+        else:
+            phi = np.asarray(service_rates, dtype=float)
+            if phi.shape != (num_edges,):
+                raise ValueError(
+                    f"service_rates must have {num_edges} entries, got {phi.shape}"
+                )
+        if np.any(phi <= 0):
+            raise ValueError("service rates must be positive")
+        self._service_times: list[float] = (1.0 / phi).tolist()
+
+        self.source_nodes = (
+            list(range(self.topology.num_nodes))
+            if source_nodes is None
+            else [int(s) for s in source_nodes]
+        )
+        if not self.source_nodes:
+            raise ValueError("at least one source node is required")
+        if np.isscalar(node_rate):
+            check_positive(node_rate, "node_rate")
+            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
+        else:
+            self.node_rates = np.asarray(node_rate, dtype=float)
+            if self.node_rates.shape != (len(self.source_nodes),):
+                raise ValueError("node_rate sequence must match source_nodes")
+            if np.any(self.node_rates < 0) or self.node_rates.sum() <= 0:
+                raise ValueError("node rates must be non-negative with positive sum")
+        self.total_rate = float(self.node_rates.sum())
+
+        if saturated_mask is None:
+            self._sat: list[bool] | None = None
+        else:
+            mask = np.asarray(saturated_mask, dtype=bool)
+            if mask.shape != (num_edges,):
+                raise ValueError(
+                    f"saturated_mask must have {num_edges} entries, got {mask.shape}"
+                )
+            self._sat = mask.tolist()
+
+        # Uniform-source fast path: equal rates over all listed sources.
+        self._uniform_sources = bool(
+            np.allclose(self.node_rates, self.node_rates[0])
+        )
+        if not self._uniform_sources:
+            self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+        # The batched id draw samples over *all* nodes, so it is only valid
+        # when every node generates (at equal rate) and destinations are
+        # uniform over all nodes.
+        self._uniform_dests = isinstance(destinations, UniformDestinations)
+        self._fast_ids = (
+            self._uniform_sources
+            and self._uniform_dests
+            and sorted(self.source_nodes) == list(range(self.topology.num_nodes))
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        warmup: float,
+        horizon: float,
+        *,
+        track_utilization: bool = False,
+        collect_delays: bool = False,
+        track_number_distribution: bool = False,
+        track_maxima: bool = False,
+        delay_batches: int = 32,
+    ) -> SimResult:
+        """Simulate ``warmup + horizon`` time units and drain.
+
+        Parameters
+        ----------
+        warmup:
+            Initial transient discarded from every statistic.
+        horizon:
+            Measurement window length.
+        track_utilization:
+            Also accumulate per-edge busy time (adds a little overhead).
+        collect_delays:
+            Return the raw delay of every measured packet (memory: one
+            float per packet — only for modest runs, e.g. dominance tests).
+        track_number_distribution:
+            Also accumulate the time-weighted distribution of N (used by
+            the Theorem 5 stochastic-dominance experiment).
+        track_maxima:
+            Also record the worst per-packet delay and the longest queue
+            observed in the measurement window — the quantities Leighton's
+            combinatorial analyses bound (the paper's Section 1.2 contrast
+            with this paper's average-case results).
+        delay_batches:
+            Number of time batches for the delay confidence interval.
+        """
+        check_positive(horizon, "horizon")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        rng = np.random.default_rng(self.seed)
+        t_end = warmup + horizon
+
+        router = self.router
+        destinations = self.destinations
+        exponential = self.service == EXPONENTIAL
+        st = self._service_times
+        sat = self._sat
+        num_edges = self.topology.num_edges
+        queues: list[deque] = [deque() for _ in range(num_edges)]
+        busy = bytearray(num_edges)
+
+        heap: list = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        seq = 0
+
+        # Block RNG: exponential(1) variates and uniform source/dest ids.
+        exp_block = rng.exponential(size=_BLOCK)
+        exp_i = 0
+        sources = self.source_nodes
+        nsrc = len(sources)
+        uniform_fast = self._fast_ids
+        if uniform_fast:
+            id_block = rng.integers(
+                0, self.topology.num_nodes, size=2 * _BLOCK
+            ).tolist()
+            id_i = 0
+        gap_scale = 1.0 / self.total_rate
+
+        # Statistics.
+        in_system = 0
+        remaining = 0
+        remaining_sat = 0
+        int_n = 0.0
+        int_r = 0.0
+        int_rs = 0.0
+        last_t = 0.0
+        generated = completed = zero_hop = 0
+        delay_acc = TimeBatchAccumulator(warmup, t_end, delay_batches)
+        delays: list[float] | None = [] if collect_delays else None
+        util = np.zeros(num_edges) if track_utilization else None
+        ndist: dict[int, float] | None = {} if track_number_distribution else None
+        max_delay = 0.0
+        max_queue = 0
+
+        def service_sample(e: int) -> float:
+            nonlocal exp_i, exp_block
+            if not exponential:
+                return st[e]
+            if exp_i >= _BLOCK:
+                exp_block = rng.exponential(size=_BLOCK)
+                exp_i = 0
+            v = exp_block[exp_i] * st[e]
+            exp_i += 1
+            return v
+
+        def start_service(e: int, t: float, pkt: list) -> None:
+            nonlocal seq
+            s = service_sample(e)
+            push(heap, (t + s, seq, e, pkt))
+            seq += 1
+            if util is not None:
+                lo = t if t > warmup else warmup
+                hi = t + s if t + s < t_end else t_end
+                if hi > lo:
+                    util[e] += hi - lo
+
+        # First arrival.
+        first_gap = exp_block[exp_i] * gap_scale
+        exp_i += 1
+        push(heap, (first_gap, seq, -1, None))
+        seq += 1
+
+        draining = False
+        in_flight_at_horizon = 0
+        while heap:
+            t, _s, e, pkt = pop(heap)
+            if t >= t_end and not draining:
+                draining = True
+                in_flight_at_horizon = in_system
+                # Close the integrals exactly at the horizon boundary.
+                lo = last_t if last_t > warmup else warmup
+                if t_end > lo:
+                    dt = t_end - lo
+                    int_n += in_system * dt
+                    int_r += remaining * dt
+                    int_rs += remaining_sat * dt
+                    if ndist is not None:
+                        ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                last_t = t_end
+            if not draining and t > warmup:
+                lo = last_t if last_t > warmup else warmup
+                dt = t - lo
+                if dt > 0.0:
+                    int_n += in_system * dt
+                    int_r += remaining * dt
+                    int_rs += remaining_sat * dt
+                    if ndist is not None:
+                        ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                last_t = t
+            elif not draining:
+                last_t = t
+
+            if e < 0:
+                # ----- external arrival -----
+                if draining:
+                    continue  # no arrivals past the horizon
+                if uniform_fast:
+                    if id_i >= 2 * _BLOCK - 1:
+                        id_block = rng.integers(
+                            0, self.topology.num_nodes, size=2 * _BLOCK
+                        ).tolist()
+                        id_i = 0
+                    src = id_block[id_i]
+                    dst = id_block[id_i + 1]
+                    id_i += 2
+                else:
+                    if self._uniform_sources:
+                        src = sources[int(rng.integers(nsrc))]
+                    else:
+                        src = sources[
+                            int(np.searchsorted(self._source_cdf, rng.random()))
+                        ]
+                    dst = destinations.sample(src, rng)
+                measured = t >= warmup
+                if measured:
+                    generated += 1
+                if src == dst:
+                    if measured:
+                        zero_hop += 1
+                        completed += 1
+                        delay_acc.add(t, 0.0)
+                        if delays is not None:
+                            delays.append(0.0)
+                else:
+                    path = router.sample_path(src, dst, rng)
+                    in_system += 1
+                    remaining += len(path)
+                    if sat is not None:
+                        nsat = 0
+                        for pe in path:
+                            if sat[pe]:
+                                nsat += 1
+                        remaining_sat += nsat
+                    new_pkt = [t, path, 0, measured]
+                    f = path[0]
+                    if busy[f]:
+                        q = queues[f]
+                        q.append(new_pkt)
+                        if track_maxima and not draining and len(q) > max_queue:
+                            max_queue = len(q)
+                    else:
+                        busy[f] = 1
+                        start_service(f, t, new_pkt)
+                # Next arrival.
+                if exp_i >= _BLOCK:
+                    exp_block = rng.exponential(size=_BLOCK)
+                    exp_i = 0
+                push(heap, (t + exp_block[exp_i] * gap_scale, seq, -1, None))
+                exp_i += 1
+                seq += 1
+            else:
+                # ----- departure: pkt finished service at edge e -----
+                remaining -= 1
+                if sat is not None and sat[e]:
+                    remaining_sat -= 1
+                pkt[2] += 1
+                path = pkt[1]
+                if pkt[2] == len(path):
+                    in_system -= 1
+                    if pkt[3]:
+                        completed += 1
+                        d = t - pkt[0]
+                        delay_acc.add(pkt[0], d)
+                        if track_maxima and d > max_delay:
+                            max_delay = d
+                        if delays is not None:
+                            delays.append(d)
+                else:
+                    f = path[pkt[2]]
+                    if busy[f]:
+                        qf = queues[f]
+                        qf.append(pkt)
+                        if track_maxima and not draining and len(qf) > max_queue:
+                            max_queue = len(qf)
+                    else:
+                        busy[f] = 1
+                        start_service(f, t, pkt)
+                q = queues[e]
+                if q:
+                    start_service(e, t, q.popleft())
+                else:
+                    busy[e] = 0
+
+        # If the run never reached the horizon (cannot happen: the arrival
+        # sentinel always carries the clock forward), close integrals.
+        if last_t < t_end:
+            lo = last_t if last_t > warmup else warmup
+            dt = t_end - lo
+            int_n += in_system * dt
+            int_r += remaining * dt
+            int_rs += remaining_sat * dt
+            if ndist is not None:
+                ndist[in_system] = ndist.get(in_system, 0.0) + dt
+
+        mean_number = int_n / horizon
+        summary = delay_acc.summary()
+        if ndist is not None:
+            total_dt = sum(ndist.values())
+            ndist = {k: v / total_dt for k, v in sorted(ndist.items())}
+        return SimResult(
+            warmup=warmup,
+            horizon=horizon,
+            seed=self.seed,
+            generated=generated,
+            completed=completed,
+            zero_hop=zero_hop,
+            in_flight_at_end=in_flight_at_horizon,
+            mean_number=mean_number,
+            mean_remaining=int_r / horizon,
+            mean_remaining_saturated=(
+                int_rs / horizon if sat is not None else float("nan")
+            ),
+            mean_delay=summary.mean,
+            delay_half_width=summary.half_width,
+            mean_delay_littles=mean_number / self.total_rate,
+            total_rate=self.total_rate,
+            utilization=util / horizon if util is not None else None,
+            delays=np.asarray(delays) if delays is not None else None,
+            number_distribution=ndist,
+            max_delay=max_delay if track_maxima else float("nan"),
+            max_queue_length=max_queue if track_maxima else -1,
+        )

@@ -1,0 +1,263 @@
+"""Processor-sharing network simulation (the Theorem 5 comparator).
+
+Under PS, "all customers queued at a server receive an equal proportion of
+the available service simultaneously": with ``k`` customers present at an
+edge with rate ``phi``, each one's remaining work drains at ``phi / k``.
+Every customer needs one unit of work (the paper's unit service times).
+
+Theorem 1/5 asserts the PS network's total occupancy stochastically
+dominates the FIFO network's on every sample path family — and its
+equilibrium is the product-form/Jackson law. The dominance experiment
+simulates both and checks ``E[N_FIFO] <= E[N_PS]`` plus the distributional
+ordering.
+
+Implementation: the classic virtual-completion-event scheme. Each queue
+keeps its customers' remaining work, a ``last update`` timestamp and a
+version counter; arrival or departure at the queue re-linearises the drain
+and re-schedules the (single) next-completion event, bumping the version so
+stale heap entries are skipped on pop. Cost is O(k) per queue event, which
+is fine at the modest sizes the PS comparisons run at (its purpose is
+validation, not Table-scale statistics).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.routing.destinations import DestinationDistribution
+from repro.sim.measurement import TimeBatchAccumulator
+from repro.sim.result import SimResult
+from repro.util.validation import check_positive
+
+
+class PSNetworkSimulation:
+    """Event-driven processor-sharing network simulation.
+
+    Parameters mirror :class:`repro.sim.NetworkSimulation` (service is
+    always unit-work PS).
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        destinations: DestinationDistribution,
+        node_rate: float | Sequence[float],
+        *,
+        service_rates: float | Sequence[float] = 1.0,
+        source_nodes: Sequence[int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.router = router
+        self.topology = router.topology
+        self.destinations = destinations
+        self.seed = int(seed)
+        num_edges = self.topology.num_edges
+        if np.isscalar(service_rates):
+            phi = np.full(num_edges, float(service_rates))
+        else:
+            phi = np.asarray(service_rates, dtype=float)
+            if phi.shape != (num_edges,):
+                raise ValueError(f"service_rates must have {num_edges} entries")
+        if np.any(phi <= 0):
+            raise ValueError("service rates must be positive")
+        self._phi = phi.tolist()
+        self.source_nodes = (
+            list(range(self.topology.num_nodes))
+            if source_nodes is None
+            else [int(s) for s in source_nodes]
+        )
+        if np.isscalar(node_rate):
+            check_positive(node_rate, "node_rate")
+            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
+        else:
+            self.node_rates = np.asarray(node_rate, dtype=float)
+            if self.node_rates.shape != (len(self.source_nodes),):
+                raise ValueError("node_rate sequence must match source_nodes")
+        self.total_rate = float(self.node_rates.sum())
+        if self.total_rate <= 0:
+            raise ValueError("total arrival rate must be positive")
+        self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+
+    def run(
+        self,
+        warmup: float,
+        horizon: float,
+        *,
+        collect_delays: bool = False,
+        track_number_distribution: bool = False,
+        delay_batches: int = 32,
+    ) -> SimResult:
+        """Simulate ``warmup + horizon`` time units and drain (see
+        :meth:`repro.sim.NetworkSimulation.run` for parameter meanings)."""
+        check_positive(horizon, "horizon")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        rng = np.random.default_rng(self.seed)
+        t_end = warmup + horizon
+        num_edges = self.topology.num_edges
+        phi = self._phi
+
+        # Per-queue PS state.
+        works: list[list[float]] = [[] for _ in range(num_edges)]
+        pkts: list[list[list]] = [[] for _ in range(num_edges)]
+        last_up = [0.0] * num_edges
+        version = [0] * num_edges
+
+        heap: list = []
+        seq = 0
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        in_system = 0
+        remaining = 0
+        int_n = 0.0
+        int_r = 0.0
+        last_t = 0.0
+        generated = completed = zero_hop = 0
+        in_flight_at_horizon = 0
+        delay_acc = TimeBatchAccumulator(warmup, t_end, delay_batches)
+        delays: list[float] | None = [] if collect_delays else None
+        ndist: dict[int, float] | None = {} if track_number_distribution else None
+
+        def elapse(e: int, t: float) -> None:
+            """Drain remaining works at queue e up to time t."""
+            k = len(works[e])
+            if k:
+                dt = t - last_up[e]
+                if dt > 0.0:
+                    rate = phi[e] / k
+                    w = works[e]
+                    for i in range(k):
+                        w[i] -= dt * rate
+            last_up[e] = t
+
+        def reschedule(e: int, t: float) -> None:
+            """Re-plan queue e's next completion after a state change."""
+            nonlocal seq
+            version[e] += 1
+            k = len(works[e])
+            if k:
+                t_next = t + min(works[e]) * k / phi[e]
+                push(heap, (t_next, seq, e, version[e]))
+                seq += 1
+
+        def enqueue(e: int, t: float, pkt: list) -> None:
+            elapse(e, t)
+            works[e].append(1.0)  # unit work per customer
+            pkts[e].append(pkt)
+            reschedule(e, t)
+
+        push(heap, (rng.exponential(1.0 / self.total_rate), seq, -1, 0))
+        seq += 1
+
+        draining = False
+        while heap:
+            t, _s, e, ver = pop(heap)
+            if t >= t_end and not draining:
+                draining = True
+                in_flight_at_horizon = in_system
+                lo = last_t if last_t > warmup else warmup
+                if t_end > lo:
+                    dt = t_end - lo
+                    int_n += in_system * dt
+                    int_r += remaining * dt
+                    if ndist is not None:
+                        ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                last_t = t_end
+            if not draining and t > warmup:
+                lo = last_t if last_t > warmup else warmup
+                dt = t - lo
+                if dt > 0.0:
+                    int_n += in_system * dt
+                    int_r += remaining * dt
+                    if ndist is not None:
+                        ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                last_t = t
+            elif not draining:
+                last_t = t
+
+            if e < 0:
+                # ----- external arrival -----
+                if draining:
+                    continue
+                src = self.source_nodes[
+                    int(np.searchsorted(self._source_cdf, rng.random()))
+                ]
+                dst = self.destinations.sample(src, rng)
+                measured = t >= warmup
+                if measured:
+                    generated += 1
+                if src == dst:
+                    if measured:
+                        zero_hop += 1
+                        completed += 1
+                        delay_acc.add(t, 0.0)
+                        if delays is not None:
+                            delays.append(0.0)
+                else:
+                    path = self.router.sample_path(src, dst, rng)
+                    in_system += 1
+                    remaining += len(path)
+                    enqueue(path[0], t, [t, path, 0, measured])
+                push(heap, (t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))
+                seq += 1
+            else:
+                # ----- tentative completion at queue e -----
+                if ver != version[e]:
+                    continue  # stale event
+                elapse(e, t)
+                # The minimal-work customer is the one completing.
+                w = works[e]
+                idx = min(range(len(w)), key=w.__getitem__)
+                w.pop(idx)
+                pkt = pkts[e].pop(idx)
+                remaining -= 1
+                pkt[2] += 1
+                path = pkt[1]
+                if pkt[2] == len(path):
+                    in_system -= 1
+                    if pkt[3]:
+                        completed += 1
+                        d = t - pkt[0]
+                        delay_acc.add(pkt[0], d)
+                        if delays is not None:
+                            delays.append(d)
+                else:
+                    enqueue(path[pkt[2]], t, pkt)
+                reschedule(e, t)
+
+        if last_t < t_end:
+            lo = last_t if last_t > warmup else warmup
+            dt = t_end - lo
+            int_n += in_system * dt
+            int_r += remaining * dt
+            if ndist is not None:
+                ndist[in_system] = ndist.get(in_system, 0.0) + dt
+
+        mean_number = int_n / horizon
+        summary = delay_acc.summary()
+        if ndist is not None:
+            total_dt = sum(ndist.values())
+            ndist = {k: v / total_dt for k, v in sorted(ndist.items())}
+        return SimResult(
+            warmup=warmup,
+            horizon=horizon,
+            seed=self.seed,
+            generated=generated,
+            completed=completed,
+            zero_hop=zero_hop,
+            in_flight_at_end=in_flight_at_horizon,
+            mean_number=mean_number,
+            mean_remaining=int_r / horizon,
+            mean_remaining_saturated=float("nan"),
+            mean_delay=summary.mean,
+            delay_half_width=summary.half_width,
+            mean_delay_littles=mean_number / self.total_rate,
+            total_rate=self.total_rate,
+            delays=np.asarray(delays) if delays is not None else None,
+            number_distribution=ndist,
+        )

@@ -1,0 +1,114 @@
+"""The result record every simulator returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run.
+
+    Time-averaged quantities are exact integrals of the piecewise-constant
+    sample path over the measurement window ``[warmup, warmup + horizon)``;
+    per-packet quantities average over packets *born* inside the window
+    (the run drains after the horizon so no completion is censored).
+
+    Attributes
+    ----------
+    warmup, horizon, seed:
+        Echo of the run configuration.
+    generated, completed, zero_hop:
+        Packets born in the measurement window; those that completed; and
+        the subset with ``dst == src`` (they incur zero delay — the paper's
+        convention allows them and the estimate's Little's-Law denominator
+        counts them).
+    in_flight_at_end:
+        Packets still in the network when the horizon closed (all complete
+        during the drain; this is a congestion indicator only).
+    mean_number:
+        Time-averaged number of packets in the network, E[N].
+    mean_remaining:
+        Time-averaged total remaining services, E[R] (Table II numerator).
+    mean_remaining_saturated:
+        Time-averaged remaining *saturated* services, E[R_s] (Table III
+        numerator); ``nan`` when no saturated mask was supplied.
+    mean_delay:
+        Average packet delay T (generation to arrival, zero-hop packets
+        included at delay 0).
+    delay_half_width:
+        ~95% batch-means confidence half-width on ``mean_delay``.
+    mean_delay_littles:
+        Independent delay estimator ``E[N] / total_rate`` via Little's Law;
+        agreement with ``mean_delay`` is a built-in consistency check.
+    total_rate:
+        Total external packet generation rate used by Little's Law.
+    utilization:
+        Per-edge busy fraction over the window (empirically ~ ``lam_e *
+        E[S_e]``), or None if not tracked.
+    delays:
+        Raw per-packet delays (only when collection was requested).
+    number_distribution:
+        Time-weighted distribution of N (only when requested): maps
+        ``N -> fraction of time``.
+    max_delay, max_queue_length:
+        Worst observed per-packet delay and longest queue (only when
+        maxima tracking was requested; ``nan`` / ``-1`` otherwise) — the
+        worst-case quantities of Leighton's analyses, for contrast with
+        this paper's averages.
+    """
+
+    warmup: float
+    horizon: float
+    seed: int
+    generated: int
+    completed: int
+    zero_hop: int
+    in_flight_at_end: int
+    mean_number: float
+    mean_remaining: float
+    mean_remaining_saturated: float
+    mean_delay: float
+    delay_half_width: float
+    mean_delay_littles: float
+    total_rate: float
+    utilization: np.ndarray | None = None
+    delays: np.ndarray | None = None
+    number_distribution: dict[int, float] | None = field(default=None)
+    max_delay: float = float("nan")
+    max_queue_length: int = -1
+
+    @property
+    def r(self) -> float:
+        """Table II's ratio ``r = E[R] / E[N]`` — mean remaining services
+        per in-flight packet."""
+        if self.mean_number <= 0:
+            return float("nan")
+        return self.mean_remaining / self.mean_number
+
+    @property
+    def r_saturated(self) -> float:
+        """Table III's ratio ``r_s = E[R_s] / E[N]``."""
+        if self.mean_number <= 0:
+            return float("nan")
+        return self.mean_remaining_saturated / self.mean_number
+
+    @property
+    def littles_law_gap(self) -> float:
+        """Relative disagreement between the two delay estimators.
+
+        Small in equilibrium; large values signal an under-warmed or
+        unstable run.
+        """
+        denom = max(abs(self.mean_delay), 1e-12)
+        return abs(self.mean_delay - self.mean_delay_littles) / denom
+
+    def summary_line(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"T={self.mean_delay:.3f}+/-{self.delay_half_width:.3f} "
+            f"N={self.mean_number:.2f} r={self.r:.3f} rs={self.r_saturated:.3f} "
+            f"packets={self.generated}"
+        )

@@ -1,0 +1,235 @@
+"""The "rushed" copy system Q1 of Theorem 10.
+
+"The trick is to send a copy of a packet to all the queues it will visit
+immediately, and have each duplicate exit the system after it has been
+served by the single queue." Each queue, seen in isolation, is then an
+M/D/1 queue with the original edge's arrival rate — the queues are
+*dependent* (copies of one packet arrive simultaneously) but linearity of
+expectation makes the expected total equal the independent-M/D/1 sum,
+which is the pivot of the Theorem 10 proof.
+
+This simulator exists to verify those two analytic claims empirically:
+
+* ``E[N1]`` (time-averaged copies in system) equals
+  ``sum_e MD1(lam_e).mean_number()``;
+* every copy's queue, marginally, behaves like an M/D/1 queue (per-edge
+  occupancy matches the M/D/1 closed form).
+
+It also reports the "makespan" delay — the time until *all* copies of a
+packet are served — which lower-bounds the original packet's delay on
+matched sample paths (the rushed system is the faster one).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.routing.destinations import DestinationDistribution
+from repro.sim.measurement import TimeBatchAccumulator
+from repro.sim.result import SimResult
+from repro.util.validation import check_positive
+
+
+class RushedNetworkSimulation:
+    """Simulate Q1: immediate copies at every queue on the route.
+
+    Parameters mirror :class:`repro.sim.NetworkSimulation` (FIFO servers,
+    deterministic service ``1/phi_e``).
+
+    Notes
+    -----
+    In the returned :class:`SimResult`, ``mean_number`` is the time-averaged
+    number of *copies* in the system (the paper's ``N1``); ``mean_delay``
+    is the per-packet makespan (all copies served); ``mean_remaining``
+    equals ``mean_number`` by construction (each copy needs exactly one
+    service). ``utilization`` reports per-edge mean copy occupancy (not
+    busy fraction) so tests can compare queue-by-queue against M/D/1.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        destinations: DestinationDistribution,
+        node_rate: float | Sequence[float],
+        *,
+        service_rates: float | Sequence[float] = 1.0,
+        source_nodes: Sequence[int] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.router = router
+        self.topology = router.topology
+        self.destinations = destinations
+        self.seed = int(seed)
+        num_edges = self.topology.num_edges
+        if np.isscalar(service_rates):
+            phi = np.full(num_edges, float(service_rates))
+        else:
+            phi = np.asarray(service_rates, dtype=float)
+            if phi.shape != (num_edges,):
+                raise ValueError(f"service_rates must have {num_edges} entries")
+        if np.any(phi <= 0):
+            raise ValueError("service rates must be positive")
+        self._service_times = (1.0 / phi).tolist()
+        self.source_nodes = (
+            list(range(self.topology.num_nodes))
+            if source_nodes is None
+            else [int(s) for s in source_nodes]
+        )
+        if np.isscalar(node_rate):
+            check_positive(node_rate, "node_rate")
+            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
+        else:
+            self.node_rates = np.asarray(node_rate, dtype=float)
+            if self.node_rates.shape != (len(self.source_nodes),):
+                raise ValueError("node_rate sequence must match source_nodes")
+        self.total_rate = float(self.node_rates.sum())
+        if self.total_rate <= 0:
+            raise ValueError("total arrival rate must be positive")
+        self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+
+    def run(
+        self,
+        warmup: float,
+        horizon: float,
+        *,
+        delay_batches: int = 32,
+    ) -> SimResult:
+        """Simulate ``warmup + horizon`` time units and drain."""
+        check_positive(horizon, "horizon")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        rng = np.random.default_rng(self.seed)
+        t_end = warmup + horizon
+        num_edges = self.topology.num_edges
+        st = self._service_times
+        queues: list[deque] = [deque() for _ in range(num_edges)]
+        busy = bytearray(num_edges)
+        heap: list = []
+        seq = 0
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        copies_in_system = 0
+        int_copies = 0.0
+        int_per_edge = np.zeros(num_edges)
+        occupancy = [0] * num_edges  # current copies at each edge
+        edge_last = [0.0] * num_edges  # lazy per-edge integration cursor
+        last_t = 0.0
+        generated = completed = zero_hop = 0
+        in_flight_at_horizon = 0
+        delay_acc = TimeBatchAccumulator(warmup, t_end, delay_batches)
+
+        def start_service(e: int, t: float, packet: list) -> None:
+            nonlocal seq
+            push(heap, (t + st[e], seq, e, packet))
+            seq += 1
+
+        def bump_edge(e: int, t: float) -> None:
+            """Accumulate edge e's occupancy integral up to time t."""
+            lo = edge_last[e] if edge_last[e] > warmup else warmup
+            hi = t if t < t_end else t_end
+            if hi > lo and occupancy[e]:
+                int_per_edge[e] += occupancy[e] * (hi - lo)
+            edge_last[e] = t
+
+        push(heap, (rng.exponential(1.0 / self.total_rate), seq, -1, None))
+        seq += 1
+
+        draining = False
+        while heap:
+            t, _s, e, packet = pop(heap)
+            if t >= t_end and not draining:
+                draining = True
+                in_flight_at_horizon = copies_in_system
+                lo = last_t if last_t > warmup else warmup
+                if t_end > lo:
+                    int_copies += copies_in_system * (t_end - lo)
+                last_t = t_end
+            if not draining and t > warmup:
+                lo = last_t if last_t > warmup else warmup
+                dt = t - lo
+                if dt > 0.0:
+                    int_copies += copies_in_system * dt
+                last_t = t
+            elif not draining:
+                last_t = t
+
+            if e < 0:
+                # ----- external packet generation: copies everywhere -----
+                if draining:
+                    continue
+                src = self.source_nodes[
+                    int(np.searchsorted(self._source_cdf, rng.random()))
+                ]
+                dst = self.destinations.sample(src, rng)
+                measured = t >= warmup
+                if measured:
+                    generated += 1
+                if src == dst:
+                    if measured:
+                        zero_hop += 1
+                        completed += 1
+                        delay_acc.add(t, 0.0)
+                else:
+                    path = self.router.sample_path(src, dst, rng)
+                    # packet record: [birth, copies_left, measured]
+                    parent = [t, len(path), measured]
+                    copies_in_system += len(path)
+                    for f in path:
+                        bump_edge(f, t)
+                        occupancy[f] += 1
+                        copy = (parent, f)
+                        if busy[f]:
+                            queues[f].append(copy)
+                        else:
+                            busy[f] = 1
+                            start_service(f, t, copy)
+                push(heap, (t + rng.exponential(1.0 / self.total_rate), seq, -1, None))
+                seq += 1
+            else:
+                # ----- copy finished service at edge e -----
+                parent, _edge = packet
+                copies_in_system -= 1
+                bump_edge(e, t)
+                occupancy[e] -= 1
+                parent[1] -= 1
+                if parent[1] == 0 and parent[2]:
+                    completed += 1
+                    delay_acc.add(parent[0], t - parent[0])
+                q = queues[e]
+                if q:
+                    start_service(e, t, q.popleft())
+                else:
+                    busy[e] = 0
+
+        if last_t < t_end:
+            lo = last_t if last_t > warmup else warmup
+            int_copies += copies_in_system * (t_end - lo)
+            last_t = t_end
+        for eid in range(num_edges):
+            bump_edge(eid, t_end)
+
+        mean_copies = int_copies / horizon
+        summary = delay_acc.summary()
+        return SimResult(
+            warmup=warmup,
+            horizon=horizon,
+            seed=self.seed,
+            generated=generated,
+            completed=completed,
+            zero_hop=zero_hop,
+            in_flight_at_end=in_flight_at_horizon,
+            mean_number=mean_copies,
+            mean_remaining=mean_copies,
+            mean_remaining_saturated=float("nan"),
+            mean_delay=summary.mean,
+            delay_half_width=summary.half_width,
+            mean_delay_littles=mean_copies / self.total_rate,
+            total_rate=self.total_rate,
+            utilization=int_per_edge / horizon,
+        )

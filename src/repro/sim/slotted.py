@@ -1,0 +1,206 @@
+"""Slotted-time simulation (Section 5.2's discrete-time variant).
+
+"The results here also hold asymptotically for slotted time, where the
+time axis is not continuous but instead consists of slots of some fixed
+duration tau. Arrivals in this model are assumed to come in batches, the
+number of arrivals at a slot being a Poisson random variable with mean
+lam*tau." The paper argues the average delay differs from the continuous
+model by at most tau.
+
+Model implemented: at the start of each slot a Poisson batch of packets is
+generated (sources/destinations as in the continuous model); during the
+slot every non-empty edge transmits exactly its head-of-line packet, and
+all deliveries land simultaneously at the end of the slot. Delays count
+whole slots from the generation slot's start to the arrival instant.
+
+Implementation note: only non-empty edges are touched each slot (an active
+set), so quiet networks cost O(arrivals + moves), not O(E), per slot — the
+same lazy-work discipline as the event-driven engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.routing.destinations import DestinationDistribution
+from repro.sim.measurement import TimeBatchAccumulator
+from repro.sim.result import SimResult
+from repro.util.validation import check_positive
+
+
+class SlottedNetworkSimulation:
+    """Slotted-time FIFO network simulation with unit-slot transmission.
+
+    Parameters mirror :class:`repro.sim.NetworkSimulation`; the slot
+    duration ``tau`` scales the batch mean (``total_rate * tau`` packets
+    per slot) and the reported times (delays are in the same units as the
+    continuous model: slot index times ``tau``).
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        destinations: DestinationDistribution,
+        node_rate: float | Sequence[float],
+        *,
+        tau: float = 1.0,
+        source_nodes: Sequence[int] | None = None,
+        saturated_mask: Sequence[bool] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.router = router
+        self.topology = router.topology
+        self.destinations = destinations
+        self.tau = check_positive(tau, "tau")
+        self.seed = int(seed)
+        self.source_nodes = (
+            list(range(self.topology.num_nodes))
+            if source_nodes is None
+            else [int(s) for s in source_nodes]
+        )
+        if np.isscalar(node_rate):
+            check_positive(node_rate, "node_rate")
+            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
+        else:
+            self.node_rates = np.asarray(node_rate, dtype=float)
+            if self.node_rates.shape != (len(self.source_nodes),):
+                raise ValueError("node_rate sequence must match source_nodes")
+        self.total_rate = float(self.node_rates.sum())
+        if self.total_rate <= 0:
+            raise ValueError("total arrival rate must be positive")
+        self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+        num_edges = self.topology.num_edges
+        if saturated_mask is None:
+            self._sat: list[bool] | None = None
+        else:
+            mask = np.asarray(saturated_mask, dtype=bool)
+            if mask.shape != (num_edges,):
+                raise ValueError(f"saturated_mask must have {num_edges} entries")
+            self._sat = mask.tolist()
+
+    def run(
+        self,
+        warmup_slots: int,
+        horizon_slots: int,
+        *,
+        delay_batches: int = 32,
+    ) -> SimResult:
+        """Simulate ``warmup_slots + horizon_slots`` slots, then drain.
+
+        All times in the result are in continuous units (slots * tau).
+        """
+        if warmup_slots < 0 or horizon_slots <= 0:
+            raise ValueError("need warmup_slots >= 0 and horizon_slots > 0")
+        rng = np.random.default_rng(self.seed)
+        tau = self.tau
+        warmup = warmup_slots * tau
+        horizon = horizon_slots * tau
+        t_end_slot = warmup_slots + horizon_slots
+        batch_mean = self.total_rate * tau
+        uniform_sources = bool(np.allclose(self.node_rates, self.node_rates[0]))
+        num_nodes = self.topology.num_nodes
+        sat = self._sat
+
+        queues: list[deque] = [deque() for _ in range(self.topology.num_edges)]
+        active: set[int] = set()
+        in_system = 0
+        remaining = 0
+        remaining_sat = 0
+        int_n = int_r = int_rs = 0.0
+        generated = completed = zero_hop = 0
+        in_flight_at_horizon = 0
+        delay_acc = TimeBatchAccumulator(warmup, warmup + horizon, delay_batches)
+
+        slot = 0
+        while True:
+            t = slot * tau
+            measuring = warmup_slots <= slot < t_end_slot
+            draining = slot >= t_end_slot
+            if draining and in_system == 0:
+                break
+            # --- batch arrivals at slot start ---
+            if not draining:
+                k = int(rng.poisson(batch_mean))
+                for _ in range(k):
+                    if uniform_sources:
+                        src = self.source_nodes[int(rng.integers(len(self.source_nodes)))]
+                    else:
+                        src = self.source_nodes[
+                            int(np.searchsorted(self._source_cdf, rng.random()))
+                        ]
+                    dst = self.destinations.sample(src, rng)
+                    if measuring:
+                        generated += 1
+                    if src == dst:
+                        if measuring:
+                            zero_hop += 1
+                            completed += 1
+                            delay_acc.add(t, 0.0)
+                        continue
+                    path = self.router.sample_path(src, dst, rng)
+                    in_system += 1
+                    remaining += len(path)
+                    if sat is not None:
+                        remaining_sat += sum(1 for e in path if sat[e])
+                    f = path[0]
+                    queues[f].append([t, path, 0, measuring])
+                    active.add(f)
+            # --- per-slot occupancy integrals (state during the slot) ---
+            if measuring:
+                int_n += in_system * tau
+                int_r += remaining * tau
+                int_rs += remaining_sat * tau
+            if slot + 1 == t_end_slot:
+                in_flight_at_horizon = in_system
+            # --- simultaneous transmission: one head per non-empty edge ---
+            deliveries = []
+            emptied = []
+            for e in active:
+                pkt = queues[e].popleft()
+                deliveries.append(pkt)
+                if not queues[e]:
+                    emptied.append(e)
+            for e in emptied:
+                active.discard(e)
+            arrive_t = t + tau
+            for pkt in deliveries:
+                remaining -= 1
+                if sat is not None and sat[pkt[1][pkt[2]]]:
+                    remaining_sat -= 1
+                pkt[2] += 1
+                path = pkt[1]
+                if pkt[2] == len(path):
+                    in_system -= 1
+                    if pkt[3]:
+                        completed += 1
+                        delay_acc.add(pkt[0], arrive_t - pkt[0])
+                else:
+                    f = path[pkt[2]]
+                    queues[f].append(pkt)
+                    active.add(f)
+            slot += 1
+
+        mean_number = int_n / horizon
+        summary = delay_acc.summary()
+        return SimResult(
+            warmup=warmup,
+            horizon=horizon,
+            seed=self.seed,
+            generated=generated,
+            completed=completed,
+            zero_hop=zero_hop,
+            in_flight_at_end=in_flight_at_horizon,
+            mean_number=mean_number,
+            mean_remaining=int_r / horizon,
+            mean_remaining_saturated=(
+                int_rs / horizon if sat is not None else float("nan")
+            ),
+            mean_delay=summary.mean,
+            delay_half_width=summary.half_width,
+            mean_delay_littles=mean_number / self.total_rate,
+            total_rate=self.total_rate,
+        )

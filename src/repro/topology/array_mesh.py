@@ -1,0 +1,259 @@
+"""The n-by-m array mesh — the paper's central topology.
+
+Nodes are laid out on a grid with *rows* ``0..rows-1`` (top to bottom, the
+paper's ``i - 1``) and *columns* ``0..cols-1`` (left to right, the paper's
+``j - 1``); node ``(1, 1)`` of the paper — the upper-left corner — is node
+id 0 here. Every neighbouring pair is joined by two directed edges, one per
+direction, matching the paper's "input and an output wire for each pair".
+
+Edge-id layout
+--------------
+Edges are grouped by direction so analytic rate maps can be built with pure
+NumPy indexing:
+
+========= =========================== ==========================
+direction paper edge                  id block
+========= =========================== ==========================
+RIGHT     ``((i, j), (i, j+1))``      ``0 .. H-1``
+LEFT      ``((i, j+1), (i, j))``      ``H .. 2H-1``
+DOWN      ``((i, j), (i+1, j))``      ``2H .. 2H+V-1``
+UP        ``((i+1, j), (i, j))``      ``2H+V .. 2H+2V-1``
+========= =========================== ==========================
+
+with ``H = rows * (cols - 1)`` horizontal edges per direction and
+``V = (rows - 1) * cols`` vertical edges per direction.
+
+:class:`KDArray` generalises to k dimensions for the Section 5.2 extension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.topology.base import Topology
+from repro.util.validation import check_side
+
+#: Direction constants. Values index the per-direction edge blocks.
+RIGHT, LEFT, DOWN, UP = "right", "left", "down", "up"
+
+DIRECTIONS = (RIGHT, LEFT, DOWN, UP)
+
+
+class ArrayMesh(Topology):
+    """An ``rows x cols`` array mesh with directed edges in both directions.
+
+    Parameters
+    ----------
+    rows:
+        Number of rows (the paper's ``n``). Must be at least 2.
+    cols:
+        Number of columns; defaults to ``rows`` (the paper only treats
+        square arrays but notes rectangular ones are handled similarly).
+
+    Examples
+    --------
+    >>> mesh = ArrayMesh(3)
+    >>> mesh.num_nodes, mesh.num_edges
+    (9, 24)
+    >>> mesh.edge_id(mesh.node_id(0, 0), mesh.node_id(0, 1))  # right edge
+    0
+    """
+
+    def __init__(self, rows: int, cols: int | None = None) -> None:
+        rows = check_side(rows, "rows")
+        cols = rows if cols is None else check_side(cols, "cols")
+        self.rows = rows
+        self.cols = cols
+        edges: list[tuple[int, int]] = []
+        nid = lambda i, j: i * cols + j  # noqa: E731 - local helper
+        # RIGHT block: row-major over (i, j) with j in 0..cols-2.
+        for i in range(rows):
+            for j in range(cols - 1):
+                edges.append((nid(i, j), nid(i, j + 1)))
+        # LEFT block.
+        for i in range(rows):
+            for j in range(cols - 1):
+                edges.append((nid(i, j + 1), nid(i, j)))
+        # DOWN block: row-major over (i, j) with i in 0..rows-2.
+        for i in range(rows - 1):
+            for j in range(cols):
+                edges.append((nid(i, j), nid(i + 1, j)))
+        # UP block.
+        for i in range(rows - 1):
+            for j in range(cols):
+                edges.append((nid(i + 1, j), nid(i, j)))
+        super().__init__(rows * cols, edges, name=f"array({rows}x{cols})")
+        self._h = rows * (cols - 1)
+        self._v = (rows - 1) * cols
+
+    # ------------------------------------------------------------------
+    # Node coordinates
+    # ------------------------------------------------------------------
+    def node_id(self, i: int, j: int) -> int:
+        """Node id of row ``i``, column ``j`` (0-based)."""
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise ValueError(f"({i}, {j}) outside {self.rows}x{self.cols} mesh")
+        return i * self.cols + j
+
+    def node_coords(self, v: int) -> tuple[int, int]:
+        """Row/column (0-based) of node id ``v``."""
+        if not 0 <= v < self.num_nodes:
+            raise ValueError(f"node {v} outside 0..{self.num_nodes - 1}")
+        return divmod(int(v), self.cols)
+
+    def iter_nodes(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate ``(node_id, row, col)``."""
+        for v in range(self.num_nodes):
+            i, j = self.node_coords(v)
+            yield v, i, j
+
+    # ------------------------------------------------------------------
+    # Direction-structured edge access
+    # ------------------------------------------------------------------
+    def directed_edge_id(self, i: int, j: int, direction: str) -> int:
+        """Edge id of the edge leaving node ``(i, j)`` in ``direction``.
+
+        ``RIGHT`` requires ``j < cols-1``, ``LEFT`` requires ``j > 0``,
+        ``DOWN`` requires ``i < rows-1``, ``UP`` requires ``i > 0``.
+        """
+        h, v, cols = self._h, self._v, self.cols
+        if direction == RIGHT:
+            if j >= cols - 1:
+                raise ValueError(f"no right edge from column {j}")
+            return i * (cols - 1) + j
+        if direction == LEFT:
+            if j <= 0:
+                raise ValueError("no left edge from column 0")
+            return h + i * (cols - 1) + (j - 1)
+        if direction == DOWN:
+            if i >= self.rows - 1:
+                raise ValueError(f"no down edge from row {i}")
+            return 2 * h + i * cols + j
+        if direction == UP:
+            if i <= 0:
+                raise ValueError("no up edge from row 0")
+            return 2 * h + v + (i - 1) * cols + j
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def edge_direction(self, e: int) -> str:
+        """Direction label of edge ``e``."""
+        h, v = self._h, self._v
+        if e < 0 or e >= self.num_edges:
+            raise ValueError(f"edge {e} outside 0..{self.num_edges - 1}")
+        if e < h:
+            return RIGHT
+        if e < 2 * h:
+            return LEFT
+        if e < 2 * h + v:
+            return DOWN
+        return UP
+
+    def edge_info(self, e: int) -> tuple[str, int, int]:
+        """Return ``(direction, i, j)`` where ``(i, j)`` is the source node."""
+        u, _ = self.edge_endpoints(e)
+        i, j = self.node_coords(u)
+        return self.edge_direction(e), i, j
+
+    def horizontal_edge_count(self) -> int:
+        """Number of edges per horizontal direction block."""
+        return self._h
+
+    def vertical_edge_count(self) -> int:
+        """Number of edges per vertical direction block."""
+        return self._v
+
+    @property
+    def is_square(self) -> bool:
+        """True for the paper's square ``n x n`` case."""
+        return self.rows == self.cols
+
+    @property
+    def side(self) -> int:
+        """The side length ``n`` for square meshes.
+
+        Raises
+        ------
+        ValueError
+            If the mesh is rectangular.
+        """
+        if not self.is_square:
+            raise ValueError("side is only defined for square meshes")
+        return self.rows
+
+
+class KDArray(Topology):
+    """A k-dimensional array with both directed edges along every dimension.
+
+    Supports the "higher dimensions" extension of Section 5.2. Node ids use
+    row-major (C) order over the coordinate tuple; edge ids are grouped by
+    ``(dimension, sign)`` block in the order ``(0,+), (0,-), (1,+), (1,-),
+    ...`` so that per-dimension rate maps can be assembled independently.
+
+    Parameters
+    ----------
+    dims:
+        Side length per dimension, each at least 2. ``KDArray((n, n))`` is
+        graph-isomorphic to ``ArrayMesh(n)`` (edge ids differ).
+    """
+
+    def __init__(self, dims: tuple[int, ...]) -> None:
+        if len(dims) < 1:
+            raise ValueError("dims must have at least one dimension")
+        dims = tuple(int(d) for d in dims)
+        for d in dims:
+            if d < 2:
+                raise ValueError(f"every dimension must be >= 2, got {dims}")
+        self.dims = dims
+        num_nodes = int(np.prod(dims))
+        strides: list[int] = []
+        acc = 1
+        for d in reversed(dims):
+            strides.append(acc)
+            acc *= d
+        self.strides = tuple(reversed(strides))  # row-major strides
+        edges: list[tuple[int, int]] = []
+        block_slices: list[tuple[int, int]] = []
+        for axis in range(len(dims)):
+            for sign in (+1, -1):
+                start = len(edges)
+                for v in range(num_nodes):
+                    coord = self.node_coords(v, _nodes=num_nodes)
+                    c = coord[axis]
+                    if sign == +1 and c < dims[axis] - 1:
+                        edges.append((v, v + self.strides[axis]))
+                    elif sign == -1 and c > 0:
+                        edges.append((v, v - self.strides[axis]))
+                block_slices.append((start, len(edges)))
+        self._block_slices = tuple(block_slices)
+        super().__init__(num_nodes, edges, name=f"kdarray{dims}")
+
+    def node_id(self, coord: tuple[int, ...]) -> int:
+        """Node id of a coordinate tuple."""
+        if len(coord) != len(self.dims):
+            raise ValueError(f"coordinate {coord} has wrong dimensionality")
+        v = 0
+        for c, d, s in zip(coord, self.dims, self.strides):
+            if not 0 <= c < d:
+                raise ValueError(f"coordinate {coord} outside dims {self.dims}")
+            v += c * s
+        return v
+
+    def node_coords(self, v: int, *, _nodes: int | None = None) -> tuple[int, ...]:
+        """Coordinate tuple of node id ``v``."""
+        total = self.num_nodes if _nodes is None else _nodes
+        if not 0 <= v < total:
+            raise ValueError(f"node {v} outside 0..{total - 1}")
+        out = []
+        for s in self.strides:
+            out.append(v // s)
+            v %= s
+        return tuple(out)
+
+    def block(self, axis: int, sign: int) -> tuple[int, int]:
+        """Half-open edge-id range for the ``(axis, sign)`` direction block."""
+        if sign not in (+1, -1):
+            raise ValueError("sign must be +1 or -1")
+        idx = 2 * axis + (0 if sign == +1 else 1)
+        return self._block_slices[idx]

@@ -1,0 +1,139 @@
+"""Flat, array-backed representation of a directed network.
+
+Design notes
+------------
+The discrete-event simulator processes millions of hop events; each event
+touches an edge only through its integer id. A topology therefore stores
+edges as two parallel NumPy integer arrays (``edge_source``, ``edge_target``)
+plus a hash lookup from node pair to edge id. Anything richer (coordinates,
+direction labels) lives on the concrete subclasses, which the analysis layer
+uses but the hot loop never does.
+
+All node and edge ids are 0-based and dense: nodes are ``0..num_nodes-1``
+and edges ``0..num_edges-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class Topology:
+    """A directed graph with dense integer node and edge ids.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are ``0..num_nodes-1``.
+    edges:
+        Sequence of ``(source, target)`` pairs. Edge ids are assigned in
+        the given order, so concrete topologies control their own edge-id
+        layout (the array mesh, for instance, groups edges by direction).
+    name:
+        Human-readable topology name used in reports.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Sequence[tuple[int, int]],
+        *,
+        name: str = "topology",
+    ) -> None:
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        self.name = name
+        src = np.empty(len(edges), dtype=np.int64)
+        dst = np.empty(len(edges), dtype=np.int64)
+        lookup: dict[tuple[int, int], int] = {}
+        for eid, (u, v) in enumerate(edges):
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(f"edge ({u}, {v}) references a node outside 0..{num_nodes - 1}")
+            if u == v:
+                raise ValueError(f"self-loop edge ({u}, {v}) is not allowed")
+            key = (int(u), int(v))
+            if key in lookup:
+                raise ValueError(f"duplicate edge {key}")
+            lookup[key] = eid
+            src[eid] = u
+            dst[eid] = v
+        self.edge_source = src
+        self.edge_target = dst
+        self._edge_lookup = lookup
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.edge_source.shape[0])
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the id of the directed edge ``u -> v``.
+
+        Raises
+        ------
+        KeyError
+            If no such edge exists.
+        """
+        return self._edge_lookup[(int(u), int(v))]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the directed edge ``u -> v`` exists."""
+        return (int(u), int(v)) in self._edge_lookup
+
+    def edge_endpoints(self, e: int) -> tuple[int, int]:
+        """Return ``(source, target)`` of edge ``e``."""
+        return int(self.edge_source[e]), int(self.edge_target[e])
+
+    def edges(self) -> Iterable[tuple[int, int, int]]:
+        """Iterate ``(edge_id, source, target)`` over all edges."""
+        for e in range(self.num_edges):
+            yield e, int(self.edge_source[e]), int(self.edge_target[e])
+
+    def out_edges(self, u: int) -> list[int]:
+        """Edge ids leaving node ``u`` (computed on demand; not hot-path)."""
+        return [e for (a, _b), e in self._edge_lookup.items() if a == u]
+
+    def in_edges(self, v: int) -> list[int]:
+        """Edge ids entering node ``v`` (computed on demand; not hot-path)."""
+        return [e for (_a, b), e in self._edge_lookup.items() if b == v]
+
+    # ------------------------------------------------------------------
+    # Interop / debugging
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` with ``edge_id`` attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(range(self.num_nodes))
+        for e, u, v in self.edges():
+            g.add_edge(u, v, edge_id=e)
+        return g
+
+    def validate_path(self, path: Sequence[int], src: int, dst: int) -> None:
+        """Assert that ``path`` (edge ids) is a contiguous ``src -> dst`` walk.
+
+        Used by routing tests and by the simulator's debug mode.
+        """
+        at = src
+        for e in path:
+            u, v = self.edge_endpoints(int(e))
+            if u != at:
+                raise ValueError(
+                    f"path discontinuity: edge {e} starts at {u}, expected {at}"
+                )
+            at = v
+        if at != dst:
+            raise ValueError(f"path ends at {at}, expected destination {dst}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

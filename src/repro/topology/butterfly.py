@@ -1,0 +1,81 @@
+"""The d-level butterfly network (Section 4.5's second comparison topology).
+
+We use the standard wrapped-open butterfly of the Stamoulis-Tsitsiklis
+setting: ``d + 1`` levels of ``2^d`` rows. A node is a pair ``(level, row)``
+with ``level`` in ``0..d`` and ``row`` in ``0..2^d - 1``. From level ``l``
+(``l < d``) node ``(l, r)`` has two outgoing edges:
+
+* the *straight* edge to ``(l+1, r)``, and
+* the *cross* edge to ``(l+1, r XOR 2^l)``.
+
+Packets enter at level 0 and exit at level ``d``, so every packet crosses
+exactly ``d`` edges — the fact behind the paper's remark that the copy
+bound (Theorem 10) gives a gap of ``2d`` for the butterfly, matching
+Stamoulis and Tsitsiklis.
+
+Edge ids: level blocks in order; within level ``l`` the ``2^d`` straight
+edges come first (id ``l * 2^(d+1) + r``), then the ``2^d`` cross edges
+(id ``l * 2^(d+1) + 2^d + r``).
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+
+class Butterfly(Topology):
+    """Directed d-level butterfly.
+
+    Examples
+    --------
+    >>> b = Butterfly(2)
+    >>> b.num_nodes, b.num_edges   # 3 levels x 4 rows, 2 levels x 8 edges
+    (12, 16)
+    """
+
+    def __init__(self, d: int) -> None:
+        if not isinstance(d, int) or isinstance(d, bool) or d < 1:
+            raise ValueError(f"levels d must be an int >= 1, got {d!r}")
+        self.d = d
+        self.rows = 1 << d
+        edges: list[tuple[int, int]] = []
+        for level in range(d):
+            for r in range(self.rows):  # straight edges
+                edges.append((self.node_id(level, r), self.node_id(level + 1, r)))
+            for r in range(self.rows):  # cross edges
+                edges.append(
+                    (self.node_id(level, r), self.node_id(level + 1, r ^ (1 << level)))
+                )
+        super().__init__((d + 1) * self.rows, edges, name=f"butterfly({d})")
+
+    def node_id(self, level: int, row: int) -> int:
+        """Node id of ``(level, row)``."""
+        if not 0 <= level <= self.d:
+            raise ValueError(f"level {level} outside 0..{self.d}")
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} outside 0..{self.rows - 1}")
+        return level * self.rows + row
+
+    def node_coords(self, v: int) -> tuple[int, int]:
+        """Return ``(level, row)`` of node id ``v``."""
+        if not 0 <= v < self.num_nodes:
+            raise ValueError(f"node {v} outside 0..{self.num_nodes - 1}")
+        return divmod(int(v), self.rows)
+
+    def straight_edge(self, level: int, row: int) -> int:
+        """Edge id of the straight edge out of ``(level, row)``."""
+        if not 0 <= level < self.d:
+            raise ValueError(f"no edges out of level {level}")
+        return level * 2 * self.rows + row
+
+    def cross_edge(self, level: int, row: int) -> int:
+        """Edge id of the cross edge out of ``(level, row)``."""
+        if not 0 <= level < self.d:
+            raise ValueError(f"no edges out of level {level}")
+        return level * 2 * self.rows + self.rows + row
+
+    def edge_level(self, e: int) -> int:
+        """Level (layer) an edge leaves from — also a valid layering label."""
+        if not 0 <= e < self.num_edges:
+            raise ValueError(f"edge {e} outside 0..{self.num_edges - 1}")
+        return e // (2 * self.rows)

@@ -1,0 +1,63 @@
+"""The d-dimensional hypercube (Section 4.5 comparison topology).
+
+Nodes are the integers ``0..2^d - 1`` read as bit strings; two nodes are
+adjacent iff they differ in exactly one bit, and each adjacency carries a
+pair of directed edges. Edge ids are grouped by dimension: dimension ``k``
+occupies the block ``k * 2^d .. (k+1) * 2^d - 1``, with the edge leaving
+node ``v`` across dimension ``k`` at id ``k * 2^d + v``. (Both directions
+of a dimension-``k`` adjacency live in the same block, since flipping bit
+``k`` of the source distinguishes them.)
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+
+class Hypercube(Topology):
+    """Directed d-dimensional hypercube.
+
+    Parameters
+    ----------
+    d:
+        Dimension; at least 1. The network has ``2^d`` nodes and
+        ``d * 2^d`` directed edges.
+
+    Examples
+    --------
+    >>> h = Hypercube(3)
+    >>> h.num_nodes, h.num_edges
+    (8, 24)
+    >>> h.edge_endpoints(h.dimension_edge(0b101, 1))
+    (5, 7)
+    """
+
+    def __init__(self, d: int) -> None:
+        if not isinstance(d, int) or isinstance(d, bool) or d < 1:
+            raise ValueError(f"dimension d must be an int >= 1, got {d!r}")
+        self.d = d
+        size = 1 << d
+        edges: list[tuple[int, int]] = []
+        for k in range(d):
+            bit = 1 << k
+            for v in range(size):
+                edges.append((v, v ^ bit))
+        super().__init__(size, edges, name=f"hypercube({d})")
+
+    def dimension_edge(self, v: int, k: int) -> int:
+        """Edge id of the edge leaving node ``v`` across dimension ``k``."""
+        if not 0 <= k < self.d:
+            raise ValueError(f"dimension {k} outside 0..{self.d - 1}")
+        if not 0 <= v < self.num_nodes:
+            raise ValueError(f"node {v} outside 0..{self.num_nodes - 1}")
+        return k * self.num_nodes + v
+
+    def edge_dimension(self, e: int) -> int:
+        """Dimension crossed by edge ``e``."""
+        if not 0 <= e < self.num_edges:
+            raise ValueError(f"edge {e} outside 0..{self.num_edges - 1}")
+        return e // self.num_nodes
+
+    def hamming_distance(self, u: int, v: int) -> int:
+        """Number of differing bits between node ids ``u`` and ``v``."""
+        return int(u ^ v).bit_count()

@@ -1,0 +1,71 @@
+"""Minimal fixed-width text tables for experiment reports.
+
+The experiment harness regenerates the paper's tables as monospace text so
+they can be diffed against the published values in EXPERIMENTS.md; this
+module is the single formatting path used by every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def format_float(x: float, digits: int = 3) -> str:
+    """Render a float with ``digits`` decimals; pass strings through."""
+    if isinstance(x, str):
+        return x
+    if x is None:
+        return "-"
+    return f"{x:.{digits}f}"
+
+
+@dataclass
+class Table:
+    """A fixed-width table with a title, column headers, and rows.
+
+    Examples
+    --------
+    >>> t = Table(title="Demo", headers=["n", "T"])
+    >>> t.add_row([5, 3.256])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Demo
+    ...
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    float_digits: int = 3
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row, formatting floats to :attr:`float_digits` places."""
+        formatted: list[str] = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(format_float(cell, self.float_digits))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells but table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Render the table as a monospace string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+        sep = "  "
+        lines = [self.title] if self.title else []
+        lines.append(sep.join(h.rjust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep.join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(sep.join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

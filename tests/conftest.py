@@ -1,0 +1,46 @@
+"""Shared fixtures: small canonical networks used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.topology.array_mesh import ArrayMesh
+
+
+@pytest.fixture
+def mesh4() -> ArrayMesh:
+    """A 4x4 (even-sided) mesh."""
+    return ArrayMesh(4)
+
+
+@pytest.fixture
+def mesh5() -> ArrayMesh:
+    """A 5x5 (odd-sided) mesh."""
+    return ArrayMesh(5)
+
+
+@pytest.fixture
+def router4(mesh4) -> GreedyArrayRouter:
+    """Greedy router on the 4x4 mesh."""
+    return GreedyArrayRouter(mesh4)
+
+
+@pytest.fixture
+def router5(mesh5) -> GreedyArrayRouter:
+    """Greedy router on the 5x5 mesh."""
+    return GreedyArrayRouter(mesh5)
+
+
+@pytest.fixture
+def uniform4(mesh4) -> UniformDestinations:
+    """Uniform destinations on the 4x4 mesh."""
+    return UniformDestinations(mesh4.num_nodes)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for sampling tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,109 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bounds_defaults(self):
+        args = build_parser().parse_args(["bounds"])
+        assert args.n == 10 and args.rho == 0.9
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_bounds_output(self, capsys):
+        assert main(["bounds", "-n", "6", "--rho", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 7" in out and "Thm 14" in out
+        assert "gap upper/best-lower" in out
+
+    def test_bounds_odd_n_labelled(self, capsys):
+        main(["bounds", "-n", "5", "--rho", "0.5"])
+        assert "(odd n)" in capsys.readouterr().out
+
+    def test_simulate_sandwich(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "-n",
+                "4",
+                "--rho",
+                "0.6",
+                "--warmup",
+                "100",
+                "--horizon",
+                "1200",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sandwich: OK" in out
+        assert "max queue" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "-n", "3"]) == 0
+        assert "layering" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "odd n=5" in out and "#" in out
+
+
+class TestMaximaTracking:
+    def test_maxima_reported(self):
+        from repro.routing.destinations import UniformDestinations
+        from repro.routing.greedy import GreedyArrayRouter
+        from repro.sim.fifo_network import NetworkSimulation
+        from repro.topology.array_mesh import ArrayMesh
+
+        mesh = ArrayMesh(4)
+        sim = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(16), 0.5, seed=8
+        )
+        res = sim.run(50, 800, track_maxima=True)
+        assert res.max_delay >= res.mean_delay
+        assert res.max_queue_length >= 1
+
+    def test_maxima_disabled_by_default(self):
+        import math
+
+        from repro.routing.destinations import UniformDestinations
+        from repro.routing.greedy import GreedyArrayRouter
+        from repro.sim.fifo_network import NetworkSimulation
+        from repro.topology.array_mesh import ArrayMesh
+
+        mesh = ArrayMesh(3)
+        res = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.2, seed=8
+        ).run(20, 200)
+        assert math.isnan(res.max_delay)
+        assert res.max_queue_length == -1
+
+    def test_max_queue_grows_with_load(self):
+        from repro.routing.destinations import UniformDestinations
+        from repro.routing.greedy import GreedyArrayRouter
+        from repro.sim.fifo_network import NetworkSimulation
+        from repro.topology.array_mesh import ArrayMesh
+
+        mesh = ArrayMesh(4)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(16)
+        light = NetworkSimulation(router, dests, 0.1, seed=9).run(
+            100, 1500, track_maxima=True
+        )
+        heavy = NetworkSimulation(router, dests, 0.22, seed=9).run(
+            100, 1500, track_maxima=True
+        )
+        assert heavy.max_queue_length > light.max_queue_length

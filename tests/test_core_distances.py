@@ -1,0 +1,113 @@
+"""Tests for n-bar / n-bar-2 and generic route-length statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import (
+    max_route_length,
+    mean_axis_displacement,
+    mean_distance,
+    mean_distance_excluding_self,
+    mean_route_length,
+)
+from repro.routing.destinations import (
+    PBiasedHypercubeDestinations,
+    UniformDestinations,
+)
+from repro.routing.greedy import GreedyArrayRouter
+from repro.routing.hypercube_greedy import GreedyHypercubeRouter
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.hypercube import Hypercube
+
+
+class TestClosedForms:
+    @given(st.integers(2, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_nbar_formula(self, n):
+        """n-bar = (2/3)(n - 1/n), from brute-force expectation."""
+        coords = np.arange(1, n + 1)
+        exact_axis = np.abs(coords[:, None] - coords[None, :]).mean()
+        assert np.isclose(mean_distance(n), 2 * exact_axis)
+        assert np.isclose(mean_axis_displacement(n), exact_axis)
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_nbar2_is_2n_over_3(self, n):
+        assert np.isclose(mean_distance_excluding_self(n), 2 * n / 3)
+
+    @given(st.integers(2, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_nbar2_relation(self, n):
+        """n-bar-2 = n-bar * n^2/(n^2 - 1)."""
+        assert np.isclose(
+            mean_distance_excluding_self(n),
+            mean_distance(n) * n * n / (n * n - 1),
+        )
+
+    def test_paper_values(self):
+        # Table II's n-bar-2 column: 3.333, 6.667, 10, 13.333.
+        assert mean_distance_excluding_self(5) == pytest.approx(10 / 3)
+        assert mean_distance_excluding_self(10) == pytest.approx(20 / 3)
+        assert mean_distance_excluding_self(15) == pytest.approx(10.0)
+        assert mean_distance_excluding_self(20) == pytest.approx(40 / 3)
+
+
+class TestGenericMeanRouteLength:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_matches_nbar_on_array(self, n):
+        mesh = ArrayMesh(n)
+        got = mean_route_length(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        assert np.isclose(got, mean_distance(n))
+
+    def test_hypercube_dp(self):
+        """Section 4.5: mean distance is d*p."""
+        d, p = 4, 0.3
+        cube = Hypercube(d)
+        got = mean_route_length(
+            GreedyHypercubeRouter(cube), PBiasedHypercubeDestinations(cube, p)
+        )
+        assert np.isclose(got, d * p)
+
+    def test_source_weights(self):
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        corner_only = mean_route_length(
+            router, dests, source_nodes=[0], source_weights=[1.0]
+        )
+        # Corner sources travel further than average.
+        assert corner_only > mean_distance(3)
+
+    def test_weight_validation(self):
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        with pytest.raises(ValueError):
+            mean_route_length(
+                router,
+                UniformDestinations(9),
+                source_nodes=[0, 1],
+                source_weights=[1.0],
+            )
+
+
+class TestMaxRouteLength:
+    @pytest.mark.parametrize("n", [2, 4, 5, 7])
+    def test_array_diameter(self, n):
+        """Theorem 10's d = 2(n-1) on the array."""
+        mesh = ArrayMesh(n)
+        assert max_route_length(GreedyArrayRouter(mesh)) == 2 * (n - 1)
+
+    def test_hypercube_diameter(self):
+        cube = Hypercube(4)
+        assert max_route_length(GreedyHypercubeRouter(cube)) == 4
+
+    def test_restricted_sources(self):
+        mesh = ArrayMesh(4)
+        router = GreedyArrayRouter(mesh)
+        center = mesh.node_id(1, 1)
+        got = max_route_length(router, source_nodes=[center])
+        assert got == 2 + 2  # to the far corner

@@ -1,0 +1,118 @@
+"""Tests for Section 4.5 hypercube/butterfly gaps and stability predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypercube_bounds import (
+    butterfly_gap,
+    hypercube_delay_upper_bound,
+    hypercube_edge_rate,
+    hypercube_gap_copy,
+    hypercube_gap_markov,
+    hypercube_limit_scaled_bounds,
+    hypercube_load,
+    hypercube_markov_lower_bound,
+    hypercube_mean_distance,
+    st_limit_bracket,
+)
+from repro.core.stability import capacity, capacity_gain, is_stable, stability_margin
+
+
+class TestHypercubeGaps:
+    @given(st.integers(1, 16), st.floats(0.01, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_our_gap_below_2d(self, d, p):
+        """Paper: 2(dp + 1 - p) < 2d for all p in (0, 1)."""
+        assert hypercube_gap_markov(d, p) <= hypercube_gap_copy(d) + 1e-12
+        if d > 1:
+            assert hypercube_gap_markov(d, p) < hypercube_gap_copy(d)
+
+    def test_uniform_case_d_plus_one(self):
+        """p = 1/2 gives gap d + 1 (the paper's 'more usual case')."""
+        for d in (3, 5, 10):
+            assert hypercube_gap_markov(d, 0.5) == pytest.approx(d + 1)
+
+    def test_small_p_approaches_two(self):
+        assert hypercube_gap_markov(10, 1e-9) == pytest.approx(2.0, abs=1e-6)
+
+    def test_butterfly_matches_st(self):
+        for d in (2, 4, 8):
+            assert butterfly_gap(d) == hypercube_gap_copy(d) == 2 * d
+
+    def test_st_bracket(self):
+        lo, hi = st_limit_bracket(6, 0.5)
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(3.0)
+
+
+class TestHypercubeBounds:
+    def test_edge_rate_and_load(self):
+        assert hypercube_edge_rate(5, 1.2, 0.5) == pytest.approx(0.6)
+        assert hypercube_load(5, 1.2, 0.5) == pytest.approx(0.6)
+
+    def test_mean_distance(self):
+        assert hypercube_mean_distance(8, 0.25) == 2.0
+
+    @given(st.integers(2, 10), st.floats(0.1, 0.9), st.floats(0.1, 0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_lower_below_upper(self, d, p, rho):
+        lam = rho / p
+        lower = hypercube_markov_lower_bound(d, lam, p)
+        upper = hypercube_delay_upper_bound(d, lam, p)
+        assert lower <= upper + 1e-12
+
+    def test_upper_is_dp_over_one_minus_rho(self):
+        d, p, rho = 6, 0.5, 0.8
+        lam = rho / p
+        assert hypercube_delay_upper_bound(d, lam, p) == pytest.approx(
+            d * p / (1 - rho)
+        )
+
+    def test_gap_realised_in_limit(self):
+        """(1-rho)(UB - dp) over (1-rho)(LB - dp) tends to the gap ratio."""
+        d, p = 5, 0.5
+        lo_99, hi_99 = hypercube_limit_scaled_bounds(d, p, 0.9999)
+        # hi -> dp; lo -> dp / (2(dp+1-p)), so hi/lo -> gap.
+        assert hi_99 / lo_99 == pytest.approx(
+            hypercube_gap_markov(d, p), rel=0.02
+        )
+        assert hi_99 == pytest.approx(d * p, rel=0.01)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            hypercube_delay_upper_bound(4, 2.0, 0.5)
+
+
+class TestStability:
+    def test_is_stable_basic(self):
+        assert is_stable(np.array([0.5, 0.9]))
+        assert not is_stable(np.array([0.5, 1.0]))
+
+    def test_margin_parameter(self):
+        assert not is_stable(np.array([0.95]), margin=0.1)
+        assert is_stable(np.array([0.85]), margin=0.1)
+
+    def test_per_edge_service_rates(self):
+        assert is_stable(np.array([1.5]), np.array([2.0]))
+
+    def test_capacity_dispatch(self):
+        assert capacity(6, configured="standard") == pytest.approx(4 / 6)
+        assert capacity(6, configured="optimal") == pytest.approx(6 / 7)
+        with pytest.raises(ValueError):
+            capacity(6, configured="quantum")
+
+    def test_capacity_gain_even(self):
+        """(3/2) n/(n+1) for even n."""
+        for n in (4, 6, 10):
+            assert capacity_gain(n) == pytest.approx(1.5 * n / (n + 1))
+
+    def test_stability_margin_sign(self):
+        n = 6
+        assert stability_margin(n, 0.5 * capacity(n)) == pytest.approx(0.5)
+        assert stability_margin(n, 1.2 * capacity(n)) < 0
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            is_stable(np.array([0.5]), margin=1.0)

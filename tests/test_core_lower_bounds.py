@@ -1,0 +1,153 @@
+"""Tests for Theorems 8, 10, 12, 14 and the bound summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import mean_distance
+from repro.core.lower_bounds import (
+    asymptotic_gap,
+    best_lower_bound,
+    bound_summary,
+    copy_lower_bound,
+    markov_lower_bound,
+    saturated_lower_bound,
+    st_lower_bound,
+    trivial_lower_bound,
+)
+from repro.core.rates import lambda_for_load
+
+
+class TestTheorem8:
+    def test_even_prefactor(self):
+        assert st_lower_bound(6, 0.0) == pytest.approx(0.5)
+
+    def test_odd_prefactor(self):
+        assert st_lower_bound(5, 0.0) == pytest.approx(0.5 - 1 / 25)
+
+    def test_oblivious_stronger_than_any(self):
+        for rho in (0.3, 0.8, 0.95):
+            assert st_lower_bound(6, rho, oblivious=True) > st_lower_bound(
+                6, rho, oblivious=False
+            )
+
+    def test_any_scheme_formula(self):
+        n, rho = 8, 0.9
+        f = 0.5
+        assert st_lower_bound(n, rho, oblivious=False) == pytest.approx(
+            f * (1 + rho / (2 * n * (1 - rho)))
+        )
+
+    def test_diverges_at_capacity(self):
+        assert st_lower_bound(6, 0.9999) > 1000 * st_lower_bound(6, 0.5)
+
+    def test_rejects_rho_one(self):
+        with pytest.raises(ValueError):
+            st_lower_bound(6, 1.0)
+
+
+class TestCopyAndMarkovBounds:
+    @given(st.integers(3, 14), st.floats(0.1, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_markov_improves_copy_by_d_over_dbar(self, n, rho):
+        """Thm 12 / Thm 10 = d / d-bar = 2(n-1)/(n-1/2) exactly."""
+        lam = lambda_for_load(n, rho, "exact")
+        ratio = markov_lower_bound(n, lam) / copy_lower_bound(n, lam)
+        assert np.isclose(ratio, 2 * (n - 1) / (n - 0.5))
+
+    @given(st.integers(3, 12), st.floats(0.2, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_all_lower_bounds_below_upper(self, n, rho):
+        lam = lambda_for_load(n, rho, "exact")
+        b = bound_summary(n, lam)
+        assert b.is_consistent()
+
+    def test_copy_bound_within_4n_minus_4_of_upper(self):
+        """Paper: Thm 10's delay bound is within 4n-4 of the upper bound
+        (the factor 2 from Lemma 9 times the copy count d = 2(n-1));
+        check the claimed gap is an upper bound on the actual gap."""
+        n = 8
+        for rho in (0.5, 0.9, 0.99):
+            lam = lambda_for_load(n, rho)
+            b = bound_summary(n, lam)
+            assert b.upper / b.lower_copy <= 4 * n - 4 + 1e-9
+
+    def test_markov_bound_within_2n_minus_1(self):
+        n = 9
+        for rho in (0.5, 0.9, 0.99):
+            lam = lambda_for_load(n, rho)
+            b = bound_summary(n, lam)
+            assert b.upper / b.lower_markov <= 2 * n - 1 + 1e-9
+
+
+class TestTheorem14:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10])
+    def test_even_gap_approaches_three(self, n):
+        """As rho -> 1, UB / saturated LB -> 2 * s-bar = 3 for even n."""
+        lam = lambda_for_load(n, 0.9999)
+        b = bound_summary(n, lam)
+        assert b.upper / b.lower_saturated == pytest.approx(3.0, rel=0.02)
+
+    @pytest.mark.parametrize("n", [5, 7, 9])
+    def test_odd_gap_below_six(self, n):
+        lam = lambda_for_load(n, 0.9999)
+        b = bound_summary(n, lam)
+        gap = b.upper / b.lower_saturated
+        assert gap < 6.0
+        assert gap == pytest.approx(asymptotic_gap(n), rel=0.02)
+
+    def test_saturated_dominates_at_heavy_load(self):
+        n = 8
+        lam = lambda_for_load(n, 0.999)
+        b = bound_summary(n, lam)
+        assert b.lower_saturated == pytest.approx(b.lower_best)
+
+    def test_non_markovian_variant_weaker(self):
+        n, rho = 6, 0.95
+        lam = lambda_for_load(n, rho)
+        # s = 2 > s-bar = 1.5 for even n, so dividing by s gives less.
+        assert saturated_lower_bound(n, lam, markovian=False) < saturated_lower_bound(
+            n, lam, markovian=True
+        )
+
+    def test_asymptotic_gap_values(self):
+        assert asymptotic_gap(6) == pytest.approx(3.0)
+        assert asymptotic_gap(8) == pytest.approx(3.0)
+        assert asymptotic_gap(5) == pytest.approx(2 * (8 / 3), rel=1e-9)
+        assert asymptotic_gap(7) < 6.0
+
+
+class TestBestAndSummary:
+    def test_trivial_wins_at_light_load(self):
+        n = 10
+        lam = lambda_for_load(n, 0.1)
+        assert best_lower_bound(n, lam) == pytest.approx(mean_distance(n))
+
+    def test_summary_fields_coherent(self):
+        n, rho = 6, 0.8
+        lam = lambda_for_load(n, rho)
+        b = bound_summary(n, lam)
+        assert b.rho == pytest.approx(rho)
+        assert b.lower_best == max(
+            b.lower_trivial,
+            b.lower_st_any,
+            b.lower_st_oblivious,
+            b.lower_copy,
+            b.lower_markov,
+            b.lower_saturated,
+        )
+        assert b.gap == pytest.approx(b.upper / b.lower_best)
+
+    def test_best_matches_summary(self):
+        n, rho = 7, 0.9
+        lam = lambda_for_load(n, rho)
+        assert best_lower_bound(n, lam) == pytest.approx(
+            bound_summary(n, lam).lower_best
+        )
+
+    def test_estimate_between_best_lower_and_upper(self):
+        n, rho = 8, 0.7
+        lam = lambda_for_load(n, rho)
+        b = bound_summary(n, lam)
+        assert b.lower_best <= b.estimate <= b.upper

@@ -1,0 +1,145 @@
+"""Tests for Theorem 15 optimal allocation and the 4/n vs 6/(n+1) claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimization import (
+    budget_surplus,
+    discrete_service_rates,
+    optimal_capacity,
+    optimal_delay,
+    optimal_mean_number,
+    optimal_service_rates,
+    standard_capacity,
+    uniform_mean_number,
+)
+from repro.core.rates import array_edge_rates
+from repro.queueing.productform import ProductFormNetwork
+from repro.topology.array_mesh import ArrayMesh
+
+
+class TestTheorem15:
+    def test_budget_exactly_spent(self):
+        lams = np.array([0.5, 1.0, 0.2])
+        costs = np.array([1.0, 2.0, 0.5])
+        D = 10.0
+        phi = optimal_service_rates(lams, costs, D)
+        assert np.isclose((costs * phi).sum(), D)
+
+    def test_all_queues_stable(self):
+        lams = np.array([0.5, 1.0, 0.2])
+        phi = optimal_service_rates(lams, 1.0, 5.0)
+        assert np.all(phi > lams)
+
+    def test_matches_paper_formula(self):
+        lams = np.array([0.4, 0.9])
+        costs = np.array([1.0, 3.0])
+        D = 8.0
+        phi = optimal_service_rates(lams, costs, D)
+        dstar = D - (lams * costs).sum()
+        denom = np.sqrt(lams * costs).sum()
+        expected = lams + np.sqrt(lams / costs) * dstar / denom
+        assert np.allclose(phi, expected)
+
+    def test_closed_form_mean_number(self):
+        lams = np.array([0.4, 0.9])
+        costs = np.array([1.0, 3.0])
+        D = 8.0
+        phi = optimal_service_rates(lams, costs, D)
+        direct = ProductFormNetwork.from_rates(lams, phi).mean_number()
+        assert np.isclose(direct, optimal_mean_number(lams, costs, D))
+
+    @given(
+        st.lists(st.floats(0.1, 1.0), min_size=2, max_size=6),
+        st.floats(1.2, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimality_against_random_feasible_allocations(self, lams, slack):
+        """Property: no random feasible allocation beats Theorem 15."""
+        lam = np.asarray(lams)
+        D = float(lam.sum() * slack + 1.0)
+        best = optimal_mean_number(lam, 1.0, D)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            w = rng.dirichlet(np.ones(lam.size))
+            phi = lam + (D - lam.sum()) * w
+            if np.any(phi <= lam):
+                continue
+            candidate = ProductFormNetwork.from_rates(lam, phi).mean_number()
+            assert candidate >= best - 1e-9
+
+    def test_beats_uniform_allocation(self):
+        mesh = ArrayMesh(6)
+        lams = array_edge_rates(mesh, 0.5)
+        D = float(mesh.num_edges)
+        assert optimal_mean_number(lams, 1.0, D) <= uniform_mean_number(
+            lams, 1.0, D
+        )
+
+    def test_insufficient_budget_raises(self):
+        with pytest.raises(ValueError, match="D_star"):
+            optimal_service_rates(np.array([1.0, 1.0]), 1.0, 1.5)
+
+    def test_optimal_delay_littles(self):
+        lams = np.array([0.3, 0.6])
+        assert optimal_delay(lams, 1.0, 4.0, 2.0) == pytest.approx(
+            optimal_mean_number(lams, 1.0, 4.0) / 2.0
+        )
+
+
+class TestCapacities:
+    @pytest.mark.parametrize("n", [4, 6, 10, 20])
+    def test_standard_even(self, n):
+        assert standard_capacity(n) == pytest.approx(4.0 / n)
+
+    @pytest.mark.parametrize("n", [5, 7, 9])
+    def test_standard_odd(self, n):
+        assert standard_capacity(n) == pytest.approx(4 * n / (n * n - 1))
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 10])
+    def test_optimal_is_6_over_n_plus_1(self, n):
+        assert optimal_capacity(n) == pytest.approx(6.0 / (n + 1))
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 10, 21])
+    def test_optimal_exceeds_standard(self, n):
+        assert optimal_capacity(n) > standard_capacity(n)
+
+    def test_dstar_positive_iff_below_optimal_capacity(self):
+        """D* > 0 exactly characterises stability of the optimal network."""
+        n = 6
+        mesh = ArrayMesh(n)
+        D = 4.0 * n * (n - 1)
+        lam_below = 0.99 * optimal_capacity(n)
+        lam_above = 1.01 * optimal_capacity(n)
+        assert budget_surplus(array_edge_rates(mesh, lam_below), 1.0, D) > 0
+        assert budget_surplus(array_edge_rates(mesh, lam_above), 1.0, D) < 0
+
+
+class TestDiscreteRates:
+    def test_feasible_and_within_budget(self):
+        lams = np.array([0.3, 0.7, 0.5])
+        menu = [0.5, 1.0, 1.5, 2.0]
+        phi = discrete_service_rates(lams, 1.0, 4.5, menu)
+        assert np.all(phi > lams)
+        assert phi.sum() <= 4.5 + 1e-12
+        assert all(p in menu for p in phi)
+
+    def test_uses_budget_productively(self):
+        """With ample budget the heuristic upgrades past the minimum."""
+        lams = np.array([0.3, 0.7])
+        menu = [0.5, 1.0, 2.0]
+        minimal = np.array([0.5, 1.0])
+        phi = discrete_service_rates(lams, 1.0, 4.0, menu)
+        assert ProductFormNetwork.from_rates(lams, phi).mean_number() <= (
+            ProductFormNetwork.from_rates(lams, minimal).mean_number()
+        )
+
+    def test_infeasible_menu_raises(self):
+        with pytest.raises(ValueError, match="menu"):
+            discrete_service_rates(np.array([1.5]), 1.0, 10.0, [0.5, 1.0])
+
+    def test_insufficient_budget_raises(self):
+        with pytest.raises(ValueError, match="budget"):
+            discrete_service_rates(np.array([0.4, 0.4]), 1.0, 0.9, [0.5])

@@ -1,0 +1,193 @@
+"""Tests for Theorem 6 rates, the generic traffic solver, and load math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import mean_distance
+from repro.core.rates import (
+    array_edge_rate,
+    array_edge_rates,
+    edge_rates_from_routing,
+    lambda_for_load,
+    load_for_lambda,
+    max_edge_rate,
+    total_external_rate,
+)
+from repro.routing.butterfly_routing import ButterflyRouter
+from repro.routing.destinations import (
+    GeometricStopDestinations,
+    PBiasedHypercubeDestinations,
+    UniformDestinations,
+)
+from repro.routing.greedy import GreedyArrayRouter
+from repro.routing.hypercube_greedy import GreedyHypercubeRouter
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+
+
+class TestTheorem6ClosedForms:
+    def test_paper_table_formulas(self):
+        """The four Theorem 6 entries, checked symbolically at (i, j)."""
+        n, lam = 7, 0.3
+        for i in range(1, n + 1):
+            for j in range(1, n + 1):
+                assert array_edge_rate(n, lam, i, j, "left") == pytest.approx(
+                    (lam / n) * (j - 1) * (n - j + 1)
+                )
+                assert array_edge_rate(n, lam, i, j, "right") == pytest.approx(
+                    (lam / n) * j * (n - j)
+                )
+                assert array_edge_rate(n, lam, i, j, "up") == pytest.approx(
+                    (lam / n) * (i - 1) * (n - i + 1)
+                )
+                assert array_edge_rate(n, lam, i, j, "down") == pytest.approx(
+                    (lam / n) * i * (n - i)
+                )
+
+    def test_border_edges_have_zero_rate(self):
+        # A left edge out of column 1 does not exist; rate formula gives 0.
+        assert array_edge_rate(5, 1.0, 1, 1, "left") == 0.0
+        assert array_edge_rate(5, 1.0, 1, 1, "up") == 0.0
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_closed_form_matches_generic_solver(self, n):
+        """Theorem 6 == exact expectation over all (src, dst) pairs."""
+        mesh = ArrayMesh(n)
+        lam = 0.2
+        closed = array_edge_rates(mesh, lam)
+        generic = edge_rates_from_routing(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes), lam
+        )
+        assert np.allclose(closed, generic)
+
+    def test_rectangular_rates_conserve_flow(self):
+        """Sum of edge rates = mean distance * total arrival rate."""
+        mesh = ArrayMesh(3, 5)
+        lam = 0.1
+        rates = array_edge_rates(mesh, lam)
+        from repro.core.distances import mean_route_length
+
+        router = GreedyArrayRouter(mesh)
+        nbar = mean_route_length(router, UniformDestinations(mesh.num_nodes))
+        assert rates.sum() == pytest.approx(nbar * lam * mesh.num_nodes)
+
+    @given(st.integers(2, 10), st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_flow_conservation_identity(self, n, lam):
+        """The paper's Section 5.1 identity: sum_e lam_e = n-bar lam n^2."""
+        mesh = ArrayMesh(n)
+        rates = array_edge_rates(mesh, lam)
+        assert np.isclose(
+            rates.sum(), mean_distance(n) * total_external_rate(n, lam)
+        )
+
+
+class TestLoadConversions:
+    def test_even_max_rate(self):
+        assert max_edge_rate(8, 0.5) == pytest.approx(1.0)
+
+    def test_odd_max_rate(self):
+        assert max_edge_rate(5, 1.0) == pytest.approx(24 / 20)
+
+    def test_lambda_roundtrip_exact(self):
+        for n in (4, 5, 9, 10):
+            lam = lambda_for_load(n, 0.7, "exact")
+            assert load_for_lambda(n, lam) == pytest.approx(0.7)
+
+    def test_table1_convention_is_4rho_over_n(self):
+        for n in (5, 10, 15, 20):
+            assert lambda_for_load(n, 0.9, "table1") == pytest.approx(3.6 / n)
+
+    def test_conventions_agree_for_even_n(self):
+        assert lambda_for_load(6, 0.5, "exact") == lambda_for_load(
+            6, 0.5, "table1"
+        )
+
+    def test_table1_under_loads_odd_n(self):
+        lam = lambda_for_load(5, 0.9, "table1")
+        assert load_for_lambda(5, lam) < 0.9
+
+    def test_unknown_convention(self):
+        with pytest.raises(ValueError, match="convention"):
+            lambda_for_load(5, 0.5, "bogus")
+
+    def test_rejects_rho_one(self):
+        with pytest.raises(ValueError):
+            lambda_for_load(5, 1.0)
+
+
+class TestGenericSolverOtherTopologies:
+    def test_hypercube_uniform_rate_lam_p(self):
+        """Section 4.5: every directed edge carries lam * p."""
+        d, lam, p = 4, 0.3, 0.3
+        cube = Hypercube(d)
+        rates = edge_rates_from_routing(
+            GreedyHypercubeRouter(cube),
+            PBiasedHypercubeDestinations(cube, p),
+            lam,
+        )
+        assert np.allclose(rates, lam * p)
+
+    def test_butterfly_uniform_rates(self):
+        """Uniform input->output traffic loads every edge equally."""
+        d, lam = 3, 0.4
+        b = Butterfly(d)
+        sources = [b.node_id(0, r) for r in range(b.rows)]
+        outs = [b.node_id(d, r) for r in range(b.rows)]
+
+        class UniformOutputs:
+            num_nodes = b.num_nodes
+
+            def pmf(self, src):
+                v = np.zeros(b.num_nodes)
+                v[outs] = 1.0 / len(outs)
+                return v
+
+            def sample(self, src, rng):
+                return outs[int(rng.integers(len(outs)))]
+
+        rates = edge_rates_from_routing(
+            ButterflyRouter(b), UniformOutputs(), lam, source_nodes=sources
+        )
+        assert np.allclose(rates, lam / 2.0)
+
+    def test_geometric_stop_rates_below_uniform_peak(self):
+        """Distance-biased destinations unload the middle of the array."""
+        mesh = ArrayMesh(6)
+        router = GreedyArrayRouter(mesh)
+        lam = 0.3
+        uni = edge_rates_from_routing(
+            router, UniformDestinations(mesh.num_nodes), lam
+        )
+        geo = edge_rates_from_routing(
+            router, GeometricStopDestinations(mesh, 0.5), lam
+        )
+        assert geo.max() < uni.max()
+
+    def test_per_node_rates_sequence(self):
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        only_node_0 = [1.0] + [0.0] * 8
+        rates = edge_rates_from_routing(
+            router,
+            UniformDestinations(9),
+            only_node_0,
+            source_nodes=list(range(9)),
+        )
+        # Node 0 routes right then down: no left/up edge carries anything.
+        for e in range(mesh.num_edges):
+            if mesh.edge_direction(e) in ("left", "up"):
+                assert rates[e] == 0.0
+
+    def test_rate_sequence_length_mismatch(self):
+        mesh = ArrayMesh(3)
+        with pytest.raises(ValueError):
+            edge_rates_from_routing(
+                GreedyArrayRouter(mesh),
+                UniformDestinations(9),
+                [1.0, 2.0],
+                source_nodes=[0, 1, 2],
+            )

@@ -1,0 +1,116 @@
+"""Tests for the rectangular-array analysis (Section 2.1's remark)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import mean_distance, mean_route_length
+from repro.core.rates import array_edge_rates
+from repro.core.rectangular import (
+    rect_capacity,
+    rect_delay_upper_bound,
+    rect_lambda_for_load,
+    rect_md1_estimate,
+    rect_mean_distance,
+    squarest_shape,
+)
+from repro.core.upper_bound import delay_upper_bound, delay_upper_bound_generic
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.topology.array_mesh import ArrayMesh
+
+sides = st.integers(min_value=2, max_value=7)
+
+
+class TestRectangularClosedForms:
+    @given(sides, sides)
+    @settings(max_examples=25, deadline=None)
+    def test_mean_distance_matches_enumeration(self, r, c):
+        mesh = ArrayMesh(r, c)
+        got = mean_route_length(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        assert got == pytest.approx(rect_mean_distance(r, c))
+
+    def test_square_specialisations(self):
+        assert rect_mean_distance(6, 6) == pytest.approx(mean_distance(6))
+        assert rect_delay_upper_bound(6, 6, 0.3) == pytest.approx(
+            delay_upper_bound(6, 0.3)
+        )
+
+    @given(sides, sides)
+    @settings(max_examples=20, deadline=None)
+    def test_upper_bound_matches_generic(self, r, c):
+        mesh = ArrayMesh(r, c)
+        lam = 0.5 * rect_capacity(r, c)
+        rates = array_edge_rates(mesh, lam)
+        generic = delay_upper_bound_generic(rates, lam * mesh.num_nodes)
+        assert rect_delay_upper_bound(r, c, lam) == pytest.approx(generic)
+
+    @given(sides, sides)
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_is_bottleneck_inverse(self, r, c):
+        mesh = ArrayMesh(r, c)
+        lam = rect_capacity(r, c)
+        rates = array_edge_rates(mesh, lam)
+        assert rates.max() == pytest.approx(1.0)
+
+    def test_longer_axis_dominates(self):
+        # Stretching one axis lowers capacity despite adding links.
+        assert rect_capacity(4, 8) == pytest.approx(0.5)
+        assert rect_capacity(4, 8) < rect_capacity(4, 4)
+        assert rect_capacity(4, 8) == rect_capacity(8, 4)
+
+    def test_lambda_for_load(self):
+        assert rect_lambda_for_load(4, 6, 0.5) == pytest.approx(0.5 * 4 / 6)
+        with pytest.raises(ValueError):
+            rect_lambda_for_load(4, 6, 1.0)
+
+    def test_estimate_below_upper_bound(self):
+        lam = 0.6 * rect_capacity(3, 7)
+        assert rect_md1_estimate(3, 7, lam) < rect_delay_upper_bound(3, 7, lam)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            rect_delay_upper_bound(4, 6, rect_capacity(4, 6))
+        with pytest.raises(ValueError, match="unstable"):
+            rect_md1_estimate(4, 6, rect_capacity(4, 6))
+
+
+class TestRectangularSimulation:
+    def test_simulated_rectangle_respects_bound(self):
+        r, c = 3, 6
+        lam = 0.7 * rect_capacity(r, c)
+        mesh = ArrayMesh(r, c)
+        from repro.sim.fifo_network import NetworkSimulation
+
+        res = NetworkSimulation(
+            GreedyArrayRouter(mesh),
+            UniformDestinations(mesh.num_nodes),
+            lam,
+            seed=51,
+        ).run(200, 2500)
+        assert res.mean_delay <= rect_delay_upper_bound(r, c, lam) * 1.05
+        assert res.mean_delay >= rect_mean_distance(r, c) * 0.98
+
+
+class TestSquarestShape:
+    def test_perfect_square(self):
+        assert squarest_shape(36) == (6, 6)
+
+    def test_rectangle(self):
+        assert squarest_shape(24) == (4, 6)
+
+    def test_prime_rejected(self):
+        with pytest.raises(ValueError):
+            squarest_shape(13)
+
+    def test_squarer_is_better(self):
+        """Equal node budget: the squarer mesh has more capacity and
+        shorter routes."""
+        r1, c1 = squarest_shape(36)  # 6x6
+        cap_sq = rect_capacity(r1, c1)
+        cap_strip = rect_capacity(2, 18)
+        assert cap_sq > cap_strip
+        assert rect_mean_distance(r1, c1) < rect_mean_distance(2, 18)

@@ -1,0 +1,147 @@
+"""Tests for Definition 11: expected remaining distances d_e and d-bar."""
+
+import numpy as np
+import pytest
+
+from repro.core.remaining_distance import (
+    array_max_expected_remaining_distance,
+    butterfly_remaining_distance,
+    expected_remaining_distances,
+    hypercube_max_expected_remaining_distance,
+    max_expected_remaining_distance,
+)
+from repro.routing.butterfly_routing import ButterflyRouter
+from repro.routing.destinations import (
+    PBiasedHypercubeDestinations,
+    UniformDestinations,
+)
+from repro.routing.greedy import GreedyArrayRouter
+from repro.routing.hypercube_greedy import GreedyHypercubeRouter
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+
+
+class TestArrayDbar:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_dbar_is_n_minus_half(self, n):
+        """Paper Section 4.3: d-bar = n - 1/2 on the array, verified by
+        exact enumeration against the closed form."""
+        mesh = ArrayMesh(n)
+        got = max_expected_remaining_distance(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        assert np.isclose(got, array_max_expected_remaining_distance(n))
+        assert np.isclose(got, n - 0.5)
+
+    def test_dbar_attained_at_corner_rightward(self):
+        """The maximiser is the rightward edge out of node (1,1)."""
+        n = 5
+        mesh = ArrayMesh(n)
+        d_e = expected_remaining_distances(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        corner_right = mesh.directed_edge_id(0, 0, "right")
+        assert np.isclose(d_e[corner_right], np.nanmax(d_e))
+
+    def test_every_de_at_least_one(self):
+        """The service at e itself always counts."""
+        mesh = ArrayMesh(4)
+        d_e = expected_remaining_distances(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        finite = d_e[np.isfinite(d_e)]
+        assert np.all(finite >= 1.0 - 1e-12)
+
+    def test_column_edges_have_small_de(self):
+        """Once in the column leg, at most n-1 services remain; d_e on a
+        column edge is below the row-leg maximum."""
+        n = 5
+        mesh = ArrayMesh(n)
+        d_e = expected_remaining_distances(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        for j in range(n):
+            e = mesh.directed_edge_id(0, j, "down")
+            assert d_e[e] <= n - 1
+
+    def test_weighted_sources(self):
+        """Restricting sources to the corner raises remaining distances."""
+        mesh = ArrayMesh(4)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(mesh.num_nodes)
+        all_src = expected_remaining_distances(router, dests)
+        corner = expected_remaining_distances(router, dests, source_nodes=[0])
+        e = mesh.directed_edge_id(0, 0, "right")
+        assert corner[e] == pytest.approx(all_src[e])  # only corner feeds it
+
+
+class TestHypercubeDbar:
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.8])
+    def test_closed_form_matches_enumeration(self, p):
+        d = 4
+        cube = Hypercube(d)
+        got = max_expected_remaining_distance(
+            GreedyHypercubeRouter(cube), PBiasedHypercubeDestinations(cube, p)
+        )
+        assert np.isclose(got, hypercube_max_expected_remaining_distance(d, p))
+        assert np.isclose(got, 1 + p * (d - 1))
+
+    def test_p_zero_and_one(self):
+        assert hypercube_max_expected_remaining_distance(5, 0.0) == 1.0
+        assert hypercube_max_expected_remaining_distance(5, 1.0) == 5.0
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            hypercube_max_expected_remaining_distance(0, 0.5)
+
+
+class TestButterflyDbar:
+    def test_dbar_is_d(self):
+        """Every route has length d; first-level queues see d remaining."""
+        d = 3
+        b = Butterfly(d)
+        outs = [b.node_id(d, r) for r in range(b.rows)]
+
+        class UniformOutputs:
+            num_nodes = b.num_nodes
+
+            def pmf(self, src):
+                v = np.zeros(b.num_nodes)
+                v[outs] = 1.0 / len(outs)
+                return v
+
+            def sample(self, src, rng):  # pragma: no cover
+                return outs[int(rng.integers(len(outs)))]
+
+        sources = [b.node_id(0, r) for r in range(b.rows)]
+        got = max_expected_remaining_distance(
+            ButterflyRouter(b), UniformOutputs(), source_nodes=sources
+        )
+        assert np.isclose(got, butterfly_remaining_distance(d))
+
+    def test_closed_form(self):
+        assert butterfly_remaining_distance(6) == 6.0
+
+
+class TestEdgeCases:
+    def test_uncrossed_edges_are_nan(self):
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        d_e = expected_remaining_distances(
+            router, UniformDestinations(9), source_nodes=[0]
+        )
+        # From the corner, no left edges are ever used.
+        e_left = mesh.directed_edge_id(0, 1, "left")
+        assert np.isnan(d_e[e_left])
+
+    def test_no_traffic_raises(self):
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        with pytest.raises(ValueError, match="match"):
+            expected_remaining_distances(
+                router,
+                UniformDestinations(9),
+                source_nodes=[0, 1],
+                source_weights=[1.0],
+            )

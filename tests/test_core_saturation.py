@@ -1,0 +1,132 @@
+"""Tests for Definition 13: saturated edges, s, s_e and s-bar."""
+
+import numpy as np
+import pytest
+
+from repro.core.rates import array_edge_rates
+from repro.core.saturation import (
+    array_max_saturated_on_route,
+    array_saturated_boundaries,
+    array_saturated_count,
+    max_saturated_on_route,
+    s_bar,
+    s_bar_exact,
+    saturated_edge_mask,
+    saturated_remaining_expectations,
+)
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.topology.array_mesh import ArrayMesh
+
+
+class TestSaturatedMask:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+    def test_count_closed_form(self, n):
+        """4n saturated edges for even n, 8n for odd n."""
+        mesh = ArrayMesh(n)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        assert int(mask.sum()) == array_saturated_count(n)
+
+    def test_even_boundaries(self):
+        assert array_saturated_boundaries(6) == [3]
+        assert array_saturated_boundaries(8) == [4]
+
+    def test_odd_boundaries(self):
+        assert array_saturated_boundaries(5) == [2, 3]
+        assert array_saturated_boundaries(9) == [4, 5]
+
+    def test_mask_location_even(self):
+        """For even n the saturated right edges sit at column n/2 (1-based)."""
+        n = 6
+        mesh = ArrayMesh(n)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        for i in range(n):
+            e = mesh.directed_edge_id(i, n // 2 - 1, "right")  # 0-based col
+            assert mask[e]
+
+    def test_lambda_invariance(self):
+        """The mask does not depend on lam (rates scale uniformly)."""
+        mesh = ArrayMesh(5)
+        m1 = saturated_edge_mask(array_edge_rates(mesh, 0.01))
+        m2 = saturated_edge_mask(array_edge_rates(mesh, 0.7))
+        assert np.array_equal(m1, m2)
+
+    def test_service_rate_shifting(self):
+        """Speeding up the bottleneck edges moves saturation elsewhere."""
+        rates = np.array([0.9, 0.8])
+        phis = np.array([2.0, 1.0])
+        mask = saturated_edge_mask(rates, phis)
+        assert list(mask) == [False, True]
+
+    def test_all_zero_rates_raise(self):
+        with pytest.raises(ValueError):
+            saturated_edge_mask(np.zeros(4))
+
+
+class TestMaxOnRoute:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_even_is_two(self, n):
+        mesh = ArrayMesh(n)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        assert max_saturated_on_route(GreedyArrayRouter(mesh), mask) == 2
+        assert array_max_saturated_on_route(n) == 2
+
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_odd_is_four(self, n):
+        mesh = ArrayMesh(n)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        assert max_saturated_on_route(GreedyArrayRouter(mesh), mask) == 4
+        assert array_max_saturated_on_route(n) == 4
+
+
+class TestSBar:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10])
+    def test_even_closed_form(self, n):
+        """s-bar = 3/2 for even n — closed form and enumeration agree."""
+        assert s_bar(n) == 1.5
+        assert s_bar_exact(n) == pytest.approx(1.5)
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 9, 11])
+    def test_odd_below_three(self, n):
+        sb = s_bar(n)
+        assert sb < 3.0
+
+    def test_odd_increases_toward_three(self):
+        values = [s_bar(n) for n in (5, 7, 9, 11, 13)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        assert values[-1] < 3.0
+
+    def test_s_e_at_least_one(self):
+        """Each s_e counts the service at e itself."""
+        mesh = ArrayMesh(6)
+        router = GreedyArrayRouter(mesh)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        s_e = saturated_remaining_expectations(
+            router, UniformDestinations(mesh.num_nodes), mask
+        )
+        finite = s_e[np.isfinite(s_e)]
+        assert np.all(finite >= 1.0 - 1e-12)
+        assert np.all(finite <= array_max_saturated_on_route(6) + 1e-12)
+
+    def test_s_e_nan_on_unsaturated(self):
+        mesh = ArrayMesh(4)
+        router = GreedyArrayRouter(mesh)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        s_e = saturated_remaining_expectations(
+            router, UniformDestinations(mesh.num_nodes), mask
+        )
+        assert np.all(np.isnan(s_e[~mask]))
+
+    def test_even_saturated_column_edges_have_se_one(self):
+        """A packet at a saturated *column* edge has no saturated services
+        after it (even n): s_e = 1 exactly."""
+        n = 6
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        mask = saturated_edge_mask(array_edge_rates(mesh, 0.1))
+        s_e = saturated_remaining_expectations(
+            router, UniformDestinations(mesh.num_nodes), mask
+        )
+        e = mesh.directed_edge_id(n // 2 - 1, 0, "down")
+        assert mask[e]
+        assert s_e[e] == pytest.approx(1.0)

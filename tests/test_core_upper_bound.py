@@ -1,0 +1,70 @@
+"""Tests for the Theorem 7 upper bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import mean_distance
+from repro.core.rates import array_edge_rates, lambda_for_load
+from repro.core.upper_bound import (
+    delay_upper_bound,
+    delay_upper_bound_generic,
+    number_upper_bound,
+    number_upper_bound_generic,
+)
+from repro.topology.array_mesh import ArrayMesh
+
+
+class TestTheorem7ClosedForm:
+    def test_paper_display_formula(self):
+        """(1/(lam n^2)) sum_e lam_e/(1-lam_e) equals the displayed
+        (4/(lam n)) sum_i 1/(n/(lam i(n-i)) - 1)."""
+        n, lam = 9, 0.3
+        displayed = (4.0 / (lam * n)) * sum(
+            1.0 / ((n / (lam * i * (n - i))) - 1.0) for i in range(1, n)
+        )
+        assert delay_upper_bound(n, lam) == pytest.approx(displayed)
+
+    def test_generic_matches_closed_form(self):
+        n, lam = 6, 0.4
+        mesh = ArrayMesh(n)
+        rates = array_edge_rates(mesh, lam)
+        assert delay_upper_bound_generic(rates, lam * n * n) == pytest.approx(
+            delay_upper_bound(n, lam)
+        )
+        assert number_upper_bound_generic(rates) == pytest.approx(
+            number_upper_bound(n, lam)
+        )
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            delay_upper_bound(6, 4.0 / 6)
+
+    def test_zero_rate_number(self):
+        assert number_upper_bound(5, 0.0) == 0.0
+
+    @given(st.integers(2, 15), st.floats(0.05, 0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_above_trivial_bound(self, n, rho):
+        """The upper bound must exceed the mean distance n-bar."""
+        lam = lambda_for_load(n, rho, "exact")
+        assert delay_upper_bound(n, lam) > mean_distance(n) * 0.999
+
+    @given(st.integers(2, 12), st.floats(0.05, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_load(self, n, rho):
+        lam = lambda_for_load(n, rho, "exact")
+        assert delay_upper_bound(n, lam * 1.05) > delay_upper_bound(n, lam)
+
+    def test_blows_up_near_capacity(self):
+        n = 8
+        t1 = delay_upper_bound(n, lambda_for_load(n, 0.99))
+        t2 = delay_upper_bound(n, lambda_for_load(n, 0.999))
+        assert t2 > 5 * t1
+
+    def test_light_traffic_limit(self):
+        """As lam -> 0 the bound tends to n-bar + (light MM1 correction)."""
+        n = 10
+        t = delay_upper_bound(n, 1e-9)
+        assert t == pytest.approx(mean_distance(n), rel=1e-6)

@@ -1,0 +1,133 @@
+"""Cross-module property tests: the paper's identities under hypothesis.
+
+These tie several layers together — router, traffic solver, closed forms,
+bounds — and are the reproduction's strongest internal consistency net.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import mean_distance, mean_route_length
+from repro.core.lower_bounds import bound_summary
+from repro.core.md1_approx import delay_md1_estimate
+from repro.core.rates import (
+    array_edge_rates,
+    edge_rates_from_routing,
+    lambda_for_load,
+)
+from repro.core.remaining_distance import expected_remaining_distances
+from repro.core.upper_bound import delay_upper_bound
+from repro.routing.destinations import (
+    GeometricStopDestinations,
+    UniformDestinations,
+)
+from repro.routing.greedy import GreedyArrayRouter
+from repro.topology.array_mesh import ArrayMesh
+
+sides = st.integers(min_value=2, max_value=6)
+loads = st.floats(min_value=0.05, max_value=0.9)
+
+
+class TestOrderingChain:
+    @given(sides, loads)
+    @settings(max_examples=30, deadline=None)
+    def test_bound_ordering_chain(self, n, rho):
+        """n-bar <= estimate <= upper bound, and every lower bound below
+        the upper bound, at every stable operating point."""
+        lam = lambda_for_load(n, rho, "exact")
+        b = bound_summary(n, lam)
+        assert mean_distance(n) <= b.estimate + 1e-12
+        assert b.estimate <= b.upper + 1e-12
+        assert b.is_consistent()
+
+    @given(sides, loads)
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_variants_ordered(self, n, rho):
+        lam = lambda_for_load(n, rho, "table1")
+        assert delay_md1_estimate(n, lam, variant="paper") <= delay_md1_estimate(
+            n, lam, variant="pk"
+        )
+
+
+class TestTrafficIdentities:
+    @given(sides, st.floats(0.01, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_flow_conservation_generic(self, n, lam):
+        """sum_e lam_e = (mean route length) * (total external rate),
+        for the *generic* solver on the array."""
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(mesh.num_nodes)
+        rates = edge_rates_from_routing(router, dests, lam)
+        nbar = mean_route_length(router, dests)
+        assert np.isclose(rates.sum(), nbar * lam * mesh.num_nodes)
+
+    @given(sides, st.floats(0.2, 0.8))
+    @settings(max_examples=15, deadline=None)
+    def test_flow_conservation_nonuniform(self, n, stop):
+        """The same identity holds for the Section 5.2 distance-biased law."""
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        dests = GeometricStopDestinations(mesh, stop)
+        lam = 0.2
+        rates = edge_rates_from_routing(router, dests, lam)
+        nbar = mean_route_length(router, dests)
+        assert np.isclose(rates.sum(), nbar * lam * mesh.num_nodes)
+
+    @given(sides)
+    @settings(max_examples=15, deadline=None)
+    def test_symmetry_of_rates(self, n):
+        """Theorem 6 rates are symmetric under the array's symmetries:
+        reversing an edge's direction across the middle gives equal rates."""
+        mesh = ArrayMesh(n)
+        rates = array_edge_rates(mesh, 0.3)
+        for i in range(n):
+            for j in range(n - 1):
+                right = rates[mesh.directed_edge_id(i, j, "right")]
+                # Mirror column: right edge at column j <-> at column n-2-j.
+                mirrored = rates[mesh.directed_edge_id(i, n - 2 - j, "right")]
+                assert right == pytest.approx(mirrored)
+
+    @given(sides)
+    @settings(max_examples=10, deadline=None)
+    def test_row_column_transpose_symmetry(self, n):
+        mesh = ArrayMesh(n)
+        rates = array_edge_rates(mesh, 0.3)
+        for k in range(n - 1):
+            r = rates[mesh.directed_edge_id(0, k, "right")]
+            d = rates[mesh.directed_edge_id(k, 0, "down")]
+            assert r == pytest.approx(d)
+
+
+class TestRemainingDistanceBounds:
+    @given(sides)
+    @settings(max_examples=10, deadline=None)
+    def test_de_between_one_and_diameter(self, n):
+        mesh = ArrayMesh(n)
+        d_e = expected_remaining_distances(
+            GreedyArrayRouter(mesh), UniformDestinations(mesh.num_nodes)
+        )
+        finite = d_e[np.isfinite(d_e)]
+        assert np.all(finite >= 1.0 - 1e-12)
+        assert np.all(finite <= 2 * (n - 1) + 1e-12)
+
+    @given(sides)
+    @settings(max_examples=10, deadline=None)
+    def test_dbar_monotone_in_n(self, n):
+        """d-bar = n - 1/2 grows with n."""
+        from repro.core.remaining_distance import (
+            array_max_expected_remaining_distance as dbar,
+        )
+
+        assert dbar(n + 1) > dbar(n)
+
+
+class TestUpperBoundAgainstSimulatorFreeTruth:
+    @given(sides, loads)
+    @settings(max_examples=25, deadline=None)
+    def test_upper_bound_diverges_monotonically(self, n, rho):
+        lam1 = lambda_for_load(n, rho, "exact")
+        lam2 = lambda_for_load(n, rho * 0.5, "exact")
+        assert delay_upper_bound(n, lam1) >= delay_upper_bound(n, lam2)

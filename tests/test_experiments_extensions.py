@@ -1,0 +1,65 @@
+"""Tests for the extension experiments: higher dimensions and the torus."""
+
+import pytest
+
+from repro.experiments.higher_dims import HigherDimsConfig
+from repro.experiments.higher_dims import run as run_kd
+from repro.experiments.higher_dims import shape_checks as kd_checks
+from repro.experiments.torus import TorusConfig
+from repro.experiments.torus import run as run_torus
+from repro.experiments.torus import shape_checks as torus_checks
+
+
+class TestHigherDims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = HigherDimsConfig(
+            table_side=4,
+            table_ks=(2, 3),
+            sim_side=3,
+            sim_k=3,
+            sim_rho=0.6,
+            warmup=80.0,
+            horizon=900.0,
+        )
+        return run_kd(cfg)
+
+    def test_shape_checks_pass(self, result):
+        assert kd_checks(result) == []
+
+    def test_gap_column(self, result):
+        for k, _nbar, _lo, _hi, gap in result.rows:
+            assert gap == k + 1
+
+    def test_render(self, result):
+        out = result.render()
+        assert "bound sandwich over k" in out
+        assert "T(sim)" in out
+
+    def test_sandwich(self, result):
+        gb = result.sim_bounds
+        assert gb.lower_best <= result.t_sim * 1.1
+        assert result.t_sim <= gb.upper * 1.1
+
+
+class TestTorus:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = TorusConfig(n=4, rho=0.6, warmup=80.0, horizon=900.0)
+        return run_torus(cfg)
+
+    def test_shape_checks_pass(self, result):
+        assert torus_checks(result) == []
+
+    def test_obstruction_found(self, result):
+        assert result.obstruction_cycle_len >= 2
+
+    def test_no_upper_bound(self, result):
+        assert result.bounds.upper is None
+
+    def test_torus_beats_array(self, result):
+        assert result.t_sim < result.t_array_sim
+
+    def test_render(self, result):
+        out = result.render()
+        assert "none (not layered)" in out

@@ -1,0 +1,165 @@
+"""Cross-layer integration tests: full workflows through the public API.
+
+Each test exercises a realistic end-to-end scenario: topology + router +
+destination law -> traffic analysis -> bounds -> simulation -> comparison.
+Horizons are modest; tolerances are sized accordingly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayMesh,
+    Butterfly,
+    ButterflyRouter,
+    GeometricStopDestinations,
+    GreedyArrayRouter,
+    GreedyKDRouter,
+    KDArray,
+    NetworkSimulation,
+    UniformDestinations,
+)
+from repro.core.generic_bounds import generic_bounds
+from repro.core.rates import edge_rates_from_routing
+from repro.core.upper_bound import delay_upper_bound_generic
+
+
+class UniformOutputs:
+    """Butterfly destination law: uniform over the level-d outputs."""
+
+    def __init__(self, butterfly: Butterfly):
+        self.b = butterfly
+        self.num_nodes = butterfly.num_nodes
+        self.outs = [
+            butterfly.node_id(butterfly.d, r) for r in range(butterfly.rows)
+        ]
+
+    def pmf(self, src):
+        v = np.zeros(self.num_nodes)
+        v[self.outs] = 1.0 / len(self.outs)
+        return v
+
+    def sample(self, src, rng):
+        return self.outs[int(rng.integers(len(self.outs)))]
+
+
+class TestButterflyEndToEnd:
+    """The Section 4.5 butterfly: simulate with level-0 sources only."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        b = Butterfly(3)
+        router = ButterflyRouter(b)
+        dests = UniformOutputs(b)
+        sources = [b.node_id(0, r) for r in range(b.rows)]
+        rho = 0.7
+        lam = 2 * rho  # each edge carries lam/2
+        sim = NetworkSimulation(
+            router, dests, lam, source_nodes=sources, seed=17
+        )
+        res = sim.run(150, 2500, track_utilization=True)
+        return b, router, dests, sources, lam, res
+
+    def test_every_route_is_d_hops(self, setup):
+        b, _router, _dests, _sources, _lam, res = setup
+        # All packets traverse exactly d edges: r == mean remaining over a
+        # uniformly-progressing population == (d+1)/2.
+        assert res.r == pytest.approx((b.d + 1) / 2, rel=0.15)
+
+    def test_utilisation_uniform(self, setup):
+        b, router, dests, sources, lam, res = setup
+        rates = edge_rates_from_routing(
+            router, dests, lam, source_nodes=sources
+        )
+        assert np.allclose(rates, lam / 2)
+        assert np.abs(res.utilization - lam / 2).max() < 0.06
+
+    def test_sandwich(self, setup):
+        b, router, dests, sources, lam, res = setup
+        gb = generic_bounds(router, dests, lam, source_nodes=sources)
+        assert gb.d_max == b.d
+        assert gb.lower_best <= res.mean_delay * 1.10
+        assert res.mean_delay <= gb.upper * 1.10
+
+    def test_no_zero_hop_packets(self, setup):
+        _b, _router, _dests, _sources, _lam, res = setup
+        assert res.zero_hop == 0  # sources and destinations are disjoint
+
+
+class TestKDArrayEndToEnd:
+    def test_3d_simulation_respects_kd_bound(self):
+        from repro.core.kd_bounds import kd_delay_upper_bound, kd_lambda_for_load
+
+        m, k = 3, 3
+        lam = kd_lambda_for_load(m, k, 0.7)
+        array = KDArray((m,) * k)
+        router = GreedyKDRouter(array)
+        dests = UniformDestinations(array.num_nodes)
+        res = NetworkSimulation(router, dests, lam, seed=27).run(150, 2000)
+        assert res.mean_delay <= kd_delay_upper_bound(m, k, lam) * 1.05
+
+    def test_2d_kd_matches_array_mesh_statistically(self):
+        """KDArray((n,n)) + dimension-order routing is the same system as
+        ArrayMesh(n) + column-first greedy; delays must agree."""
+        n, lam = 4, 0.4
+        kd = KDArray((n, n))
+        r1 = NetworkSimulation(
+            GreedyKDRouter(kd), UniformDestinations(kd.num_nodes), lam, seed=31
+        ).run(200, 2500)
+        mesh = ArrayMesh(n)
+        r2 = NetworkSimulation(
+            GreedyArrayRouter(mesh, column_first=True),
+            UniformDestinations(mesh.num_nodes),
+            lam,
+            seed=32,
+        ).run(200, 2500)
+        assert r1.mean_delay == pytest.approx(r2.mean_delay, rel=0.08)
+
+
+class TestNonUniformEndToEnd:
+    def test_locality_respects_its_own_bound(self):
+        mesh = ArrayMesh(5)
+        router = GreedyArrayRouter(mesh)
+        local = GeometricStopDestinations(mesh, 0.5)
+        lam = 0.5
+        rates = edge_rates_from_routing(router, local, lam)
+        assert rates.max() < 1.0  # stable at a rate far above uniform capacity
+        ub = delay_upper_bound_generic(rates, lam * mesh.num_nodes)
+        res = NetworkSimulation(router, local, lam, seed=41).run(200, 2500)
+        assert res.mean_delay <= ub * 1.05
+
+    def test_locality_beats_uniform_at_same_rate(self):
+        mesh = ArrayMesh(5)
+        router = GreedyArrayRouter(mesh)
+        lam = 0.35
+        uni = NetworkSimulation(
+            router, UniformDestinations(mesh.num_nodes), lam, seed=42
+        ).run(200, 2000)
+        loc = NetworkSimulation(
+            router, GeometricStopDestinations(mesh, 0.5), lam, seed=43
+        ).run(200, 2000)
+        assert loc.mean_delay < uni.mean_delay
+
+    def test_generic_bounds_for_locality(self):
+        mesh = ArrayMesh(4)
+        router = GreedyArrayRouter(mesh)
+        local = GeometricStopDestinations(mesh, 0.5)
+        gb = generic_bounds(router, local, 0.4)
+        assert gb.is_consistent()
+        assert gb.mean_distance < 2.0  # strong locality
+
+    def test_weighted_sources_end_to_end(self):
+        """Hot-spot traffic: one corner generates 10x the rest."""
+        mesh = ArrayMesh(4)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(mesh.num_nodes)
+        rates = [10.0 * 0.02] + [0.02] * 15
+        gb = generic_bounds(
+            router, dests, rates, source_nodes=list(range(16))
+        )
+        sim = NetworkSimulation(
+            router, dests, rates, source_nodes=list(range(16)), seed=44
+        )
+        res = sim.run(200, 3000)
+        assert gb.lower_best <= res.mean_delay * 1.15
+        assert res.mean_delay <= gb.upper * 1.15

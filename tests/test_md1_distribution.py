@@ -1,0 +1,92 @@
+"""Distributional tests: the M/D/1 embedded-chain pmf, and the simulator's
+queue-length distribution against it — the strongest single validation of
+the event engine (it checks the whole law, not just means)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mm1 import MM1Queue
+from repro.routing.base import TabulatedRouter
+from repro.sim.fifo_network import NetworkSimulation
+from repro.topology.linear import LinearArray
+
+
+class TestMD1Pmf:
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_pmf_sums_to_one_and_mean_matches_pk(self, rho):
+        q = MD1Queue(rho)
+        kmax = 300
+        pmf = q.number_pmf(kmax)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        mean = float((np.arange(kmax + 1) * pmf).sum())
+        assert mean == pytest.approx(q.mean_number(), rel=1e-6)
+
+    def test_p0_is_one_minus_rho(self):
+        assert MD1Queue(0.6).number_pmf(5)[0] == pytest.approx(0.4)
+
+    def test_lighter_tail_than_mm1(self):
+        """Deterministic service has a strictly lighter tail than
+        exponential at equal load."""
+        rho = 0.8
+        md1 = MD1Queue(rho).number_pmf(80)
+        mm1 = MM1Queue(rho).number_pmf(80)
+        tail_md1 = 1.0 - md1[:40].sum()
+        tail_mm1 = 1.0 - mm1[:40].sum()
+        assert tail_md1 < tail_mm1
+
+    def test_entries_essentially_nonnegative(self):
+        pmf = MD1Queue(0.9).number_pmf(200)
+        assert pmf.min() > -1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MD1Queue(1.1).number_pmf(10)
+        with pytest.raises(ValueError):
+            MD1Queue(0.5).number_pmf(-1)
+
+
+class OneWay:
+    """All packets go 0 -> 1: the network is a single M/D/1 queue."""
+
+    num_nodes = 2
+
+    def pmf(self, src):
+        v = np.zeros(2)
+        v[1] = 1.0
+        return v
+
+    def sample(self, src, rng):
+        return 1
+
+
+class TestEngineDistributionMatchesMD1:
+    @pytest.mark.parametrize("rho", [0.4, 0.75])
+    def test_number_in_system_distribution(self, rho):
+        """Simulated time-weighted P(N = k) vs the embedded-chain pmf."""
+        line = LinearArray(2)
+        router = TabulatedRouter(line, {(0, 1): [0]})
+        sim = NetworkSimulation(
+            router, OneWay(), rho, source_nodes=[0], seed=61
+        )
+        res = sim.run(500, 30000, track_number_distribution=True)
+        theory = MD1Queue(rho).number_pmf(60)
+        for k in range(12):
+            empirical = res.number_distribution.get(k, 0.0)
+            assert empirical == pytest.approx(theory[k], abs=0.012), (rho, k)
+
+    def test_exponential_variant_matches_mm1_distribution(self):
+        rho = 0.6
+        line = LinearArray(2)
+        router = TabulatedRouter(line, {(0, 1): [0]})
+        sim = NetworkSimulation(
+            router, OneWay(), rho, source_nodes=[0], service="exponential", seed=62
+        )
+        res = sim.run(500, 30000, track_number_distribution=True)
+        theory = MM1Queue(rho).number_pmf(60)
+        for k in range(10):
+            empirical = res.number_distribution.get(k, 0.0)
+            assert empirical == pytest.approx(theory[k], abs=0.015), k

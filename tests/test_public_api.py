@@ -1,0 +1,65 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for mod in (
+            "repro.topology",
+            "repro.routing",
+            "repro.queueing",
+            "repro.sim",
+            "repro.core",
+            "repro.experiments",
+            "repro.util",
+        ):
+            importlib.import_module(mod)
+
+    def test_quickstart_flow(self):
+        """The docstring quickstart, end to end (tiny horizon)."""
+        from repro import (
+            ArrayMesh,
+            GreedyArrayRouter,
+            NetworkSimulation,
+            UniformDestinations,
+            bound_summary,
+            lambda_for_load,
+        )
+
+        n, rho = 4, 0.6
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        sim = NetworkSimulation(
+            GreedyArrayRouter(mesh),
+            UniformDestinations(mesh.num_nodes),
+            lam,
+            seed=1,
+        )
+        result = sim.run(warmup=100, horizon=1500)
+        bounds = bound_summary(n, lam)
+        assert bounds.lower_best <= result.mean_delay <= bounds.upper * 1.1
+
+    def test_router_protocol_satisfied(self):
+        from repro import ArrayMesh, GreedyArrayRouter, Router
+
+        assert isinstance(GreedyArrayRouter(ArrayMesh(3)), Router)
+
+    def test_destination_protocol_satisfied(self):
+        from repro.routing.destinations import (
+            DestinationDistribution,
+            UniformDestinations,
+        )
+
+        assert isinstance(UniformDestinations(4), DestinationDistribution)

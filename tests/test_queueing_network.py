@@ -1,0 +1,94 @@
+"""Tests for product-form networks and empirical stochastic dominance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.dominance import dominance_violation, empirical_dominates
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.productform import ProductFormNetwork
+
+
+class TestProductFormNetwork:
+    def test_mean_number_sums_mm1(self):
+        rates = np.array([0.2, 0.5, 0.8])
+        net = ProductFormNetwork.from_rates(rates)
+        expected = sum(MM1Queue(r).mean_number() for r in rates)
+        assert net.mean_number() == pytest.approx(expected)
+
+    def test_network_load_is_max(self):
+        net = ProductFormNetwork.from_rates(np.array([0.2, 0.9, 0.5]))
+        assert net.network_load == pytest.approx(0.9)
+
+    def test_service_rate_broadcast(self):
+        net = ProductFormNetwork.from_rates(np.array([0.5, 0.5]), 2.0)
+        assert np.allclose(net.loads, 0.25)
+
+    def test_per_queue_service_rates(self):
+        net = ProductFormNetwork.from_rates(
+            np.array([0.5, 0.5]), np.array([1.0, 2.0])
+        )
+        assert np.allclose(net.loads, [0.5, 0.25])
+
+    def test_unstable_raises(self):
+        net = ProductFormNetwork.from_rates(np.array([1.0]))
+        with pytest.raises(ValueError, match="unstable"):
+            net.mean_number()
+
+    def test_mean_delay_littles(self):
+        rates = np.array([0.3, 0.3])
+        net = ProductFormNetwork.from_rates(rates)
+        assert net.mean_delay(2.0) == pytest.approx(net.mean_number() / 2.0)
+
+    def test_queue_pmf_geometric(self):
+        net = ProductFormNetwork.from_rates(np.array([0.5]))
+        assert np.allclose(net.queue_pmf(0, 5), 0.5 ** np.arange(6) * 0.5)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ProductFormNetwork.from_rates(np.array([0.5]), np.array([1.0, 1.0]))
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            ProductFormNetwork.from_rates(np.array([-0.1]))
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.9), min_size=1, max_size=8)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_number_nonnegative_and_monotone(self, rates):
+        """Property: N >= 0, and scaling all rates up increases N."""
+        lam = np.asarray(rates)
+        n1 = ProductFormNetwork.from_rates(lam).mean_number()
+        n2 = ProductFormNetwork.from_rates(lam * 0.5).mean_number()
+        assert n1 >= 0 and n2 <= n1 + 1e-12
+
+
+class TestDominance:
+    def test_identical_samples_dominate(self, rng):
+        x = rng.exponential(size=2000)
+        assert dominance_violation(x, x) == 0.0
+
+    def test_shifted_dominates(self, rng):
+        x = rng.exponential(size=2000)
+        assert empirical_dominates(x, x + 1.0)
+
+    def test_reverse_fails(self, rng):
+        x = rng.exponential(size=2000)
+        assert not empirical_dominates(x + 1.0, x, tolerance=0.05)
+
+    def test_scaled_exponential_dominates(self, rng):
+        x = rng.exponential(size=4000)
+        y = 2.0 * rng.exponential(size=4000)
+        assert empirical_dominates(x, y, tolerance=0.03)
+
+    def test_violation_magnitude_sane(self, rng):
+        x = rng.normal(1.0, 0.1, size=4000)
+        y = rng.normal(0.0, 0.1, size=4000)
+        # X is ~always above Y: violation near 1.
+        assert dominance_violation(x, y) > 0.9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dominance_violation(np.array([]), np.array([1.0]))

@@ -1,0 +1,142 @@
+"""Tests for single-queue theory: M/G/1, M/M/1, M/D/1, Little's Law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.littleslaw import (
+    littles_law_number,
+    littles_law_residual,
+    littles_law_time,
+)
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mg1 import (
+    MG1Queue,
+    pollaczek_khinchin_number,
+    pollaczek_khinchin_wait,
+)
+from repro.queueing.mm1 import MM1Queue
+
+loads = st.floats(min_value=0.01, max_value=0.95)
+
+
+class TestPollaczekKhinchin:
+    def test_md1_special_case(self):
+        # rho + rho^2/(2(1-rho)) at rho=0.5: 0.5 + 0.25 = 0.75
+        assert pollaczek_khinchin_number(0.5, 1.0, 1.0) == pytest.approx(0.75)
+
+    def test_mm1_special_case(self):
+        # exponential service: N = rho/(1-rho)
+        assert pollaczek_khinchin_number(0.5, 1.0, 2.0) == pytest.approx(1.0)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            pollaczek_khinchin_number(1.0, 1.0, 1.0)
+
+    def test_impossible_moments(self):
+        with pytest.raises(ValueError, match="impossible"):
+            pollaczek_khinchin_number(0.5, 1.0, 0.5)
+
+    def test_wait_zero_at_zero_load(self):
+        assert pollaczek_khinchin_wait(0.0, 1.0, 1.0) == 0.0
+
+    @given(loads)
+    @settings(max_examples=40, deadline=None)
+    def test_exponential_doubles_constant_tail_term(self, rho):
+        """The paper's Lemma 9 engine: E[S^2] doubles between constant and
+        exponential service, so the queueing (non-rho) term doubles."""
+        const = pollaczek_khinchin_number(rho, 1.0, 1.0)
+        expo = pollaczek_khinchin_number(rho, 1.0, 2.0)
+        assert np.isclose(expo - rho, 2.0 * (const - rho))
+
+
+class TestMG1Queue:
+    def test_delay_is_wait_plus_service(self):
+        q = MG1Queue(lam=0.4, es=1.0, es2=1.5)
+        assert q.mean_delay() == pytest.approx(q.mean_wait() + 1.0)
+
+    def test_queue_length_littles(self):
+        q = MG1Queue(lam=0.4, es=1.0, es2=1.5)
+        assert q.mean_queue_length() == pytest.approx(0.4 * q.mean_wait())
+
+    def test_stability_flag(self):
+        assert MG1Queue(0.5, 1.0, 1.0).stable
+        assert not MG1Queue(1.2, 1.0, 1.0).stable
+
+    def test_invalid_moments_raise(self):
+        with pytest.raises(ValueError):
+            MG1Queue(0.5, 2.0, 1.0)
+
+
+class TestMM1Queue:
+    @given(loads)
+    @settings(max_examples=40, deadline=None)
+    def test_closed_forms_consistent(self, rho):
+        q = MM1Queue(lam=rho, phi=1.0)
+        assert np.isclose(q.mean_number(), rho / (1 - rho))
+        assert np.isclose(q.mean_delay(), 1 / (1 - rho))
+        # Little's Law ties them together.
+        assert np.isclose(q.mean_number(), q.mean_delay() * rho)
+
+    def test_matches_pk(self):
+        assert MM1Queue(0.7).matches_pollaczek_khinchin()
+
+    def test_scaled_service_rate(self):
+        q = MM1Queue(lam=1.0, phi=2.0)
+        assert q.load == 0.5
+        assert q.mean_delay() == pytest.approx(1.0)
+
+    def test_pmf_geometric(self):
+        q = MM1Queue(0.5)
+        pmf = q.number_pmf(10)
+        assert np.allclose(pmf, 0.5 ** np.arange(11) * 0.5)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MM1Queue(1.5).mean_number()
+
+
+class TestMD1Queue:
+    @given(loads)
+    @settings(max_examples=40, deadline=None)
+    def test_mm1_ratio_in_lemma9_band(self, rho):
+        """Lemma 9: matched M/M/1 holds between 1x and 2x the M/D/1 count."""
+        ratio = MD1Queue(rho).mm1_ratio()
+        assert 1.0 <= ratio <= 2.0
+
+    def test_ratio_limits(self):
+        assert MD1Queue(1e-6).mm1_ratio() == pytest.approx(1.0, abs=1e-3)
+        assert MD1Queue(0.9999).mm1_ratio() == pytest.approx(2.0, abs=1e-3)
+
+    def test_wait_less_than_mm1(self):
+        md1, mm1 = MD1Queue(0.8), MM1Queue(0.8)
+        assert md1.mean_wait() < mm1.mean_wait()
+
+    def test_scaled_service(self):
+        q = MD1Queue(lam=0.25, service=2.0)
+        assert q.load == 0.5
+        # time-scaling: same as unit queue at rho=.5 with time doubled
+        assert q.mean_delay() == pytest.approx(2 * MD1Queue(0.5).mean_delay())
+
+    def test_unstable(self):
+        q = MD1Queue(1.1)
+        assert not q.stable
+        with pytest.raises(ValueError):
+            q.mean_number()
+
+
+class TestLittlesLaw:
+    def test_roundtrip(self):
+        n = littles_law_number(delay=2.5, rate=4.0)
+        assert littles_law_time(n, 4.0) == pytest.approx(2.5)
+
+    def test_residual_zero_for_consistent(self):
+        assert littles_law_residual(10.0, 2.5, 4.0) == 0.0
+
+    def test_residual_positive_for_inconsistent(self):
+        assert littles_law_residual(12.0, 2.5, 4.0) > 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            littles_law_time(1.0, 0.0)

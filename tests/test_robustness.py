@@ -1,0 +1,137 @@
+"""Robustness and failure-mode tests: overload, extreme parameters, and
+report plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ReportSection, render_report
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.ps_network import PSNetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.topology.array_mesh import ArrayMesh
+
+
+class TestOverload:
+    def test_unstable_network_backlog_grows(self):
+        """Past capacity, the in-flight count at the horizon grows with the
+        horizon — the simulator degrades honestly instead of hiding it."""
+        n = 4
+        lam = 1.3 * 4.0 / n  # 130% of capacity
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(mesh.num_nodes)
+        short = NetworkSimulation(router, dests, lam, seed=1).run(0, 400)
+        long = NetworkSimulation(router, dests, lam, seed=1).run(0, 1600)
+        assert long.in_flight_at_end > 1.5 * short.in_flight_at_end
+
+    def test_littles_gap_flags_overload(self):
+        n = 4
+        lam = 1.3 * 4.0 / n
+        mesh = ArrayMesh(n)
+        res = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(16), lam, seed=2
+        ).run(100, 1200)
+        # The two estimators diverge badly out of equilibrium.
+        assert res.littles_law_gap > 0.10
+
+
+class TestExtremeParameters:
+    def test_tiny_horizon_still_coherent(self):
+        mesh = ArrayMesh(3)
+        res = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.2, seed=3
+        ).run(0, 1.0)
+        assert res.generated == res.completed
+        assert res.mean_number >= 0
+
+    def test_very_light_traffic_delay_is_distance(self):
+        """At vanishing load every packet sails through: T ~= n-bar."""
+        from repro.core.distances import mean_distance
+
+        n = 4
+        mesh = ArrayMesh(n)
+        res = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(16), 1e-3, seed=4
+        ).run(0, 200_000)
+        assert res.mean_delay == pytest.approx(mean_distance(n), rel=0.1)
+
+    def test_zero_warmup(self):
+        mesh = ArrayMesh(3)
+        res = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=5
+        ).run(0, 500)
+        assert res.generated > 0
+
+    def test_single_node_pair_traffic(self):
+        """Degenerate: all traffic from one corner to the opposite one."""
+
+        class CornerToCorner:
+            num_nodes = 9
+
+            def pmf(self, src):
+                v = np.zeros(9)
+                v[8] = 1.0
+                return v
+
+            def sample(self, src, rng):
+                return 8
+
+        mesh = ArrayMesh(3)
+        sim = NetworkSimulation(
+            GreedyArrayRouter(mesh),
+            CornerToCorner(),
+            0.5,
+            source_nodes=[0],
+            seed=6,
+        )
+        res = sim.run(100, 2000)
+        # A single M/D/1 bottleneck chain of 4 unit hops at rho=0.5:
+        # the first queue queues, later ones never do (departures are
+        # spaced >= 1 apart), so T = MD1 delay + 3.
+        from repro.queueing.md1 import MD1Queue
+
+        expected = MD1Queue(0.5).mean_delay() + 3.0
+        assert res.mean_delay == pytest.approx(expected, rel=0.05)
+
+    def test_ps_with_per_edge_rates(self):
+        mesh = ArrayMesh(3)
+        phis = np.full(mesh.num_edges, 2.0)
+        res = PSNetworkSimulation(
+            GreedyArrayRouter(mesh),
+            UniformDestinations(9),
+            0.3,
+            service_rates=phis,
+            seed=7,
+        ).run(100, 1000)
+        assert res.generated == res.completed
+
+    def test_slotted_tau_scaling(self):
+        """tau = 0.5 halves the service time: delays shrink accordingly."""
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        coarse = SlottedNetworkSimulation(
+            router, dests, 0.3, tau=1.0, seed=8
+        ).run(100, 2000)
+        fine = SlottedNetworkSimulation(
+            router, dests, 0.3, tau=0.5, seed=8
+        ).run(200, 4000)
+        assert fine.mean_delay < coarse.mean_delay
+
+
+class TestReportPlumbing:
+    def test_render_report_sections(self):
+        sections = [
+            ReportSection("Good", "body-1", []),
+            ReportSection("Bad", "body-2", ["claim violated"]),
+        ]
+        out = render_report(sections)
+        assert "## Good" in out and "## Bad" in out
+        assert "PASS" in out
+        assert "claim violated" in out
+
+    def test_section_render_shapes(self):
+        s = ReportSection("T", "content", [])
+        assert "```" in s.render()

@@ -1,0 +1,138 @@
+"""Tests for destination distributions: pmf/sample agreement and laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.destinations import (
+    GeometricStopDestinations,
+    MatrixDestinations,
+    PBiasedHypercubeDestinations,
+    UniformDestinations,
+)
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.hypercube import Hypercube
+
+
+def empirical_pmf(dist, src, rng, samples=4000):
+    counts = np.zeros(dist.num_nodes)
+    for _ in range(samples):
+        counts[dist.sample(src, rng)] += 1
+    return counts / samples
+
+
+class TestUniformDestinations:
+    def test_pmf_uniform(self):
+        d = UniformDestinations(9)
+        assert np.allclose(d.pmf(3), 1 / 9)
+
+    def test_sample_matches_pmf(self, rng):
+        d = UniformDestinations(6)
+        emp = empirical_pmf(d, 0, rng)
+        assert np.abs(emp - 1 / 6).max() < 0.03
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UniformDestinations(0)
+
+
+class TestMatrixDestinations:
+    def test_pmf_rows(self):
+        p = np.array([[0.5, 0.5], [0.1, 0.9]])
+        d = MatrixDestinations(p)
+        assert np.allclose(d.pmf(1), [0.1, 0.9])
+
+    def test_sample_matches_pmf(self, rng):
+        p = np.array([[0.2, 0.8], [0.7, 0.3]])
+        d = MatrixDestinations(p)
+        emp = empirical_pmf(d, 0, rng)
+        assert np.abs(emp - p[0]).max() < 0.03
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MatrixDestinations(np.ones((2, 3)) / 3)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            MatrixDestinations(np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MatrixDestinations(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+
+class TestPBiasedHypercube:
+    @pytest.mark.parametrize("p", [0.0, 0.3, 0.5, 1.0])
+    def test_pmf_sums_to_one(self, p):
+        cube = Hypercube(4)
+        d = PBiasedHypercubeDestinations(cube, p)
+        for src in (0, 7, 15):
+            assert np.isclose(d.pmf(src).sum(), 1.0)
+
+    def test_half_is_uniform(self):
+        cube = Hypercube(3)
+        d = PBiasedHypercubeDestinations(cube, 0.5)
+        assert np.allclose(d.pmf(5), 1 / 8)
+
+    def test_pmf_by_hamming_distance(self):
+        cube = Hypercube(3)
+        p = 0.2
+        d = PBiasedHypercubeDestinations(cube, p)
+        pmf = d.pmf(0)
+        for dst in range(8):
+            k = cube.hamming_distance(0, dst)
+            assert np.isclose(pmf[dst], p**k * (1 - p) ** (3 - k))
+
+    def test_sample_matches_pmf(self, rng):
+        cube = Hypercube(3)
+        d = PBiasedHypercubeDestinations(cube, 0.3)
+        emp = empirical_pmf(d, 5, rng, samples=6000)
+        assert np.abs(emp - d.pmf(5)).max() < 0.03
+
+    def test_extreme_p(self, rng):
+        cube = Hypercube(3)
+        stay = PBiasedHypercubeDestinations(cube, 0.0)
+        flip = PBiasedHypercubeDestinations(cube, 1.0)
+        assert stay.sample(6, rng) == 6
+        assert flip.sample(6, rng) == 6 ^ 0b111
+
+
+class TestGeometricStop:
+    def test_pmf_sums_to_one(self):
+        mesh = ArrayMesh(5)
+        d = GeometricStopDestinations(mesh, 0.5)
+        for src in (0, 12, 24):
+            assert np.isclose(d.pmf(src).sum(), 1.0)
+
+    def test_nearby_bias(self):
+        """Closer destinations are more likely than distant ones."""
+        mesh = ArrayMesh(7)
+        d = GeometricStopDestinations(mesh, 0.5)
+        center = mesh.node_id(3, 3)
+        pmf = d.pmf(center).reshape(7, 7)
+        assert pmf[3, 3] > pmf[3, 4] > pmf[3, 5]
+        # The border absorbs the truncated tail, so the last two tie.
+        assert pmf[3, 5] == pytest.approx(pmf[3, 6])
+
+    def test_sample_matches_pmf(self, rng):
+        mesh = ArrayMesh(4)
+        d = GeometricStopDestinations(mesh, 0.5)
+        src = mesh.node_id(1, 2)
+        emp = empirical_pmf(d, src, rng, samples=8000)
+        assert np.abs(emp - d.pmf(src)).max() < 0.025
+
+    def test_markovian_stop_parameter_range(self):
+        with pytest.raises(ValueError):
+            GeometricStopDestinations(ArrayMesh(4), 0.0)
+        with pytest.raises(ValueError):
+            GeometricStopDestinations(ArrayMesh(4), 1.0)
+
+    @given(st.integers(0, 24), st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_pmf_is_distribution(self, src, stop):
+        mesh = ArrayMesh(5)
+        d = GeometricStopDestinations(mesh, stop)
+        pmf = d.pmf(src)
+        assert np.all(pmf >= 0)
+        assert np.isclose(pmf.sum(), 1.0)

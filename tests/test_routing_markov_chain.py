@@ -1,0 +1,86 @@
+"""Tests for the Lemma 3 stopping chain: exact uniformity and sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.markov_chain import (
+    MOVING_LEFT,
+    MOVING_RIGHT,
+    STOPPED,
+    LineStopChain,
+)
+
+
+class TestLemma3Uniformity:
+    @given(st.integers(2, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_pmf_is_exactly_uniform_from_every_entry(self, n):
+        """Lemma 3: the chain stops uniformly, whatever the entry point."""
+        chain = LineStopChain(n)
+        for k in range(n):
+            assert np.allclose(chain.destination_pmf(k), 1.0 / n)
+
+    def test_initial_distribution_sums_to_one(self):
+        chain = LineStopChain(7)
+        for k in range(7):
+            init = chain.initial_distribution(k)
+            assert np.isclose(sum(init.values()), 1.0)
+            assert init[STOPPED] == pytest.approx(1 / 7)
+
+    def test_border_entry_cannot_move_outward(self):
+        chain = LineStopChain(5)
+        assert chain.initial_distribution(0)[MOVING_LEFT] == 0.0
+        assert chain.initial_distribution(4)[MOVING_RIGHT] == 0.0
+
+    def test_forced_stop_at_borders(self):
+        chain = LineStopChain(5)
+        assert chain.stop_probability(0, MOVING_LEFT) == 1.0
+        assert chain.stop_probability(4, MOVING_RIGHT) == 1.0
+
+    def test_paper_stop_probabilities(self):
+        """Paper (1-based): moving left, stop at node j w.p. 1/j."""
+        chain = LineStopChain(6)
+        # 0-based node j corresponds to the paper's j+1.
+        for j in range(6):
+            assert chain.stop_probability(j, MOVING_LEFT) == pytest.approx(
+                1.0 / (j + 1)
+            )
+            assert chain.stop_probability(j, MOVING_RIGHT) == pytest.approx(
+                1.0 / (6 - j)
+            )
+
+    def test_invalid_args(self):
+        chain = LineStopChain(4)
+        with pytest.raises(ValueError):
+            chain.destination_pmf(4)
+        with pytest.raises(ValueError):
+            chain.stop_probability(1, "sideways")
+        with pytest.raises(ValueError):
+            chain.stop_probability(9, MOVING_LEFT)
+
+
+class TestSampling:
+    def test_sample_matches_uniform(self, rng):
+        n = 6
+        chain = LineStopChain(n)
+        counts = np.zeros(n)
+        for _ in range(6000):
+            counts[chain.sample(2, rng)] += 1
+        assert np.abs(counts / 6000 - 1 / n).max() < 0.03
+
+    def test_sample_route_contiguous(self, rng):
+        chain = LineStopChain(8)
+        for _ in range(50):
+            route = chain.sample_route(3, rng)
+            assert route[0] == 3
+            steps = np.diff(route)
+            assert len(set(np.sign(steps))) <= 1  # monotone
+            assert np.all(np.abs(steps) == 1) or len(route) == 1
+
+    def test_sample_stays_on_line(self, rng):
+        chain = LineStopChain(3)
+        for k in range(3):
+            for _ in range(100):
+                assert 0 <= chain.sample(k, rng) < 3

@@ -1,0 +1,156 @@
+"""Tests for randomized greedy, torus, hypercube, butterfly routing."""
+
+import numpy as np
+import pytest
+
+from repro.routing.base import TabulatedRouter
+from repro.routing.butterfly_routing import ButterflyRouter
+from repro.routing.hypercube_greedy import GreedyHypercubeRouter
+from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
+from repro.routing.torus_greedy import GreedyTorusRouter, ring_step
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.topology.torus import Torus
+
+
+class TestRandomizedGreedy:
+    def test_canonical_path_is_row_first(self):
+        mesh = ArrayMesh(4)
+        rnd = RandomizedGreedyArrayRouter(mesh)
+        directions = [mesh.edge_direction(e) for e in rnd.path(0, 15)]
+        assert directions == ["right"] * 3 + ["down"] * 3
+
+    def test_sample_mixes_both_orders(self, rng):
+        mesh = ArrayMesh(4)
+        rnd = RandomizedGreedyArrayRouter(mesh)
+        seen = set()
+        for _ in range(100):
+            path = rnd.sample_path(0, 15, rng)
+            mesh.validate_path(path, 0, 15)
+            seen.add(mesh.edge_direction(path[0]))
+        assert seen == {"right", "down"}
+
+    def test_extreme_probabilities(self, rng):
+        mesh = ArrayMesh(4)
+        always_row = RandomizedGreedyArrayRouter(mesh, 1.0)
+        always_col = RandomizedGreedyArrayRouter(mesh, 0.0)
+        for _ in range(10):
+            assert mesh.edge_direction(always_row.sample_path(0, 15, rng)[0]) == "right"
+            assert mesh.edge_direction(always_col.sample_path(0, 15, rng)[0]) == "down"
+
+    def test_mix_fraction_near_p(self, rng):
+        mesh = ArrayMesh(4)
+        rnd = RandomizedGreedyArrayRouter(mesh, 0.25)
+        rows = sum(
+            mesh.edge_direction(rnd.sample_path(0, 15, rng)[0]) == "right"
+            for _ in range(2000)
+        )
+        assert 0.18 < rows / 2000 < 0.32
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RandomizedGreedyArrayRouter(ArrayMesh(3), 1.5)
+
+
+class TestRingStep:
+    def test_same_position(self):
+        assert ring_step(2, 2, 5) == 0
+
+    def test_shorter_forward(self):
+        assert ring_step(0, 1, 5) == 1
+
+    def test_shorter_backward(self):
+        assert ring_step(0, 4, 5) == -1
+
+    def test_tie_resolves_forward(self):
+        assert ring_step(0, 2, 4) == 1
+
+
+class TestGreedyTorus:
+    def test_all_pairs_valid_and_shortest(self):
+        t = Torus(4)
+        router = GreedyTorusRouter(t)
+        for s in range(t.num_nodes):
+            for d in range(t.num_nodes):
+                path = router.path(s, d)
+                t.validate_path(path, s, d)
+                i1, j1 = t.node_coords(s)
+                i2, j2 = t.node_coords(d)
+                ring = lambda a, b, m: min((b - a) % m, (a - b) % m)  # noqa: E731
+                assert len(path) == ring(i1, i2, 4) + ring(j1, j2, 4)
+
+    def test_wraparound_taken_when_shorter(self):
+        t = Torus(5)
+        router = GreedyTorusRouter(t)
+        # Column 0 -> column 4 should go left once (wrap), not right 4x.
+        path = router.path(t.node_id(0, 0), t.node_id(0, 4))
+        assert len(path) == 1
+        assert t.edge_direction(path[0]) == "left"
+
+    def test_column_first_variant(self):
+        t = Torus(4)
+        router = GreedyTorusRouter(t, column_first=True)
+        path = router.path(t.node_id(0, 0), t.node_id(2, 1))
+        assert t.edge_direction(path[0]) in ("down", "up")
+
+
+class TestGreedyHypercube:
+    def test_all_pairs_valid_and_hamming_length(self):
+        cube = Hypercube(4)
+        router = GreedyHypercubeRouter(cube)
+        for s in range(16):
+            for d in range(16):
+                path = router.path(s, d)
+                cube.validate_path(path, s, d)
+                assert len(path) == cube.hamming_distance(s, d)
+
+    def test_canonical_dimension_order(self):
+        cube = Hypercube(4)
+        router = GreedyHypercubeRouter(cube)
+        dims = [cube.edge_dimension(e) for e in router.path(0b0000, 0b1111)]
+        assert dims == sorted(dims) == [0, 1, 2, 3]
+
+
+class TestButterflyRouter:
+    def test_unique_path_properties(self):
+        b = Butterfly(3)
+        router = ButterflyRouter(b)
+        for r1 in range(8):
+            for r2 in range(8):
+                path = router.path(b.node_id(0, r1), b.node_id(3, r2))
+                b.validate_path(path, b.node_id(0, r1), b.node_id(3, r2))
+                assert len(path) == 3
+
+    def test_straight_when_same_row(self):
+        b = Butterfly(2)
+        router = ButterflyRouter(b)
+        path = router.path(b.node_id(0, 2), b.node_id(2, 2))
+        assert list(path) == [b.straight_edge(0, 2), b.straight_edge(1, 2)]
+
+    def test_rejects_wrong_levels(self):
+        b = Butterfly(2)
+        router = ButterflyRouter(b)
+        with pytest.raises(ValueError, match="level-0"):
+            router.path(b.node_id(1, 0), b.node_id(2, 0))
+        with pytest.raises(ValueError, match="destinations"):
+            router.path(b.node_id(0, 0), b.node_id(1, 0))
+
+
+class TestTabulatedRouter:
+    def test_serves_table_paths(self):
+        mesh = ArrayMesh(3)
+        inner = {(0, 1): [mesh.edge_id(0, 1)], (0, 0): []}
+        router = TabulatedRouter(mesh, inner)
+        assert router.path(0, 1) == (mesh.edge_id(0, 1),)
+        assert router.path(0, 0) == ()
+
+    def test_validates_at_construction(self):
+        mesh = ArrayMesh(3)
+        with pytest.raises(ValueError):
+            TabulatedRouter(mesh, {(0, 2): [mesh.edge_id(0, 1)]})
+
+    def test_missing_pair_raises(self):
+        router = TabulatedRouter(ArrayMesh(3), {})
+        with pytest.raises(KeyError):
+            router.path(0, 1)

@@ -1,0 +1,186 @@
+"""Tests for the PS, rushed (Theorem 10), and slotted simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.md1_approx import md1_network_number
+from repro.core.rates import array_edge_rates, lambda_for_load
+from repro.core.upper_bound import number_upper_bound
+from repro.queueing.md1 import MD1Queue
+from repro.queueing.mm1 import MM1Queue
+from repro.routing.base import TabulatedRouter
+from repro.routing.destinations import UniformDestinations
+from repro.routing.greedy import GreedyArrayRouter
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.ps_network import PSNetworkSimulation
+from repro.sim.rushed_network import RushedNetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.linear import LinearArray
+
+
+class AcrossOnly:
+    num_nodes = 2
+
+    def sample(self, src, rng):
+        return 1 - src
+
+    def pmf(self, src):
+        v = np.zeros(2)
+        v[1 - src] = 1.0
+        return v
+
+
+def two_node_router():
+    line = LinearArray(2)
+    return TabulatedRouter(
+        line, {(0, 1): [0], (1, 0): [1], (0, 0): [], (1, 1): []}
+    )
+
+
+class TestPSSimulator:
+    def test_single_queue_matches_mm1(self):
+        """M/D/1-input PS queue has the M/M/1 equilibrium (insensitivity)."""
+        lam = 0.6
+        res = PSNetworkSimulation(
+            two_node_router(), AcrossOnly(), lam, seed=11
+        ).run(200, 8000)
+        assert res.mean_delay == pytest.approx(MM1Queue(lam).mean_delay(), rel=0.08)
+
+    def test_array_matches_product_form(self):
+        n, rho = 3, 0.6
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        res = PSNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), lam, seed=12
+        ).run(300, 5000)
+        assert res.mean_number == pytest.approx(
+            number_upper_bound(n, lam), rel=0.12
+        )
+
+    def test_dominates_fifo(self):
+        """Theorem 5: E[N_FIFO] <= E[N_PS] on the same workload."""
+        n, rho = 3, 0.7
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        fifo = NetworkSimulation(router, dests, lam, seed=13).run(300, 4000)
+        ps = PSNetworkSimulation(router, dests, lam, seed=14).run(300, 4000)
+        assert fifo.mean_number <= ps.mean_number * 1.05
+
+    def test_conservation_and_littles(self):
+        mesh = ArrayMesh(3)
+        res = PSNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=15
+        ).run(100, 2000)
+        assert res.generated == res.completed
+        assert res.littles_law_gap < 0.12
+
+    def test_determinism(self):
+        mesh = ArrayMesh(3)
+        mk = lambda: PSNetworkSimulation(  # noqa: E731
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=9
+        ).run(50, 500)
+        a, b = mk(), mk()
+        assert a.mean_delay == b.mean_delay
+
+
+class TestRushedSimulator:
+    def test_total_copies_match_independent_md1_sum(self):
+        """The pivot of Theorem 10: E[N1] = sum over edges of the M/D/1
+        mean, despite the copies being correlated."""
+        n, rho = 4, 0.7
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        res = RushedNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(16), lam, seed=21
+        ).run(300, 6000)
+        expected = md1_network_number(array_edge_rates(mesh, lam), variant="pk")
+        assert res.mean_number == pytest.approx(expected, rel=0.06)
+
+    def test_per_edge_occupancy_is_md1(self):
+        """Marginally, each queue is an M/D/1 queue."""
+        n, rho = 3, 0.6
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        res = RushedNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), lam, seed=22
+        ).run(300, 8000)
+        rates = array_edge_rates(mesh, lam)
+        busiest = int(np.argmax(rates))
+        expected = MD1Queue(rates[busiest]).mean_number()
+        assert res.utilization[busiest] == pytest.approx(expected, rel=0.12)
+
+    def test_makespan_below_fifo_delay(self):
+        """The rushed system is faster: per-packet makespan (all copies
+        served) is below the FIFO network delay on average."""
+        n, rho = 4, 0.8
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(16)
+        rushed = RushedNetworkSimulation(router, dests, lam, seed=23).run(200, 3000)
+        fifo = NetworkSimulation(router, dests, lam, seed=24).run(200, 3000)
+        assert rushed.mean_delay < fifo.mean_delay
+
+    def test_conservation(self):
+        mesh = ArrayMesh(3)
+        res = RushedNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=25
+        ).run(50, 800)
+        assert res.generated == res.completed
+
+
+class TestSlottedSimulator:
+    def test_single_queue_near_md1(self):
+        """Slotted delay within ~tau of the continuous M/D/1 value."""
+        lam = 0.5
+        res = SlottedNetworkSimulation(
+            two_node_router(), AcrossOnly(), lam, seed=31
+        ).run(200, 10000)
+        assert abs(res.mean_delay - MD1Queue(lam).mean_delay()) <= 1.0 + 0.1
+
+    def test_array_within_tau_of_continuous(self):
+        """Section 5.2: slotted T within tau of the event-driven T."""
+        n, rho = 4, 0.6
+        lam = lambda_for_load(n, rho)
+        mesh = ArrayMesh(n)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(16)
+        cont = NetworkSimulation(router, dests, lam, seed=32).run(200, 4000)
+        slot = SlottedNetworkSimulation(router, dests, lam, seed=33).run(200, 4000)
+        assert abs(slot.mean_delay - cont.mean_delay) <= 1.0 + 0.15 * cont.mean_delay
+
+    def test_tau_scaling(self):
+        """Halving tau halves the discretisation, in the same time units."""
+        lam = 0.4
+        res = SlottedNetworkSimulation(
+            two_node_router(), AcrossOnly(), lam, tau=1.0, seed=34
+        ).run(100, 5000)
+        assert res.horizon == 5000.0
+
+    def test_conservation_and_littles(self):
+        mesh = ArrayMesh(3)
+        res = SlottedNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=35
+        ).run(100, 2000)
+        assert res.generated == res.completed
+        assert res.littles_law_gap < 0.1
+
+    def test_determinism(self):
+        mesh = ArrayMesh(3)
+        mk = lambda: SlottedNetworkSimulation(  # noqa: E731
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=36
+        ).run(50, 500)
+        assert mk().mean_delay == mk().mean_delay
+
+    def test_invalid_windows(self):
+        mesh = ArrayMesh(3)
+        sim = SlottedNetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(9), 0.3
+        )
+        with pytest.raises(ValueError):
+            sim.run(-1, 100)
+        with pytest.raises(ValueError):
+            sim.run(10, 0)

@@ -1,0 +1,59 @@
+"""Tests for the SimResult record's derived quantities."""
+
+import math
+
+from repro.sim.result import SimResult
+
+
+def make_result(**overrides):
+    base = dict(
+        warmup=10.0,
+        horizon=100.0,
+        seed=0,
+        generated=100,
+        completed=100,
+        zero_hop=5,
+        in_flight_at_end=3,
+        mean_number=20.0,
+        mean_remaining=60.0,
+        mean_remaining_saturated=10.0,
+        mean_delay=4.0,
+        delay_half_width=0.2,
+        mean_delay_littles=4.1,
+        total_rate=5.0,
+    )
+    base.update(overrides)
+    return SimResult(**base)
+
+
+class TestRatios:
+    def test_r(self):
+        assert make_result().r == 3.0
+
+    def test_r_saturated(self):
+        assert make_result().r_saturated == 0.5
+
+    def test_nan_when_empty(self):
+        res = make_result(mean_number=0.0)
+        assert math.isnan(res.r)
+        assert math.isnan(res.r_saturated)
+
+
+class TestLittlesGap:
+    def test_small_gap(self):
+        assert make_result().littles_law_gap < 0.03
+
+    def test_zero_for_exact(self):
+        assert make_result(mean_delay_littles=4.0).littles_law_gap == 0.0
+
+    def test_relative_scaling(self):
+        res = make_result(mean_delay=8.0, mean_delay_littles=4.0)
+        assert res.littles_law_gap == 0.5
+
+
+class TestSummaryLine:
+    def test_contains_key_numbers(self):
+        line = make_result().summary_line()
+        assert "T=4.000" in line
+        assert "r=3.000" in line
+        assert "packets=100" in line

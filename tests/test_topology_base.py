@@ -1,0 +1,83 @@
+"""Unit tests for repro.topology.base.Topology."""
+
+import pytest
+
+from repro.topology.base import Topology
+
+
+def tiny() -> Topology:
+    return Topology(3, [(0, 1), (1, 2), (2, 0)], name="tri")
+
+
+class TestConstruction:
+    def test_counts(self):
+        t = tiny()
+        assert t.num_nodes == 3
+        assert t.num_edges == 3
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError):
+            Topology(0, [])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="outside"):
+            Topology(2, [(0, 2)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Topology(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Topology(2, [(0, 1), (0, 1)])
+
+
+class TestLookup:
+    def test_edge_id_roundtrip(self):
+        t = tiny()
+        for e in range(t.num_edges):
+            u, v = t.edge_endpoints(e)
+            assert t.edge_id(u, v) == e
+
+    def test_has_edge(self):
+        t = tiny()
+        assert t.has_edge(0, 1)
+        assert not t.has_edge(1, 0)
+
+    def test_missing_edge_raises(self):
+        with pytest.raises(KeyError):
+            tiny().edge_id(1, 0)
+
+    def test_edges_iteration(self):
+        t = tiny()
+        triples = list(t.edges())
+        assert triples == [(0, 0, 1), (1, 1, 2), (2, 2, 0)]
+
+    def test_out_in_edges(self):
+        t = tiny()
+        assert t.out_edges(0) == [0]
+        assert t.in_edges(0) == [2]
+
+
+class TestPathValidation:
+    def test_valid_path(self):
+        tiny().validate_path([0, 1], 0, 2)
+
+    def test_empty_path_same_node(self):
+        tiny().validate_path([], 1, 1)
+
+    def test_discontinuous_path(self):
+        with pytest.raises(ValueError, match="discontinuity"):
+            tiny().validate_path([1], 0, 2)
+
+    def test_wrong_destination(self):
+        with pytest.raises(ValueError, match="destination"):
+            tiny().validate_path([0], 0, 2)
+
+
+class TestNetworkx:
+    def test_roundtrip(self):
+        g = tiny().to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 3
+        assert g[0][1]["edge_id"] == 0

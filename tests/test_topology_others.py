@@ -1,0 +1,140 @@
+"""Unit tests for linear array, torus, hypercube, and butterfly topologies."""
+
+import pytest
+
+from repro.topology.array_mesh import DOWN, LEFT, RIGHT, UP
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.topology.linear import LinearArray
+from repro.topology.torus import Torus
+
+
+class TestLinearArray:
+    @pytest.mark.parametrize("n", [2, 3, 7])
+    def test_counts(self, n):
+        line = LinearArray(n)
+        assert line.num_nodes == n
+        assert line.num_edges == 2 * (n - 1)
+
+    def test_right_left_edges(self):
+        line = LinearArray(4)
+        assert line.edge_endpoints(line.right_edge(1)) == (1, 2)
+        assert line.edge_endpoints(line.left_edge(2)) == (2, 1)
+
+    def test_border_rejections(self):
+        line = LinearArray(3)
+        with pytest.raises(ValueError):
+            line.right_edge(2)
+        with pytest.raises(ValueError):
+            line.left_edge(0)
+
+
+class TestTorus:
+    def test_counts(self):
+        t = Torus(4)
+        assert t.num_nodes == 16
+        assert t.num_edges == 64  # every node has 4 outgoing edges
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            Torus(2)
+
+    def test_wraparound_edges(self):
+        t = Torus(3)
+        # Rightward from the last column wraps to column 0.
+        e = t.directed_edge_id(1, 2, RIGHT)
+        assert t.edge_endpoints(e) == (t.node_id(1, 2), t.node_id(1, 0))
+        e = t.directed_edge_id(0, 1, UP)
+        assert t.edge_endpoints(e) == (t.node_id(0, 1), t.node_id(2, 1))
+
+    def test_all_directions_present_everywhere(self):
+        t = Torus(3)
+        for v in range(t.num_nodes):
+            i, j = t.node_coords(v)
+            for d in (RIGHT, LEFT, DOWN, UP):
+                e = t.directed_edge_id(i, j, d)
+                assert t.edge_direction(e) == d
+                assert t.edge_endpoints(e)[0] == v
+
+    def test_node_coords_roundtrip(self):
+        t = Torus(4, 5)
+        for v in range(t.num_nodes):
+            i, j = t.node_coords(v)
+            assert t.node_id(i, j) == v
+
+    def test_regular_degree(self):
+        t = Torus(3)
+        for v in range(t.num_nodes):
+            assert len(t.out_edges(v)) == 4
+            assert len(t.in_edges(v)) == 4
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_counts(self, d):
+        h = Hypercube(d)
+        assert h.num_nodes == 2**d
+        assert h.num_edges == d * 2**d
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+    def test_dimension_edge_flips_bit(self):
+        h = Hypercube(4)
+        for v in (0, 5, 15):
+            for k in range(4):
+                e = h.dimension_edge(v, k)
+                u, w = h.edge_endpoints(e)
+                assert u == v and w == v ^ (1 << k)
+                assert h.edge_dimension(e) == k
+
+    def test_hamming(self):
+        h = Hypercube(4)
+        assert h.hamming_distance(0b0000, 0b1011) == 3
+        assert h.hamming_distance(7, 7) == 0
+
+    def test_edges_flip_exactly_one_bit(self):
+        h = Hypercube(3)
+        for e in range(h.num_edges):
+            u, v = h.edge_endpoints(e)
+            assert h.hamming_distance(u, v) == 1
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_counts(self, d):
+        b = Butterfly(d)
+        assert b.num_nodes == (d + 1) * 2**d
+        assert b.num_edges == d * 2 ** (d + 1)
+
+    def test_straight_and_cross(self):
+        b = Butterfly(3)
+        assert b.edge_endpoints(b.straight_edge(1, 5)) == (
+            b.node_id(1, 5),
+            b.node_id(2, 5),
+        )
+        assert b.edge_endpoints(b.cross_edge(1, 5)) == (
+            b.node_id(1, 5),
+            b.node_id(2, 5 ^ 2),
+        )
+
+    def test_edge_level(self):
+        b = Butterfly(2)
+        assert b.edge_level(b.straight_edge(0, 0)) == 0
+        assert b.edge_level(b.cross_edge(1, 3)) == 1
+
+    def test_level_bounds(self):
+        b = Butterfly(2)
+        with pytest.raises(ValueError):
+            b.straight_edge(2, 0)  # no edges out of the last level
+        with pytest.raises(ValueError):
+            b.node_id(3, 0)
+
+    def test_every_internal_node_has_two_out_edges(self):
+        b = Butterfly(2)
+        for level in range(b.d):
+            for r in range(b.rows):
+                assert len(b.out_edges(b.node_id(level, r))) == 2
+        for r in range(b.rows):
+            assert b.out_edges(b.node_id(b.d, r)) == []

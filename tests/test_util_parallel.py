@@ -1,0 +1,31 @@
+"""Unit tests for repro.util.parallel."""
+
+from repro.util.parallel import default_processes, pmap
+
+
+def square(x):
+    return x * x
+
+
+class TestPmap:
+    def test_serial_path(self):
+        assert pmap(square, [1, 2, 3], processes=1) == [1, 4, 9]
+
+    def test_preserves_order(self):
+        items = list(range(20))
+        assert pmap(square, items, processes=2) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert pmap(square, [], processes=4) == []
+
+    def test_single_item_runs_serial(self):
+        assert pmap(square, [7]) == [49]
+
+    def test_default_processes_positive(self):
+        assert default_processes() >= 1
+
+    def test_parallel_matches_serial(self):
+        items = list(range(10))
+        assert pmap(square, items, processes=3) == pmap(
+            square, items, processes=1
+        )

@@ -1,0 +1,61 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, format_float
+
+
+class TestFormatFloat:
+    def test_default_digits(self):
+        assert format_float(3.14159) == "3.142"
+
+    def test_custom_digits(self):
+        assert format_float(3.14159, 1) == "3.1"
+
+    def test_string_passthrough(self):
+        assert format_float("x") == "x"
+
+    def test_none_renders_dash(self):
+        assert format_float(None) == "-"
+
+
+class TestTable:
+    def test_renders_title_and_headers(self):
+        t = Table(title="T", headers=["a", "b"])
+        out = t.render()
+        assert out.splitlines()[0] == "T"
+        assert "a" in out and "b" in out
+
+    def test_row_formatting(self):
+        t = Table(title="", headers=["n", "x"])
+        t.add_row([5, 1.23456])
+        assert "1.235" in t.render()
+
+    def test_row_length_mismatch(self):
+        t = Table(title="", headers=["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            t.add_row([1])
+
+    def test_column_alignment(self):
+        t = Table(title="", headers=["col"], float_digits=2)
+        t.add_row([1.0])
+        t.add_row([100.0])
+        lines = t.render().splitlines()
+        # All data lines have the same width (right-justified).
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_float_digits_respected(self):
+        t = Table(title="", headers=["x"], float_digits=1)
+        t.add_row([2.71828])
+        assert "2.7" in t.render()
+        assert "2.72" not in t.render()
+
+    def test_str_matches_render(self):
+        t = Table(title="q", headers=["x"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+    def test_empty_title_omitted(self):
+        t = Table(title="", headers=["x"])
+        assert t.render().splitlines()[0].strip() == "x"
