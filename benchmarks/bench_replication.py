@@ -1,0 +1,59 @@
+"""Replication-engine benchmarks: multi-seed fan-out and the hot sampling
+paths it leans on.
+
+``scripts/check.sh`` runs this file with ``--benchmark-json`` so the
+fan-out's performance trajectory is recorded across PRs
+(``BENCH_replication.json``).
+"""
+
+import numpy as np
+
+from repro.routing.destinations import MatrixDestinations
+from repro.scenarios import resolve_cell
+from repro.sim.replication import CellSpec, ReplicationEngine
+
+
+def test_replication_fanout_serial(once):
+    """Four seeded replications of a QUICK uniform cell, in-process."""
+    spec = CellSpec(
+        scenario="uniform", n=8, rho=0.8, warmup=100, horizon=1000,
+        seeds=(0, 1, 2, 3),
+    )
+    pooled = once(ReplicationEngine(processes=1).run, spec)
+    assert len(pooled.replications) == 4
+    assert pooled.delay_half_width > 0
+    assert pooled.littles_law_gap < 0.15
+
+
+def test_replication_fanout_processes(once):
+    """The same cell fanned over a process pool (measures pool overhead)."""
+    spec = CellSpec(
+        scenario="uniform", n=8, rho=0.8, warmup=100, horizon=1000,
+        seeds=(0, 1, 2, 3),
+    )
+    pooled = once(ReplicationEngine(processes=4).run, spec)
+    assert len(pooled.replications) == 4
+
+
+def test_scenario_calibration(benchmark):
+    """Generic-solver load calibration for a non-uniform workload."""
+    spec = CellSpec(scenario="hotspot", n=8, rho=0.8, track_saturated=True)
+    rate, mask = benchmark(resolve_cell, spec)
+    assert rate > 0
+    assert mask.any()
+
+
+def test_matrix_destination_sampling(benchmark):
+    """Per-packet CDF sampling (was rng.choice rebuilding the law per draw)."""
+    rng = np.random.default_rng(5)
+    n = 64
+    p = rng.random((n, n))
+    p /= p.sum(axis=1, keepdims=True)
+    d = MatrixDestinations(p)
+
+    def draw_block():
+        r = np.random.default_rng(7)
+        return [d.sample(k % n, r) for k in range(2000)]
+
+    out = benchmark(draw_block)
+    assert len(out) == 2000

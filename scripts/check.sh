@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the replication-engine quick bench.
+#
+# Runs the full test suite, then times the replication fan-out and writes
+# BENCH_replication.json (pytest-benchmark format) at the repo root so the
+# performance trajectory is recorded PR over PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+
+python -m pytest benchmarks/bench_replication.py \
+    --benchmark-only \
+    --benchmark-json BENCH_replication.json \
+    -q
+
+echo "check.sh: tests green, bench written to BENCH_replication.json"

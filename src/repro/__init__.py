@@ -16,6 +16,12 @@ The library has five layers:
   optimal rate allocation, and the Section 4.5 hypercube/butterfly gaps;
 * :mod:`repro.experiments` — regenerates every table and figure.
 
+Multi-seed runs go through :class:`ReplicationEngine` (see
+:mod:`repro.sim.replication`): declare a cell as a :class:`CellSpec` with
+a named scenario from :mod:`repro.scenarios` (uniform, hotspot,
+transpose, bitreversal, geometric, torus) and a seed tuple, and get back
+a :class:`ReplicatedResult` with across-replication means and ~95% CIs.
+
 Quickstart
 ----------
 >>> from repro import ArrayMesh, GreedyArrayRouter, UniformDestinations
@@ -47,9 +53,11 @@ from repro.routing import (
     GreedyHypercubeRouter,
     GreedyKDRouter,
     GreedyTorusRouter,
+    HotSpotDestinations,
     LineStopChain,
     MatrixDestinations,
     PBiasedHypercubeDestinations,
+    PermutationDestinations,
     RandomizedGreedyArrayRouter,
     Router,
     UniformDestinations,
@@ -61,11 +69,15 @@ from repro.queueing import (
     ProductFormNetwork,
 )
 from repro.sim import (
+    CellSpec,
     NetworkSimulation,
     PSNetworkSimulation,
+    ReplicatedResult,
+    ReplicationEngine,
     RushedNetworkSimulation,
     SimResult,
     SlottedNetworkSimulation,
+    replicate,
 )
 from repro.core import (
     BoundSummary,
@@ -112,6 +124,8 @@ __all__ = [
     "MatrixDestinations",
     "PBiasedHypercubeDestinations",
     "GeometricStopDestinations",
+    "HotSpotDestinations",
+    "PermutationDestinations",
     "LineStopChain",
     # queueing
     "MM1Queue",
@@ -124,6 +138,10 @@ __all__ = [
     "RushedNetworkSimulation",
     "SlottedNetworkSimulation",
     "SimResult",
+    "CellSpec",
+    "ReplicatedResult",
+    "ReplicationEngine",
+    "replicate",
     # core
     "array_edge_rates",
     "lambda_for_load",

@@ -2,9 +2,12 @@
 
 Commands
 --------
-``bounds``    print every bound of the paper at an (n, rho) point
-``simulate``  run the standard model and compare against the bounds
-``tables``    regenerate the paper's tables/figures (QUICK preset)
+``bounds``     print every bound of the paper at an (n, rho) point
+``simulate``   run a scenario through the replication engine (multi-seed,
+               pooled CIs) and — for the standard model — compare against
+               the bounds
+``scenarios``  list the registered traffic scenarios
+``tables``     regenerate the paper's tables/figures (QUICK preset)
 ``figure1`` / ``figure2``  print the layering / saturated-edge figures
 
 Examples
@@ -13,6 +16,9 @@ Examples
 
     python -m repro bounds -n 10 --rho 0.9
     python -m repro simulate -n 8 --rho 0.8 --horizon 3000 --seed 7
+    python -m repro simulate --scenario hotspot --replications 8 --processes 4
+    python -m repro simulate --scenario transpose --engine slotted -n 6
+    python -m repro simulate --scenario hotspot --param h=0.4
     python -m repro figure2 -n 5
     python -m repro tables -o report.md
 """
@@ -53,34 +59,74 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
-    from repro.routing.destinations import UniformDestinations
-    from repro.routing.greedy import GreedyArrayRouter
-    from repro.sim.fifo_network import NetworkSimulation
-    from repro.topology.array_mesh import ArrayMesh
-    from repro.core.rates import array_edge_rates
-    from repro.core.saturation import saturated_edge_mask
+def _parse_params(pairs: list[str]) -> tuple[tuple[str, object], ...]:
+    """Parse repeated ``--param key=value`` flags (int > float > string)."""
+    out: list[tuple[str, object]] = []
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        value: object = raw
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+        out.append((key, value))
+    return tuple(out)
 
-    lam = lambda_for_load(args.n, args.rho, args.convention)
-    mesh = ArrayMesh(args.n)
-    mask = saturated_edge_mask(array_edge_rates(mesh, lam))
-    sim = NetworkSimulation(
-        GreedyArrayRouter(mesh),
-        UniformDestinations(mesh.num_nodes),
-        lam,
-        saturated_mask=mask,
-        seed=args.seed,
+
+def _cmd_simulate(args) -> int:
+    from repro.scenarios import get_scenario
+    from repro.sim.replication import CellSpec, ReplicationEngine
+
+    scenario = get_scenario(args.scenario)
+    event = args.engine == "event"
+    spec = CellSpec(
+        scenario=scenario.name,
+        n=args.n,
+        rho=args.rho,
+        convention=args.convention,
+        engine=args.engine,
+        warmup=args.warmup,
+        horizon=args.horizon,
+        seeds=tuple(args.seed + k for k in range(args.replications)),
+        track_saturated=scenario.standard_mesh,
+        track_maxima=event,
+        params=_parse_params(args.param),
     )
-    res = sim.run(args.warmup, args.horizon, track_maxima=True)
-    b = bound_summary(args.n, lam)
+    res = ReplicationEngine(processes=args.processes).run(spec)
+    print(res.render())
     print(res.summary_line())
+    if not scenario.bounds_apply:
+        # The Theorem 7 sandwich only covers the standard array model
+        # (not even the randomized mixture, which is not layered).
+        return 0
+    lam = lambda_for_load(args.n, args.rho, args.convention)
+    b = bound_summary(args.n, lam)
+    extremes = (
+        f"  max delay {res.max_delay:.2f}  max queue {res.max_queue_length}"
+        if event
+        else ""
+    )
     print(
         f"bounds: [{b.lower_best:.3f}, {b.upper:.3f}]  estimate {b.estimate:.3f}"
-        f"  max delay {res.max_delay:.2f}  max queue {res.max_queue_length}"
+        f"{extremes}"
     )
     ok = b.lower_best <= res.mean_delay <= b.upper * 1.05
     print(f"sandwich: {'OK' if ok else 'VIOLATED'}")
     return 0 if ok else 1
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import available_scenarios
+
+    t = Table(title="Registered traffic scenarios", headers=["name", "description"])
+    for s in available_scenarios():
+        t.add_row([s.name, s.description])
+    print(t.render())
+    return 0
 
 
 def _cmd_tables(args) -> int:
@@ -124,14 +170,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--convention", choices=("exact", "table1"), default="exact")
     p.set_defaults(func=_cmd_bounds)
 
-    p = sub.add_parser("simulate", help="simulate the standard model")
+    p = sub.add_parser(
+        "simulate", help="simulate a scenario through the replication engine"
+    )
     p.add_argument("-n", type=int, default=8)
     p.add_argument("--rho", type=float, default=0.8)
     p.add_argument("--convention", choices=("exact", "table1"), default="exact")
     p.add_argument("--warmup", type=float, default=300.0)
     p.add_argument("--horizon", type=float, default=3000.0)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0, help="base replication seed")
+    p.add_argument(
+        "--scenario", default="uniform", help="name from the scenario registry"
+    )
+    p.add_argument("--engine", choices=("event", "slotted"), default="event")
+    p.add_argument(
+        "--replications", type=int, default=1, help="seeded replications to pool"
+    )
+    p.add_argument(
+        "--processes", type=int, default=None, help="worker processes (default: cores)"
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter (repeatable), e.g. --param h=0.4",
+    )
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("scenarios", help="list registered traffic scenarios")
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser("tables", help="regenerate every table/figure")
     p.add_argument("--full", action="store_true")

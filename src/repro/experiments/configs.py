@@ -32,6 +32,11 @@ class GridConfig:
         Base seed; each cell derives its own (stable across runs).
     convention:
         Load convention for ``lambda_for_load`` (Table I used "table1").
+    replications:
+        Seeded replications per cell (seeds step by 1 from the cell
+        seed). 1 keeps the paper's single-trajectory point estimates;
+        more replications switch the reported CI to across-replication
+        half-widths.
     """
 
     ns: tuple[int, ...] = (5, 10, 15, 20)
@@ -41,6 +46,7 @@ class GridConfig:
     congestion_cap: float = 40.0
     seed: int = 20260612
     convention: str = "table1"
+    replications: int = 1
 
     def warmup_for(self, rho: float) -> float:
         """Warmup scaled by congestion (longer transients near capacity)."""

@@ -3,8 +3,13 @@
 One simulated cell yields everything the three tables need — the mean
 delay T (Table I), the ratio r = E[R]/E[N] (Table II) and
 r_s = E[R_s]/E[N] (Table III) — because the engine integrates N(t), R(t)
-and R_s(t) in a single pass. ``simulate_cell`` is a top-level function so
-:func:`repro.util.parallel.pmap` can fan cells across processes.
+and R_s(t) in a single pass. Cells run through the
+:class:`~repro.sim.replication.ReplicationEngine`: every (cell, seed)
+pair fans out over one flat process-pool map, and with
+``config.replications > 1`` each grid point reports across-replication
+means and CIs instead of single-trajectory point estimates. With the
+default single replication the numbers are bit-identical to a direct
+:class:`~repro.sim.NetworkSimulation` run at the cell's seed.
 """
 
 from __future__ import annotations
@@ -12,15 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.md1_approx import delay_md1_estimate
-from repro.core.rates import array_edge_rates, lambda_for_load
-from repro.core.saturation import saturated_edge_mask
+from repro.core.rates import lambda_for_load
 from repro.core.upper_bound import delay_upper_bound
 from repro.experiments.configs import GridConfig
-from repro.routing.destinations import UniformDestinations
-from repro.routing.greedy import GreedyArrayRouter
-from repro.sim.fifo_network import NetworkSimulation
-from repro.topology.array_mesh import ArrayMesh
-from repro.util.parallel import pmap
+from repro.sim.replication import CellSpec as ReplicationSpec
+from repro.sim.replication import ReplicatedResult, ReplicationEngine
 
 
 @dataclass(frozen=True)
@@ -33,15 +34,35 @@ class CellSpec:
     horizon: float
     seed: int
     convention: str = "table1"
+    replications: int = 1
+
+    def to_replication(self) -> ReplicationSpec:
+        """View as a replication-engine spec (standard-model scenario).
+
+        Replication seeds step by 1 from the cell seed, so replication 0
+        reproduces the single-seed cell exactly.
+        """
+        return ReplicationSpec(
+            scenario="uniform",
+            n=self.n,
+            rho=self.rho,
+            convention=self.convention,
+            warmup=self.warmup,
+            horizon=self.horizon,
+            seeds=tuple(self.seed + k for k in range(self.replications)),
+            track_saturated=True,
+        )
 
 
 @dataclass(frozen=True)
 class CellResult:
     """Everything measured and predicted at one grid point.
 
-    Simulated: ``t_sim`` (mean delay, with ``t_ci`` ~95% half-width),
-    ``mean_number``, ``r``, ``r_saturated``, ``littles_gap`` (consistency
-    diagnostic), ``generated`` (sample size).
+    Simulated: ``t_sim`` (mean delay, with ``t_ci`` ~95% half-width —
+    within-run batch means for a single replication, across-replication
+    otherwise), ``mean_number``, ``r``, ``r_saturated``, ``littles_gap``
+    (consistency diagnostic), ``generated`` (sample size over all
+    replications).
     Analytic at the same lambda: ``t_est_paper`` / ``t_est_pk`` (Section
     4.2 estimate, both variants) and ``t_upper`` (Theorem 7).
     """
@@ -60,41 +81,34 @@ class CellResult:
     t_upper: float
 
 
-def simulate_cell(spec: CellSpec) -> CellResult:
-    """Simulate one (n, rho) cell of the paper's grid.
-
-    Builds the standard model — n-by-n mesh, greedy row-first routing,
-    uniform destinations, unit service — at ``lam = lambda_for_load(n,
-    rho, convention)``, runs ``warmup + horizon`` with the saturated-edge
-    mask tracked, and pairs the measurements with the analytic values.
-    """
-    mesh = ArrayMesh(spec.n)
-    router = GreedyArrayRouter(mesh)
-    destinations = UniformDestinations(mesh.num_nodes)
+def cell_result(spec: CellSpec, pooled: ReplicatedResult) -> CellResult:
+    """Pair one cell's pooled simulation outcome with the analytic values."""
     lam = lambda_for_load(spec.n, spec.rho, spec.convention)
-    mask = saturated_edge_mask(array_edge_rates(mesh, lam))
-    sim = NetworkSimulation(
-        router,
-        destinations,
-        lam,
-        saturated_mask=mask,
-        seed=spec.seed,
-    )
-    res = sim.run(spec.warmup, spec.horizon)
     return CellResult(
         spec=spec,
         lam=lam,
-        t_sim=res.mean_delay,
-        t_ci=res.delay_half_width,
-        mean_number=res.mean_number,
-        r=res.r,
-        r_saturated=res.r_saturated,
-        littles_gap=res.littles_law_gap,
-        generated=res.generated,
+        t_sim=pooled.mean_delay,
+        t_ci=pooled.delay_half_width,
+        mean_number=pooled.mean_number,
+        r=pooled.r,
+        r_saturated=pooled.r_saturated,
+        littles_gap=pooled.littles_law_gap,
+        generated=pooled.generated,
         t_est_paper=delay_md1_estimate(spec.n, lam, variant="paper"),
         t_est_pk=delay_md1_estimate(spec.n, lam, variant="pk"),
         t_upper=delay_upper_bound(spec.n, lam),
     )
+
+
+def simulate_cell(spec: CellSpec) -> CellResult:
+    """Simulate one (n, rho) cell of the paper's grid, in-process.
+
+    The standard model — n-by-n mesh, greedy row-first routing, uniform
+    destinations, unit service — at ``lam = lambda_for_load(n, rho,
+    convention)`` with the saturated-edge mask tracked.
+    """
+    pooled = ReplicationEngine(processes=1).run(spec.to_replication())
+    return cell_result(spec, pooled)
 
 
 def grid_specs(config: GridConfig) -> list[CellSpec]:
@@ -107,6 +121,7 @@ def grid_specs(config: GridConfig) -> list[CellSpec]:
             horizon=config.horizon_for(rho),
             seed=config.cell_seed(n, rho),
             convention=config.convention,
+            replications=config.replications,
         )
         for n in config.ns
         for rho in config.rhos
@@ -114,5 +129,8 @@ def grid_specs(config: GridConfig) -> list[CellSpec]:
 
 
 def run_grid(config: GridConfig, *, processes: int | None = None) -> list[CellResult]:
-    """Simulate the whole grid, cells fanned across a process pool."""
-    return pmap(simulate_cell, grid_specs(config), processes=processes)
+    """Simulate the whole grid, (cell, seed) pairs fanned across a pool."""
+    specs = grid_specs(config)
+    engine = ReplicationEngine(processes=processes)
+    pooled = engine.run_many([s.to_replication() for s in specs])
+    return [cell_result(s, p) for s, p in zip(specs, pooled)]

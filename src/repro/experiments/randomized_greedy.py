@@ -25,10 +25,8 @@ import numpy as np
 from repro.core.rates import edge_rates_from_routing, lambda_for_load
 from repro.routing.destinations import UniformDestinations
 from repro.routing.greedy import GreedyArrayRouter
-from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
-from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.replication import CellSpec, ReplicationEngine
 from repro.topology.array_mesh import ArrayMesh
-from repro.util.parallel import pmap
 from repro.util.tables import Table
 
 
@@ -49,18 +47,17 @@ FULL_RAND = RandomizedConfig(
 )
 
 
-def _one(args: tuple[str, int, RandomizedConfig]) -> float:
-    scheme, seed, cfg = args
-    mesh = ArrayMesh(cfg.n)
-    if scheme == "standard":
-        router = GreedyArrayRouter(mesh)
-    else:
-        router = RandomizedGreedyArrayRouter(mesh)
-    lam = lambda_for_load(cfg.n, cfg.rho, "exact")
-    sim = NetworkSimulation(
-        router, UniformDestinations(mesh.num_nodes), lam, seed=seed
+def _cell(scheme: str, cfg: RandomizedConfig) -> CellSpec:
+    """One scheme's replicated cell (scenarios share the uniform workload)."""
+    return CellSpec(
+        scenario="uniform" if scheme == "standard" else "randomized",
+        n=cfg.n,
+        rho=cfg.rho,
+        convention="exact",
+        warmup=cfg.warmup,
+        horizon=cfg.horizon,
+        seeds=cfg.seeds,
     )
-    return sim.run(cfg.warmup, cfg.horizon).mean_delay
 
 
 @dataclass(frozen=True)
@@ -101,12 +98,14 @@ class RandomizedResult:
 
 
 def run(config: RandomizedConfig = QUICK_RAND, *, processes: int | None = None) -> RandomizedResult:
-    """Run the comparison across seeds (parallel across schemes x seeds)."""
-    jobs = [("standard", s, config) for s in config.seeds] + [
-        ("randomized", s, config) for s in config.seeds
-    ]
-    delays = pmap(_one, jobs, processes=processes)
-    k = len(config.seeds)
+    """Run the comparison across seeds (parallel across schemes x seeds).
+
+    Both schemes go through the :class:`~repro.sim.ReplicationEngine`,
+    which fans every (scheme, seed) replication over one pool."""
+    engine = ReplicationEngine(processes=processes)
+    standard, randomized = engine.run_many(
+        [_cell("standard", config), _cell("randomized", config)]
+    )
     # Analytic bottleneck: randomized = even mixture of the two pure orders.
     mesh = ArrayMesh(config.n)
     lam = lambda_for_load(config.n, config.rho, "exact")
@@ -119,8 +118,8 @@ def run(config: RandomizedConfig = QUICK_RAND, *, processes: int | None = None) 
     return RandomizedResult(
         n=config.n,
         rho=config.rho,
-        standard_delays=delays[:k],
-        randomized_delays=delays[k:],
+        standard_delays=[r.mean_delay for r in standard.replications],
+        randomized_delays=[r.mean_delay for r in randomized.replications],
         standard_bottleneck=float(row_first.max()),
         randomized_bottleneck=float(mixed.max()),
     )

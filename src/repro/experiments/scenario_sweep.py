@@ -1,0 +1,125 @@
+"""Scenario sweep: the replication engine across the workload registry.
+
+The paper only simulates uniform traffic on the mesh; this experiment
+fans the same measurement machinery across the scenario registry
+(hot-spot, transpose, distance-biased, torus — every workload calibrated
+to the *same* network load ``rho`` by its own bottleneck edge), with R
+seeded replications per scenario pooled into across-replication CIs.
+
+Shape claims asserted by the checks (all are consequences of the load
+calibration, not of uniformity, so they must survive every workload):
+
+* every replication drains — generated packets all complete;
+* the two delay estimators (direct average vs Little's Law) agree;
+* pooled CIs are well-formed (positive, and small relative to the mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.replication import CellSpec, ReplicatedResult, ReplicationEngine
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class ScenarioSweepConfig:
+    """Sizing for the scenario sweep.
+
+    ``n`` sizes the mesh/torus scenarios; the bit-reversal hypercube uses
+    ``cube_dim`` (its node count is ``2**cube_dim``).
+    """
+
+    scenarios: tuple[str, ...] = ("hotspot", "transpose", "geometric", "torus")
+    n: int = 6
+    cube_dim: int = 4
+    rho: float = 0.7
+    warmup: float = 150.0
+    horizon: float = 1200.0
+    seeds: tuple[int, ...] = (101, 202, 303)
+
+
+QUICK_SCEN = ScenarioSweepConfig()
+FULL_SCEN = ScenarioSweepConfig(
+    scenarios=("hotspot", "transpose", "bitreversal", "geometric", "torus"),
+    n=10,
+    cube_dim=6,
+    rho=0.8,
+    warmup=500.0,
+    horizon=6000.0,
+    seeds=(101, 202, 303, 404, 505),
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """Pooled results, one per scenario."""
+
+    rho: float
+    pooled: list[ReplicatedResult]
+
+    def render(self) -> str:
+        t = Table(
+            title=f"Scenario sweep at rho={self.rho} (ReplicationEngine)",
+            headers=["scenario", "n", "R", "T", "+/-", "N", "littles gap"],
+        )
+        for p in self.pooled:
+            t.add_row(
+                [
+                    p.spec.scenario,
+                    p.spec.n,
+                    len(p.replications),
+                    p.mean_delay,
+                    p.delay_half_width,
+                    p.mean_number,
+                    p.littles_law_gap,
+                ]
+            )
+        return t.render()
+
+
+def run(
+    config: ScenarioSweepConfig = QUICK_SCEN, *, processes: int | None = None
+) -> ScenarioSweepResult:
+    """Sweep the registry, fanning every (scenario, seed) pair at once."""
+    specs = [
+        CellSpec(
+            scenario=name,
+            n=config.cube_dim if name == "bitreversal" else config.n,
+            rho=config.rho,
+            warmup=config.warmup,
+            horizon=config.horizon,
+            seeds=config.seeds,
+        )
+        for name in config.scenarios
+    ]
+    pooled = ReplicationEngine(processes=processes).run_many(specs)
+    return ScenarioSweepResult(rho=config.rho, pooled=pooled)
+
+
+def shape_checks(result: ScenarioSweepResult) -> list[str]:
+    """Violated sweep claims (empty = all hold)."""
+    problems: list[str] = []
+    for p in result.pooled:
+        tag = f"({p.spec.scenario}, n={p.spec.n})"
+        for rep in p.replications:
+            if rep.completed != rep.generated:
+                problems.append(
+                    f"{tag}: seed {rep.seed} lost packets "
+                    f"({rep.completed}/{rep.generated})"
+                )
+        if p.littles_law_gap > 0.2:
+            problems.append(
+                f"{tag}: Little's-Law estimators disagree by "
+                f"{p.littles_law_gap:.1%}"
+            )
+        hw = p.delay_half_width
+        if not np.isfinite(hw) or hw <= 0:
+            problems.append(f"{tag}: ill-formed pooled CI {hw}")
+        elif hw > 0.5 * p.mean_delay:
+            problems.append(
+                f"{tag}: pooled CI {hw:.3f} too wide for T={p.mean_delay:.3f}"
+            )
+    return problems

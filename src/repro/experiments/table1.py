@@ -17,7 +17,7 @@ Shape claims this table supports (asserted by ``bench_table1``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.experiments.configs import GridConfig, QUICK
 from repro.experiments.grid import CellResult, run_grid
@@ -59,8 +59,20 @@ class Table1Result:
         return t.render()
 
 
-def run(config: GridConfig = QUICK, *, processes: int | None = None) -> Table1Result:
-    """Regenerate Table I at the given sizing preset."""
+def run(
+    config: GridConfig = QUICK,
+    *,
+    processes: int | None = None,
+    replications: int | None = None,
+) -> Table1Result:
+    """Regenerate Table I at the given sizing preset.
+
+    ``replications`` overrides the config's per-cell replication count;
+    with more than one, the "+/-" column becomes the across-replication
+    ~95% half-width from the :class:`~repro.sim.ReplicationEngine` pool.
+    """
+    if replications is not None:
+        config = replace(config, replications=replications)
     return Table1Result(cells=run_grid(config, processes=processes))
 
 

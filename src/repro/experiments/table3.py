@@ -13,7 +13,7 @@ even-n r_s < odd-n r_s (the parity split); and r_s moves little with rho.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.saturation import s_bar
 from repro.experiments.configs import GridConfig
@@ -34,6 +34,7 @@ class Table3Config:
     base_horizon: float = 12000.0
     seed: int = 31415
     convention: str = "table1"
+    replications: int = 1
 
     def to_grid(self) -> GridConfig:
         """View as a GridConfig (flat windows; the rho is fixed and high)."""
@@ -45,6 +46,7 @@ class Table3Config:
             congestion_cap=1.0,  # windows are already sized for rho=.99
             seed=self.seed,
             convention=self.convention,
+            replications=self.replications,
         )
 
 
@@ -80,8 +82,19 @@ class Table3Result:
         return t.render()
 
 
-def run(config: Table3Config = QUICK3, *, processes: int | None = None) -> Table3Result:
-    """Regenerate Table III at the given sizing preset."""
+def run(
+    config: Table3Config = QUICK3,
+    *,
+    processes: int | None = None,
+    replications: int | None = None,
+) -> Table3Result:
+    """Regenerate Table III at the given sizing preset.
+
+    ``replications`` overrides the config's per-cell replication count
+    (the :class:`~repro.sim.ReplicationEngine` pools the seeds).
+    """
+    if replications is not None:
+        config = replace(config, replications=replications)
     return Table3Result(cells=run_grid(config.to_grid(), processes=processes))
 
 

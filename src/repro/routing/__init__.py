@@ -21,6 +21,8 @@ from repro.routing.destinations import (
     MatrixDestinations,
     PBiasedHypercubeDestinations,
     GeometricStopDestinations,
+    HotSpotDestinations,
+    PermutationDestinations,
 )
 from repro.routing.markov_chain import LineStopChain
 
@@ -38,5 +40,7 @@ __all__ = [
     "MatrixDestinations",
     "PBiasedHypercubeDestinations",
     "GeometricStopDestinations",
+    "HotSpotDestinations",
+    "PermutationDestinations",
     "LineStopChain",
 ]

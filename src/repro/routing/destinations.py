@@ -23,7 +23,7 @@ import numpy as np
 from repro.routing.markov_chain import LineStopChain
 from repro.topology.array_mesh import ArrayMesh
 from repro.topology.hypercube import Hypercube
-from repro.util.validation import check_probability
+from repro.util.validation import check_probability, pinned_cdf
 
 
 @runtime_checkable
@@ -76,9 +76,16 @@ class MatrixDestinations:
             raise ValueError("every row must sum to 1")
         self._p = p / rowsums[:, None]  # exact renormalisation
         self.num_nodes = p.shape[0]
+        # Per-row pinned CDFs so sampling is one uniform draw plus a
+        # bisection, instead of rng.choice rebuilding the distribution
+        # every packet (see util.validation.pinned_cdf for the boundary
+        # handling).
+        self._cdf = np.vstack([pinned_cdf(row) for row in self._p])
 
     def sample(self, src: int, rng: np.random.Generator) -> int:
-        return int(rng.choice(self.num_nodes, p=self._p[src]))
+        # side="right" so a draw landing exactly on a CDF boundary never
+        # selects a zero-probability destination.
+        return int(np.searchsorted(self._cdf[src], rng.random(), side="right"))
 
     def pmf(self, src: int) -> np.ndarray:
         return self._p[src].copy()
@@ -185,6 +192,89 @@ class GeometricStopDestinations:
         row_pmf = self._axis_pmf(i, self.mesh.rows)
         col_pmf = self._axis_pmf(j, self.mesh.cols)
         return np.outer(row_pmf, col_pmf).reshape(-1)
+
+
+class HotSpotDestinations:
+    """Hot-spot traffic: extra probability mass ``h`` on one hot node.
+
+    With probability ``h`` the packet heads to ``hot_node``; otherwise the
+    destination is uniform over all nodes (the hot node included, matching
+    the paper's convention that destinations may equal sources). ``h = 0``
+    recovers :class:`UniformDestinations`. The classic shared-resource
+    workload: the hot node's incoming edges saturate first, so calibrating
+    the load by the max edge rate (see :mod:`repro.scenarios`) keeps the
+    system stable while concentrating queueing near the hot spot.
+    """
+
+    def __init__(self, num_nodes: int, hot_node: int = 0, h: float = 0.25) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = int(num_nodes)
+        if not 0 <= int(hot_node) < self.num_nodes:
+            raise ValueError(
+                f"hot_node {hot_node} outside 0..{self.num_nodes - 1}"
+            )
+        self.hot_node = int(hot_node)
+        self.h = check_probability(h, "h")
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        if rng.random() < self.h:
+            return self.hot_node
+        return int(rng.integers(self.num_nodes))
+
+    def pmf(self, src: int) -> np.ndarray:
+        out = np.full(self.num_nodes, (1.0 - self.h) / self.num_nodes)
+        out[self.hot_node] += self.h
+        return out
+
+
+class PermutationDestinations:
+    """Fixed-permutation traffic: every packet born at ``src`` goes to
+    ``perm[src]``.
+
+    The classic adversarial workloads for dimension-order routing —
+    transpose and bit-reversal — are provided as constructors. The law is
+    degenerate (a one-hot pmf per source), which exercises the analytic
+    rate solver and dominance checks on maximally non-uniform input.
+    """
+
+    def __init__(self, perm) -> None:
+        p = np.asarray(perm, dtype=np.int64)
+        if p.ndim != 1 or not np.array_equal(np.sort(p), np.arange(p.size)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        self._perm = p.tolist()
+        self.num_nodes = int(p.size)
+
+    @classmethod
+    def transpose(cls, mesh: ArrayMesh) -> "PermutationDestinations":
+        """Matrix-transpose traffic on a square mesh: ``(i, j) -> (j, i)``."""
+        if mesh.rows != mesh.cols:
+            raise ValueError("transpose traffic needs a square mesh")
+        perm = [
+            mesh.node_id(j, i)
+            for v in range(mesh.num_nodes)
+            for i, j in [mesh.node_coords(v)]
+        ]
+        return cls(perm)
+
+    @classmethod
+    def bit_reversal(cls, num_nodes: int) -> "PermutationDestinations":
+        """Bit-reversal traffic on ``num_nodes = 2^d`` nodes: node ``v``
+        maps to the reversal of its ``d``-bit address."""
+        n = int(num_nodes)
+        if n < 1 or n & (n - 1):
+            raise ValueError(f"num_nodes must be a power of two, got {num_nodes}")
+        d = n.bit_length() - 1
+        perm = [int(f"{v:0{d}b}"[::-1], 2) if d else 0 for v in range(n)]
+        return cls(perm)
+
+    def sample(self, src: int, rng: np.random.Generator) -> int:
+        return self._perm[src]
+
+    def pmf(self, src: int) -> np.ndarray:
+        out = np.zeros(self.num_nodes)
+        out[self._perm[src]] = 1.0
+        return out
 
 
 def uniform_for(topology) -> UniformDestinations:

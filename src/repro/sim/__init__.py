@@ -17,6 +17,29 @@ N(t) (packets in system), R(t) (remaining services) and R_s(t) (remaining
 saturated services), so E[N], r = E[R]/E[N] and r_s = E[R_s]/E[N] — the
 quantities of Tables II and III — carry no sampling error beyond the
 trajectory itself.
+
+Multi-seed runs
+---------------
+One run is one trajectory; every table in the paper is "the same cell,
+many seeds". :mod:`repro.sim.replication` provides that layer: declare a
+cell once as a :class:`CellSpec` (scenario name from
+:mod:`repro.scenarios`, load, engine, window, seeds) and hand it to a
+:class:`ReplicationEngine`, which fans the replications over a process
+pool and pools them into a :class:`ReplicatedResult` with
+across-replication means and ~95% confidence intervals. The same spec
+runs on the event-driven or the slotted engine, so cross-engine parity is
+one field away::
+
+    from repro.sim import CellSpec, ReplicationEngine
+
+    spec = CellSpec(scenario="hotspot", n=8, rho=0.8,
+                    warmup=200, horizon=2000, seeds=tuple(range(8)))
+    pooled = ReplicationEngine(processes=4).run(spec)
+    print(pooled.render())  # per-seed rows + pooled row with CIs
+
+Scenarios (topology + router + destination law) are registered by name in
+:mod:`repro.scenarios`; built-ins cover the paper's standard model plus
+hot-spot, transpose, bit-reversal, distance-biased and torus workloads.
 """
 
 from repro.sim.result import SimResult
@@ -25,6 +48,12 @@ from repro.sim.ps_network import PSNetworkSimulation
 from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
 from repro.sim.measurement import BatchMeans, TimeBatchAccumulator
+from repro.sim.replication import (
+    CellSpec,
+    ReplicatedResult,
+    ReplicationEngine,
+    replicate,
+)
 
 __all__ = [
     "SimResult",
@@ -34,4 +63,8 @@ __all__ = [
     "SlottedNetworkSimulation",
     "BatchMeans",
     "TimeBatchAccumulator",
+    "CellSpec",
+    "ReplicatedResult",
+    "ReplicationEngine",
+    "replicate",
 ]

@@ -35,7 +35,7 @@ from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution, UniformDestinations
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_positive
+from repro.util.validation import check_node_rates, check_positive, pinned_cdf
 
 _BLOCK = 8192
 
@@ -119,11 +119,9 @@ class NetworkSimulation:
             check_positive(node_rate, "node_rate")
             self.node_rates = np.full(len(self.source_nodes), float(node_rate))
         else:
-            self.node_rates = np.asarray(node_rate, dtype=float)
-            if self.node_rates.shape != (len(self.source_nodes),):
-                raise ValueError("node_rate sequence must match source_nodes")
-            if np.any(self.node_rates < 0) or self.node_rates.sum() <= 0:
-                raise ValueError("node rates must be non-negative with positive sum")
+            self.node_rates = check_node_rates(
+                node_rate, len(self.source_nodes), "node_rate"
+            )
         self.total_rate = float(self.node_rates.sum())
 
         if saturated_mask is None:
@@ -141,7 +139,7 @@ class NetworkSimulation:
             np.allclose(self.node_rates, self.node_rates[0])
         )
         if not self._uniform_sources:
-            self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+            self._source_cdf = pinned_cdf(self.node_rates)
         # The batched id draw samples over *all* nodes, so it is only valid
         # when every node generates (at equal rate) and destinations are
         # uniform over all nodes.
@@ -267,8 +265,17 @@ class NetworkSimulation:
 
         draining = False
         in_flight_at_horizon = 0
+        # Queues standing when the warmup ends are part of the measurement
+        # window: seed max_queue with them at the crossing, so the gate on
+        # later updates only excludes growth that ended before the window.
+        maxima_seeded = not track_maxima or warmup == 0.0
         while heap:
             t, _s, e, pkt = pop(heap)
+            if not maxima_seeded and t >= warmup:
+                maxima_seeded = True
+                for q in queues:
+                    if len(q) > max_queue:
+                        max_queue = len(q)
             if t >= t_end and not draining:
                 draining = True
                 in_flight_at_horizon = in_system
@@ -312,8 +319,15 @@ class NetworkSimulation:
                     if self._uniform_sources:
                         src = sources[int(rng.integers(nsrc))]
                     else:
+                        # side="right" so a draw that lands exactly on a CDF
+                        # boundary (e.g. u = 0.0 with a leading zero-rate
+                        # source) never selects a zero-rate source.
                         src = sources[
-                            int(np.searchsorted(self._source_cdf, rng.random()))
+                            int(
+                                np.searchsorted(
+                                    self._source_cdf, rng.random(), side="right"
+                                )
+                            )
                         ]
                     dst = destinations.sample(src, rng)
                 measured = t >= warmup
@@ -341,7 +355,12 @@ class NetworkSimulation:
                     if busy[f]:
                         q = queues[f]
                         q.append(new_pkt)
-                        if track_maxima and not draining and len(q) > max_queue:
+                        if (
+                            track_maxima
+                            and measured
+                            and not draining
+                            and len(q) > max_queue
+                        ):
                             max_queue = len(q)
                     else:
                         busy[f] = 1
@@ -375,7 +394,12 @@ class NetworkSimulation:
                     if busy[f]:
                         qf = queues[f]
                         qf.append(pkt)
-                        if track_maxima and not draining and len(qf) > max_queue:
+                        if (
+                            track_maxima
+                            and not draining
+                            and t >= warmup
+                            and len(qf) > max_queue
+                        ):
                             max_queue = len(qf)
                     else:
                         busy[f] = 1

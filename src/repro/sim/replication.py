@@ -1,0 +1,352 @@
+"""Multi-seed replication: one simulation cell, many seeds, pooled CIs.
+
+Every table and figure of the paper is really "the same simulation cell,
+replicated over seeds, over a grid of (n, rho) points". This module is the
+single substrate for that pattern:
+
+* :class:`CellSpec` — a declarative description of one cell: scenario
+  (topology + router + destination law, resolved by
+  :mod:`repro.scenarios`), load, engine, service law, measurement window
+  and the seed set;
+* :class:`ReplicationEngine` — fans the R seeded replications (of one cell
+  or of a whole batch of cells at once) over
+  :func:`repro.util.parallel.pmap`;
+* :class:`ReplicatedResult` — the pooled outcome: across-replication means
+  with ~95% confidence half-widths, computed by the same
+  :func:`repro.sim.measurement.batch_means` machinery the within-run delay
+  CI uses (each replication is one "batch" of weight 1).
+
+Replications are embarrassingly parallel — a cell is a pure function of
+``(spec, seed)`` — so the fan-out is a flat ordered ``pmap`` over every
+(cell, seed) pair, the same HPC idiom as the experiment grid. The engine
+works identically for the event-driven and the slotted simulators; the
+slotted engine interprets the window in units of ``tau``-slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
+from repro.sim.measurement import BatchMeans, batch_means
+from repro.sim.result import SimResult
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.util.parallel import pmap
+from repro.util.tables import Table
+
+EVENT, SLOTTED = "event", "slotted"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Declarative description of one replicated simulation cell.
+
+    Attributes
+    ----------
+    scenario:
+        Name in the :mod:`repro.scenarios` registry (topology, router and
+        destination law; ``"uniform"`` is the paper's standard model).
+    n:
+        Scenario size parameter (mesh/torus side; hypercube dimension for
+        the bit-reversal scenario).
+    rho:
+        Target network load ``max_e lam_e / phi_e``; resolved to a per-node
+        rate by the scenario's calibration. Ignored when ``node_rate`` is
+        given explicitly.
+    node_rate:
+        Explicit per-node rate (scalar, or a tuple aligned with the
+        scenario's source nodes) overriding the ``rho`` calibration.
+    convention:
+        Load convention for the standard-model calibration (``"exact"`` or
+        Table I's ``"table1"``); non-standard scenarios always calibrate
+        exactly via the generic traffic solver.
+    engine:
+        ``"event"`` (the event-driven simulator) or ``"slotted"``.
+    service:
+        Service law for the event engine (the slotted engine is always
+        unit-slot deterministic).
+    tau:
+        Slot duration for the slotted engine.
+    warmup, horizon:
+        Measurement window in continuous time units; the slotted engine
+        rounds to whole slots of duration ``tau``.
+    seeds:
+        One replication per seed. Defaults to 4 replications.
+    track_saturated:
+        Track R_s(t) against the scenario's saturated-edge mask (Table III).
+    track_maxima:
+        Track the worst per-packet delay / longest queue (event engine).
+    params:
+        Scenario parameters as a tuple of ``(name, value)`` pairs, e.g.
+        ``(("h", 0.3),)`` for the hot-spot mass (kept as a tuple so the
+        spec stays hashable and picklable).
+    """
+
+    scenario: str = "uniform"
+    n: int = 8
+    rho: float | None = None
+    node_rate: float | tuple[float, ...] | None = None
+    convention: str = "exact"
+    engine: str = EVENT
+    service: str = DETERMINISTIC
+    tau: float = 1.0
+    warmup: float = 300.0
+    horizon: float = 3000.0
+    seeds: tuple[int, ...] = (0, 1, 2, 3)
+    track_saturated: bool = False
+    track_maxima: bool = False
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.engine not in (EVENT, SLOTTED):
+            raise ValueError(
+                f"engine must be '{EVENT}' or '{SLOTTED}', got {self.engine!r}"
+            )
+        if self.service not in (DETERMINISTIC, EXPONENTIAL):
+            raise ValueError(f"unknown service law {self.service!r}")
+        if self.engine == SLOTTED and self.service != DETERMINISTIC:
+            raise ValueError("the slotted engine only supports unit-slot service")
+        if self.rho is None and self.node_rate is None:
+            raise ValueError("one of rho or node_rate is required")
+        if not self.seeds:
+            raise ValueError("at least one replication seed is required")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("replication seeds must be distinct")
+
+    @property
+    def replications(self) -> int:
+        """Number of replications (one per seed)."""
+        return len(self.seeds)
+
+    @property
+    def params_dict(self) -> dict:
+        """Scenario parameters as a dict."""
+        return dict(self.params)
+
+    def with_params(self, **params) -> "CellSpec":
+        """Copy of this spec with the given scenario parameters merged in."""
+        merged = {**self.params_dict, **params}
+        return replace(self, params=tuple(sorted(merged.items())))
+
+
+def _pm(mean: float, half_width: float, digits: int) -> str:
+    """Format ``mean +/- half_width``, dropping an undefined half-width."""
+    if np.isfinite(half_width):
+        return f"{mean:.{digits}f}+/-{half_width:.{digits}f}"
+    return f"{mean:.{digits}f}"
+
+
+def _pooled(values: Sequence[float]) -> BatchMeans:
+    """Across-replication batch-means pooling (one batch per replication)."""
+    vals = np.asarray([v for v in values if not np.isnan(v)], dtype=float)
+    return batch_means(vals, np.ones_like(vals))
+
+
+@dataclass
+class ReplicatedResult:
+    """R seeded :class:`~repro.sim.result.SimResult` runs of one cell,
+    pooled into across-replication means and ~95% confidence intervals.
+
+    Per-replication results stay available in :attr:`replications` (seed
+    order follows ``spec.seeds``); the properties below pool them. With a
+    single replication the across-replication half-widths fall back to the
+    run's own within-run batch-means half-width for the delay (and ``nan``
+    for the time averages), so single-seed callers keep an honest CI.
+    """
+
+    spec: CellSpec
+    node_rate: float | tuple[float, ...]
+    replications: list[SimResult]
+
+    def pooled(self, attr: str) -> BatchMeans:
+        """Across-replication pooling of any scalar ``SimResult`` field."""
+        return _pooled([getattr(r, attr) for r in self.replications])
+
+    # -- delay ---------------------------------------------------------
+    @property
+    def mean_delay(self) -> float:
+        return self.pooled("mean_delay").mean
+
+    @property
+    def delay_half_width(self) -> float:
+        if len(self.replications) == 1:
+            return self.replications[0].delay_half_width
+        return self.pooled("mean_delay").half_width
+
+    # -- time averages -------------------------------------------------
+    @property
+    def mean_number(self) -> float:
+        return self.pooled("mean_number").mean
+
+    @property
+    def number_half_width(self) -> float:
+        return self.pooled("mean_number").half_width
+
+    @property
+    def r(self) -> float:
+        return self.pooled("r").mean
+
+    @property
+    def r_saturated(self) -> float:
+        return self.pooled("r_saturated").mean
+
+    @property
+    def littles_law_gap(self) -> float:
+        """Worst across-replication Little's-Law disagreement."""
+        return max(r.littles_law_gap for r in self.replications)
+
+    # -- counts and extremes -------------------------------------------
+    @property
+    def generated(self) -> int:
+        return sum(r.generated for r in self.replications)
+
+    @property
+    def total_rate(self) -> float:
+        return self.replications[0].total_rate
+
+    @property
+    def max_delay(self) -> float:
+        return max(r.max_delay for r in self.replications)
+
+    @property
+    def max_queue_length(self) -> int:
+        return max(r.max_queue_length for r in self.replications)
+
+    def summary_line(self) -> str:
+        """One-line pooled summary."""
+        return (
+            f"{self.spec.scenario}(n={self.spec.n}) R={len(self.replications)} "
+            f"T={self.mean_delay:.3f}+/-{self.delay_half_width:.3f} "
+            f"N={self.mean_number:.2f} packets={self.generated}"
+        )
+
+    def render(self) -> str:
+        """Per-replication rows plus the pooled row, as a monospace table."""
+        t = Table(
+            title=(
+                f"ReplicatedResult: scenario={self.spec.scenario} "
+                f"n={self.spec.n} engine={self.spec.engine} "
+                f"R={len(self.replications)}"
+            ),
+            headers=["rep", "seed", "T", "N", "r", "littles gap", "packets"],
+        )
+        for k, (seed, rep) in enumerate(zip(self.spec.seeds, self.replications)):
+            t.add_row(
+                [
+                    k,
+                    seed,
+                    rep.mean_delay,
+                    rep.mean_number,
+                    rep.r,
+                    rep.littles_law_gap,
+                    rep.generated,
+                ]
+            )
+        t.add_row(
+            [
+                "pooled",
+                "-",
+                _pm(self.mean_delay, self.delay_half_width, 3),
+                _pm(self.mean_number, self.number_half_width, 2),
+                self.r,
+                self.littles_law_gap,
+                self.generated,
+            ]
+        )
+        return t.render()
+
+
+def _run_replication(job: tuple) -> SimResult:
+    """Run one seeded replication of a cell (top-level for pickling)."""
+    spec, seed, node_rate, mask = job
+    from repro.scenarios import build_network  # late: scenarios imports us
+
+    net = build_network(spec.scenario, spec.n, **spec.params_dict)
+    if spec.engine == SLOTTED:
+        sim = SlottedNetworkSimulation(
+            net.router,
+            net.destinations,
+            node_rate,
+            tau=spec.tau,
+            source_nodes=net.source_nodes,
+            saturated_mask=mask,
+            seed=seed,
+        )
+        warmup_slots = int(round(spec.warmup / spec.tau))
+        horizon_slots = max(1, int(round(spec.horizon / spec.tau)))
+        return sim.run(warmup_slots, horizon_slots)
+    sim = NetworkSimulation(
+        net.router,
+        net.destinations,
+        node_rate,
+        service=spec.service,
+        source_nodes=net.source_nodes,
+        saturated_mask=mask,
+        seed=seed,
+    )
+    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
+
+
+class ReplicationEngine:
+    """Fan seeded replications of simulation cells over a process pool.
+
+    Parameters
+    ----------
+    processes:
+        Worker count for :func:`repro.util.parallel.pmap` (``None`` = all
+        cores, ``1`` = serial in-process, bit-identical to parallel runs).
+
+    Examples
+    --------
+    >>> from repro.sim.replication import CellSpec, ReplicationEngine
+    >>> spec = CellSpec(scenario="uniform", n=4, rho=0.5,
+    ...                 warmup=50, horizon=400, seeds=(0, 1, 2))
+    >>> pooled = ReplicationEngine(processes=1).run(spec)
+    >>> pooled.mean_delay > 0 and pooled.delay_half_width > 0
+    True
+    """
+
+    def __init__(self, *, processes: int | None = None) -> None:
+        self.processes = processes
+
+    def run(self, spec: CellSpec) -> ReplicatedResult:
+        """Run one cell's replications (possibly in parallel)."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[CellSpec]) -> list[ReplicatedResult]:
+        """Run a batch of cells, fanning *all* (cell, seed) pairs at once.
+
+        Flattening the batch before the pool sees it keeps the pool busy
+        even when cells have very different lengths (the heavy rho = 0.99
+        cells of Table III would otherwise serialise behind each other).
+        """
+        from repro.scenarios import resolve_cell  # late: scenarios imports us
+
+        jobs: list[tuple] = []
+        for spec in specs:
+            node_rate, mask = resolve_cell(spec)
+            jobs.extend((spec, seed, node_rate, mask) for seed in spec.seeds)
+        flat = pmap(_run_replication, jobs, processes=self.processes)
+        out: list[ReplicatedResult] = []
+        at = 0
+        for spec in specs:
+            reps = flat[at : at + len(spec.seeds)]
+            at += len(spec.seeds)
+            out.append(
+                ReplicatedResult(
+                    spec=spec,
+                    node_rate=jobs[at - 1][2],
+                    replications=list(reps),
+                )
+            )
+        return out
+
+
+def replicate(
+    spec: CellSpec, *, processes: int | None = None
+) -> ReplicatedResult:
+    """Convenience wrapper: run one cell through a fresh engine."""
+    return ReplicationEngine(processes=processes).run(spec)

@@ -29,7 +29,7 @@ from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_positive
+from repro.util.validation import check_node_rates, check_positive, pinned_cdf
 
 
 class SlottedNetworkSimulation:
@@ -66,13 +66,11 @@ class SlottedNetworkSimulation:
             check_positive(node_rate, "node_rate")
             self.node_rates = np.full(len(self.source_nodes), float(node_rate))
         else:
-            self.node_rates = np.asarray(node_rate, dtype=float)
-            if self.node_rates.shape != (len(self.source_nodes),):
-                raise ValueError("node_rate sequence must match source_nodes")
+            self.node_rates = check_node_rates(
+                node_rate, len(self.source_nodes), "node_rate"
+            )
         self.total_rate = float(self.node_rates.sum())
-        if self.total_rate <= 0:
-            raise ValueError("total arrival rate must be positive")
-        self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+        self._source_cdf = pinned_cdf(self.node_rates)
         num_edges = self.topology.num_edges
         if saturated_mask is None:
             self._sat: list[bool] | None = None
@@ -129,8 +127,14 @@ class SlottedNetworkSimulation:
                     if uniform_sources:
                         src = self.source_nodes[int(rng.integers(len(self.source_nodes)))]
                     else:
+                        # side="right": a boundary draw must not pick a
+                        # zero-rate source (see the event engine).
                         src = self.source_nodes[
-                            int(np.searchsorted(self._source_cdf, rng.random()))
+                            int(
+                                np.searchsorted(
+                                    self._source_cdf, rng.random(), side="right"
+                                )
+                            )
                         ]
                     dst = self.destinations.sample(src, rng)
                     if measuring:

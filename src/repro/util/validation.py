@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from numbers import Real
 
+import numpy as np
+
 
 def _as_real(value: object, name: str) -> float:
     """Coerce ``value`` to ``float``, raising ``TypeError`` if non-numeric."""
@@ -41,6 +43,39 @@ def check_positive(value: float, name: str = "value", *, strict: bool = True) ->
     if not strict and x < 0:
         raise ValueError(f"{name} must be >= 0, got {x}")
     return x
+
+
+def check_node_rates(rates, count: int, name: str = "node_rate"):
+    """Validate a per-source rate vector: shape ``(count,)``, every entry
+    non-negative, and a positive total.
+
+    Shared by the event-driven and slotted engines so both reject the same
+    malformed inputs (a negative entry used to slip past the slotted
+    engine's total-only check). Returns the validated ``float`` array.
+    """
+    arr = np.asarray(rates, dtype=float)
+    if arr.shape != (count,):
+        raise ValueError(f"{name} sequence must match source_nodes")
+    if np.any(arr < 0) or not arr.sum() > 0:
+        raise ValueError(f"{name} entries must be non-negative with positive sum")
+    return arr
+
+
+def pinned_cdf(weights):
+    """Normalised cumulative distribution with a pinned top.
+
+    The CDF is set to exactly 1.0 from the last positive weight onward,
+    so a ``searchsorted(cdf, u, side='right')`` draw (i) stays in range
+    even when rounding leaves the cumulative sum at ``1 - ulp``, and
+    (ii) can never hand the top sliver to a zero-weight trailing entry.
+    Shared by both simulation engines' source draw and by
+    :class:`~repro.routing.destinations.MatrixDestinations`.
+    """
+    w = np.asarray(weights, dtype=float)
+    cdf = np.cumsum(w) / w.sum()
+    last = len(w) - 1 - int(np.argmax(w[::-1] > 0))
+    cdf[last:] = 1.0
+    return cdf
 
 
 def check_probability(value: float, name: str = "p", *, open_interval: bool = False) -> float:

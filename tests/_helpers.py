@@ -1,0 +1,40 @@
+"""Shared helpers for the engine regression tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AlwaysNodeZero:
+    """Destination law sending every packet to node 0 (src 0 is zero-hop)."""
+
+    num_nodes = 2
+
+    def sample(self, src, rng):
+        return 0
+
+    def pmf(self, src):
+        v = np.zeros(2)
+        v[0] = 1.0
+        return v
+
+
+class BoundaryRNG:
+    """Wrap a Generator so the first bare ``random()`` call returns 0.0.
+
+    A draw landing exactly on a CDF boundary is measure-zero, so the
+    regressions for the ``side='left'`` source-selection bug force it.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._first = True
+
+    def random(self, *args, **kwargs):
+        if self._first and not args and not kwargs:
+            self._first = False
+            return 0.0
+        return self._inner.random(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)

@@ -51,6 +51,94 @@ class TestCommands:
         assert "sandwich: OK" in out
         assert "max queue" in out
 
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("uniform", "hotspot", "transpose", "bitreversal", "torus"):
+            assert name in out
+
+    def test_simulate_replications_pools_ci(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--scenario",
+                "hotspot",
+                "-n",
+                "4",
+                "--rho",
+                "0.6",
+                "--replications",
+                "3",
+                "--processes",
+                "1",
+                "--warmup",
+                "50",
+                "--horizon",
+                "400",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ReplicatedResult" in out and "pooled" in out
+        assert "R=3" in out
+        # Non-standard scenario: the bound sandwich does not apply.
+        assert "sandwich" not in out
+
+    def test_simulate_slotted_engine(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--scenario",
+                "transpose",
+                "--engine",
+                "slotted",
+                "-n",
+                "4",
+                "--rho",
+                "0.5",
+                "--replications",
+                "2",
+                "--processes",
+                "1",
+                "--warmup",
+                "50",
+                "--horizon",
+                "300",
+            ]
+        )
+        assert rc == 0
+        assert "engine=slotted" in capsys.readouterr().out
+
+    def test_simulate_scenario_param(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--scenario",
+                "hotspot",
+                "-n",
+                "4",
+                "--rho",
+                "0.5",
+                "--param",
+                "h=0.5",
+                "--processes",
+                "1",
+                "--warmup",
+                "30",
+                "--horizon",
+                "200",
+            ]
+        )
+        assert rc == 0
+
+    def test_simulate_bad_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--param", "not-a-pair"])
+
+    def test_simulate_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--scenario", "frobnicate"])
+
     def test_figure1(self, capsys):
         assert main(["figure1", "-n", "3"]) == 0
         assert "layering" in capsys.readouterr().out

@@ -7,8 +7,10 @@ from hypothesis import strategies as st
 
 from repro.routing.destinations import (
     GeometricStopDestinations,
+    HotSpotDestinations,
     MatrixDestinations,
     PBiasedHypercubeDestinations,
+    PermutationDestinations,
     UniformDestinations,
 )
 from repro.topology.array_mesh import ArrayMesh
@@ -60,6 +62,126 @@ class TestMatrixDestinations:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             MatrixDestinations(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    def test_never_samples_zero_probability_destination(self, rng):
+        """CDF sampling must skip zero-mass columns, even on boundary draws."""
+        p = np.array([[0.0, 0.5, 0.5], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        d = MatrixDestinations(p)
+        for src in range(3):
+            support = set(np.nonzero(p[src])[0])
+            drawn = {d.sample(src, rng) for _ in range(500)}
+            assert drawn <= support
+
+    def test_cdf_sampling_matches_pmf(self, rng):
+        p = np.array([[0.1, 0.6, 0.3], [0.5, 0.0, 0.5], [0.2, 0.2, 0.6]])
+        d = MatrixDestinations(p)
+        emp = empirical_pmf(d, 2, rng, samples=8000)
+        assert np.abs(emp - p[2]).max() < 0.025
+
+    def test_top_draw_never_hits_trailing_zero_column(self):
+        """u = 1 - ulp must map into the support even when rounding leaves
+        the last nonzero cumsum below 1 (the top sliver belongs to the
+        last *positive* column, not a trailing zero one)."""
+
+        class TopDraw:
+            def random(self):
+                return np.nextafter(1.0, 0.0)
+
+        gen = np.random.default_rng(99)
+        for _ in range(50):
+            p = np.zeros((4, 4))
+            for row in range(4):
+                k = int(gen.integers(1, 4))  # leave 4-k trailing zeros
+                vals = gen.random(k)
+                p[row, :k] = vals / vals.sum()
+            d = MatrixDestinations(p)
+            for src in range(4):
+                drawn = d.sample(src, TopDraw())
+                assert p[src, drawn] > 0
+
+
+class TestHotSpotDestinations:
+    def test_pmf_sums_to_one(self):
+        d = HotSpotDestinations(9, hot_node=4, h=0.3)
+        assert np.isclose(d.pmf(0).sum(), 1.0)
+
+    def test_pmf_shape(self):
+        d = HotSpotDestinations(10, hot_node=7, h=0.4)
+        pmf = d.pmf(3)
+        assert pmf[7] == pytest.approx(0.4 + 0.6 / 10)
+        others = np.delete(pmf, 7)
+        assert np.allclose(others, 0.6 / 10)
+
+    def test_zero_mass_recovers_uniform(self):
+        d = HotSpotDestinations(8, hot_node=2, h=0.0)
+        assert np.allclose(d.pmf(0), UniformDestinations(8).pmf(0))
+
+    def test_full_mass_is_degenerate(self, rng):
+        d = HotSpotDestinations(8, hot_node=5, h=1.0)
+        assert all(d.sample(0, rng) == 5 for _ in range(50))
+
+    def test_sample_matches_pmf(self, rng):
+        d = HotSpotDestinations(6, hot_node=1, h=0.35)
+        emp = empirical_pmf(d, 0, rng, samples=8000)
+        assert np.abs(emp - d.pmf(0)).max() < 0.025
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotSpotDestinations(0)
+        with pytest.raises(ValueError):
+            HotSpotDestinations(4, hot_node=4)
+        with pytest.raises(ValueError):
+            HotSpotDestinations(4, hot_node=0, h=1.5)
+
+
+class TestPermutationDestinations:
+    def test_sample_is_deterministic(self, rng):
+        d = PermutationDestinations([2, 0, 1])
+        assert [d.sample(s, rng) for s in range(3)] == [2, 0, 1]
+
+    def test_pmf_is_one_hot(self):
+        d = PermutationDestinations([1, 2, 0])
+        for src in range(3):
+            pmf = d.pmf(src)
+            assert pmf.sum() == 1.0
+            assert pmf[d.sample(src, None)] == 1.0
+
+    def test_sample_matches_pmf(self, rng):
+        d = PermutationDestinations([3, 2, 1, 0])
+        for src in range(4):
+            emp = empirical_pmf(d, src, rng, samples=50)
+            assert np.array_equal(emp, d.pmf(src))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            PermutationDestinations([0, 0, 1])
+        with pytest.raises(ValueError):
+            PermutationDestinations([[0, 1], [1, 0]])
+
+    def test_transpose_on_mesh(self):
+        mesh = ArrayMesh(3)
+        d = PermutationDestinations.transpose(mesh)
+        for i in range(3):
+            for j in range(3):
+                assert d.sample(mesh.node_id(i, j), None) == mesh.node_id(j, i)
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            PermutationDestinations.transpose(ArrayMesh(2, 3))
+
+    def test_bit_reversal(self):
+        d = PermutationDestinations.bit_reversal(8)
+        # 3-bit reversals: 000->000, 001->100, 010->010, 011->110, ...
+        assert [d.sample(v, None) for v in range(8)] == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_bit_reversal_is_involution(self):
+        d = PermutationDestinations.bit_reversal(16)
+        for v in range(16):
+            assert d.sample(d.sample(v, None), None) == v
+
+    def test_bit_reversal_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            PermutationDestinations.bit_reversal(12)
 
 
 class TestPBiasedHypercube:

@@ -20,6 +20,8 @@ from repro.sim.fifo_network import NetworkSimulation
 from repro.topology.array_mesh import ArrayMesh
 from repro.topology.linear import LinearArray
 
+from _helpers import AlwaysNodeZero, BoundaryRNG
+
 
 class AcrossOnly:
     """2-node destination law: always the other node (one M/D/1 per edge)."""
@@ -136,6 +138,75 @@ class TestArrayInvariants:
         res, _, n, _ = array_run
         frac = res.zero_hop / res.generated
         assert frac == pytest.approx(1.0 / (n * n), rel=0.35)
+
+
+class TestSourceDrawBoundary:
+    """node_rate=[0.0, 1.0]: a boundary draw must never pick the dead source."""
+
+    def test_zero_rate_source_never_generates(self, monkeypatch):
+        real = np.random.default_rng
+        monkeypatch.setattr(
+            np.random, "default_rng", lambda seed=None: BoundaryRNG(real(seed))
+        )
+        sim = NetworkSimulation(
+            two_node_router(), AlwaysNodeZero(), [0.0, 1.0], seed=11
+        )
+        res = sim.run(0, 300)
+        # Packets from source 0 would be zero-hop (dst == 0); with the
+        # boundary draw fixed, every packet originates at source 1.
+        assert res.generated > 0
+        assert res.zero_hop == 0
+
+    def test_dead_source_edge_stays_idle(self):
+        sim = NetworkSimulation(
+            two_node_router(), AcrossOnly(), [0.0, 1.0], seed=12
+        )
+        res = sim.run(0, 500, track_utilization=True)
+        assert res.generated > 0
+        assert res.utilization[0] == 0.0  # edge 0 -> 1 never used
+        assert res.utilization[1] > 0.0
+
+
+class TestMaximaWindow:
+    """Maxima must cover only the measurement window, not the warmup.
+
+    The trick: warmup affects measurement only, never dynamics, so runs
+    with the same seed and the same total time share one trajectory. A
+    seed whose congestion peak lands in the first half must therefore
+    report strictly smaller maxima when that half is declared warmup.
+    """
+
+    @staticmethod
+    def _run(warmup, horizon):
+        mesh = ArrayMesh(4)
+        sim = NetworkSimulation(
+            GreedyArrayRouter(mesh), UniformDestinations(16), 0.5, seed=11
+        )
+        return sim.run(warmup, horizon, track_maxima=True)
+
+    def test_warmup_peak_excluded(self):
+        full = self._run(0, 1000)
+        windowed = self._run(500, 500)
+        assert windowed.max_queue_length < full.max_queue_length
+        assert windowed.max_delay < full.max_delay
+
+    def test_window_maxima_bounded_by_full_run(self):
+        full = self._run(0, 1000)
+        for warmup in (200, 400, 800):
+            w = self._run(warmup, 1000 - warmup)
+            assert w.max_queue_length <= full.max_queue_length
+            assert w.max_delay <= full.max_delay
+
+    def test_standing_backlog_at_warmup_counts(self):
+        """A queue built during warmup that still stands when the window
+        opens was observed in the window: it must seed max_queue even if
+        no packet joins it before the horizon."""
+        # Critical load (rho = 1 per edge) builds a deep backlog over the
+        # warmup; the window is too short for appends to rebuild it.
+        res = NetworkSimulation(
+            two_node_router(), AcrossOnly(), 1.0, seed=5
+        ).run(100, 0.4, track_maxima=True)
+        assert res.max_queue_length >= 10
 
 
 class TestDeterminismAndOptions:

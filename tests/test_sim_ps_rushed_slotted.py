@@ -18,6 +18,8 @@ from repro.sim.slotted import SlottedNetworkSimulation
 from repro.topology.array_mesh import ArrayMesh
 from repro.topology.linear import LinearArray
 
+from _helpers import AlwaysNodeZero, BoundaryRNG
+
 
 class AcrossOnly:
     num_nodes = 2
@@ -184,3 +186,35 @@ class TestSlottedSimulator:
             sim.run(-1, 100)
         with pytest.raises(ValueError):
             sim.run(10, 0)
+
+    def test_rejects_negative_node_rate_entries(self):
+        """Aligned with the event engine via util.validation.check_node_rates:
+        a negative entry must be rejected even when the total is positive."""
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        with pytest.raises(ValueError):
+            SlottedNetworkSimulation(router, dests, [-0.5, 1.0, 0.1] + [0.1] * 6)
+        with pytest.raises(ValueError):
+            SlottedNetworkSimulation(router, dests, [0.0] * 9)
+        with pytest.raises(ValueError):
+            SlottedNetworkSimulation(router, dests, [0.1, 0.2])  # wrong length
+
+    def test_zero_rate_source_never_generates(self, monkeypatch):
+        """node_rate=[0.0, 1.0] regression for the side='left' source draw.
+
+        Forces the first source draw to land exactly on the CDF boundary
+        u = 0.0 (a measure-zero event left to chance), which the old
+        ``side='left'`` search resolved to the zero-rate source.
+        """
+        real = np.random.default_rng
+        monkeypatch.setattr(
+            np.random, "default_rng", lambda seed=None: BoundaryRNG(real(seed))
+        )
+        res = SlottedNetworkSimulation(
+            two_node_router(), AlwaysNodeZero(), [0.0, 1.0], seed=37
+        ).run(0, 400)
+        # Every packet goes to node 0, so one born at the (zero-rate)
+        # source 0 would be counted in zero_hop.
+        assert res.generated > 0
+        assert res.zero_hop == 0
