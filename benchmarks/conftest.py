@@ -25,3 +25,20 @@ def once(benchmark):
         )
 
     return run
+
+
+@pytest.fixture
+def best_of(benchmark):
+    """Benchmark a callable with 3 rounds, reporting min/median.
+
+    The engine-throughput cells are fast enough to repeat, and this
+    machine's timing jitter (+/-30% on single rounds) would otherwise
+    dominate the recorded trajectory.
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=3, iterations=1
+        )
+
+    return run

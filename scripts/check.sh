@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the replication-engine quick bench.
+# Tier-1 gate plus the quick benchmark suite.
 #
-# Runs the full test suite, then times the replication fan-out and writes
-# BENCH_replication.json (pytest-benchmark format) at the repo root so the
-# performance trajectory is recorded PR over PR.
+# Runs the full test suite, then times each benchmark stage and writes
+# BENCH_<stage>.json (pytest-benchmark format) at the repo root so the
+# performance trajectory is recorded PR over PR. Before overwriting a
+# committed baseline, the warn-only perf gate prints any benchmark whose
+# median regressed >25% against it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
 
-python -m pytest benchmarks/bench_replication.py \
-    --benchmark-only \
-    --benchmark-json BENCH_replication.json \
-    -q
+run_bench() {
+    local stage=$1
+    local fresh=".bench_fresh_${stage}.json"
+    python -m pytest "benchmarks/bench_${stage}.py" \
+        --benchmark-only \
+        --benchmark-json "$fresh" \
+        -q
+    if [ -f "BENCH_${stage}.json" ]; then
+        python scripts/perf_gate.py "BENCH_${stage}.json" "$fresh"
+    fi
+    mv "$fresh" "BENCH_${stage}.json"
+}
 
-echo "check.sh: tests green, bench written to BENCH_replication.json"
+run_bench replication
+run_bench engine_hotpath
+
+echo "check.sh: tests green, benches written to BENCH_*.json"

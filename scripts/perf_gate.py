@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Warn-only performance-regression gate.
+
+Compares a freshly produced pytest-benchmark JSON against the committed
+baseline of the same stage and prints a warning for every benchmark whose
+median regressed by more than the threshold (default 25%). The gate never
+fails the build — timing on shared machines is too noisy for a hard gate —
+but it makes regressions visible in the check.sh output so they are a
+conscious choice, not an accident.
+
+Usage::
+
+    python scripts/perf_gate.py BENCH_stage.json fresh.json [threshold]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def medians(path: str) -> dict[str, float]:
+    """``benchmark name -> median seconds`` from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return {
+        b["name"]: float(b["stats"]["median"]) for b in data.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 0
+    baseline_path, fresh_path = argv[1], argv[2]
+    threshold = float(argv[3]) if len(argv) > 3 else 0.25
+    try:
+        baseline = medians(baseline_path)
+        fresh = medians(fresh_path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"perf_gate: cannot compare ({exc}); skipping")
+        return 0
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("perf_gate: no common benchmarks; skipping")
+        return 0
+    regressed = 0
+    for name in shared:
+        b, f = baseline[name], fresh[name]
+        if b > 0 and f > b * (1.0 + threshold):
+            regressed += 1
+            print(
+                f"perf_gate WARNING: {name} regressed "
+                f"{(f / b - 1.0) * 100:.0f}% ({b * 1e3:.1f}ms -> {f * 1e3:.1f}ms)"
+            )
+    if not regressed:
+        print(
+            f"perf_gate: {len(shared)} benchmarks within "
+            f"{threshold:.0%} of the committed baseline"
+        )
+    return 0  # warn-only by design
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

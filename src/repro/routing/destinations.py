@@ -1,12 +1,27 @@
 """Destination distributions.
 
-Every distribution exposes two views of the same law:
+Every distribution exposes three views of the same law:
 
 * :meth:`~DestinationDistribution.sample` — draw one destination for a
-  packet born at ``src`` (used by the simulator);
+  packet born at ``src`` (used by the simulators' scalar paths);
+* ``sample_batch(srcs, rng)`` — draw one destination per entry of a source
+  array with vectorized NumPy calls (used by the slotted engine's batch
+  kernel and anywhere a whole Poisson batch is sampled at once);
 * :meth:`~DestinationDistribution.pmf` — the exact probability vector over
   all nodes (used by the analytic traffic solver and by tests, which check
-  the two views agree).
+  the views agree).
+
+Batch-draw contract
+-------------------
+``sample_batch`` always agrees with repeated ``sample`` calls *in
+distribution*. Laws whose class attribute ``batch_stream_identical`` is
+true make a stronger promise: a batch draw consumes the underlying RNG
+stream exactly like the same number of consecutive scalar draws, so
+replacing a scalar loop with one batch call is *bit-identical* (NumPy
+``Generator`` array fills are sequential draws of the same routine). Laws
+with data-dependent draw counts (hot-spot's conditional uniform draw, the
+geometric stopping chain) cannot make that promise and set the flag false;
+the engines' RNG-compatible paths keep those laws on the scalar loop.
 
 The paper's standard model is :class:`UniformDestinations`; Section 4.5
 uses :class:`PBiasedHypercubeDestinations`, and Section 5.2's
@@ -28,7 +43,12 @@ from repro.util.validation import check_probability, pinned_cdf
 
 @runtime_checkable
 class DestinationDistribution(Protocol):
-    """Protocol: a per-source law over destination nodes."""
+    """Protocol: a per-source law over destination nodes.
+
+    Built-in laws additionally provide ``sample_batch(srcs, rng)`` (see
+    the module docstring); the engines probe for it with ``getattr`` so
+    ad-hoc laws that only implement the scalar protocol keep working.
+    """
 
     num_nodes: int
 
@@ -46,6 +66,8 @@ class UniformDestinations:
     convention: "we allow a packet's destination to be the same as its
     starting point")."""
 
+    batch_stream_identical = True
+
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -53,6 +75,10 @@ class UniformDestinations:
 
     def sample(self, src: int, rng: np.random.Generator) -> int:
         return int(rng.integers(self.num_nodes))
+
+    def sample_batch(self, srcs, rng: np.random.Generator) -> np.ndarray:
+        """One bounded-integer block draw; sources are ignored."""
+        return rng.integers(0, self.num_nodes, size=len(srcs))
 
     def pmf(self, src: int) -> np.ndarray:
         return np.full(self.num_nodes, 1.0 / self.num_nodes)
@@ -82,10 +108,23 @@ class MatrixDestinations:
         # handling).
         self._cdf = np.vstack([pinned_cdf(row) for row in self._p])
 
+    batch_stream_identical = True
+
     def sample(self, src: int, rng: np.random.Generator) -> int:
         # side="right" so a draw landing exactly on a CDF boundary never
         # selects a zero-probability destination.
         return int(np.searchsorted(self._cdf[src], rng.random(), side="right"))
+
+    def sample_batch(self, srcs, rng: np.random.Generator) -> np.ndarray:
+        """One uniform block draw, then a per-row CDF bisection.
+
+        ``(row <= u).sum()`` over a sorted row equals
+        ``searchsorted(row, u, side="right")``, so batch and scalar draws
+        pick identical destinations from identical uniforms.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        u = rng.random(srcs.size)
+        return (self._cdf[srcs] <= u[:, None]).sum(axis=1)
 
     def pmf(self, src: int) -> np.ndarray:
         return self._p[src].copy()
@@ -100,6 +139,8 @@ class PBiasedHypercubeDestinations:
     ``p``. ``p = 1/2`` recovers the uniform distribution.
     """
 
+    batch_stream_identical = True
+
     def __init__(self, cube: Hypercube, p: float) -> None:
         self.cube = cube
         self.p = check_probability(p, "p")
@@ -112,6 +153,15 @@ class PBiasedHypercubeDestinations:
             if flips[k]:
                 dst ^= 1 << k
         return dst
+
+    def sample_batch(self, srcs, rng: np.random.Generator) -> np.ndarray:
+        """One ``(k, d)`` uniform draw (row-major fill, so bit-identical
+        to ``k`` consecutive scalar ``rng.random(d)`` draws)."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        d = self.cube.d
+        flips = rng.random((srcs.size, d)) < self.p
+        masks = (flips * (np.int64(1) << np.arange(d, dtype=np.int64))).sum(axis=1)
+        return srcs ^ masks
 
     def pmf(self, src: int) -> np.ndarray:
         d, p = self.cube.d, self.p
@@ -138,10 +188,14 @@ class GeometricStopDestinations:
     of travel (i.e. the arc just traversed).
     """
 
+    batch_stream_identical = False  # the stopping chain's draw count varies
+
     def __init__(self, mesh: ArrayMesh, stop: float = 0.5) -> None:
         self.mesh = mesh
         self.stop = check_probability(stop, "stop", open_interval=True)
         self.num_nodes = mesh.num_nodes
+        self._row_cdfs: np.ndarray | None = None
+        self._col_cdfs: np.ndarray | None = None
 
     def _axis_pmf(self, coord: int, size: int) -> np.ndarray:
         """Exact offset law along one axis from coordinate ``coord``."""
@@ -187,6 +241,34 @@ class GeometricStopDestinations:
         j2 = self._axis_sample(j, self.mesh.cols, rng)
         return self.mesh.node_id(i2, j2)
 
+    def sample_batch(self, srcs, rng: np.random.Generator) -> np.ndarray:
+        """Inverse-CDF batch draw from the exact per-axis offset laws.
+
+        Agrees with :meth:`sample` in distribution (same axis pmfs) but
+        not in RNG stream — the scalar chain consumes a variable number of
+        uniforms per packet, the batch draw exactly two.
+        """
+        if self._row_cdfs is None:
+            self._row_cdfs = np.vstack(
+                [
+                    pinned_cdf(self._axis_pmf(c, self.mesh.rows))
+                    for c in range(self.mesh.rows)
+                ]
+            )
+            self._col_cdfs = np.vstack(
+                [
+                    pinned_cdf(self._axis_pmf(c, self.mesh.cols))
+                    for c in range(self.mesh.cols)
+                ]
+            )
+        srcs = np.asarray(srcs, dtype=np.int64)
+        i, j = np.divmod(srcs, self.mesh.cols)
+        u_i = rng.random(srcs.size)
+        u_j = rng.random(srcs.size)
+        i2 = (self._row_cdfs[i] <= u_i[:, None]).sum(axis=1)
+        j2 = (self._col_cdfs[j] <= u_j[:, None]).sum(axis=1)
+        return i2 * self.mesh.cols + j2
+
     def pmf(self, src: int) -> np.ndarray:
         i, j = self.mesh.node_coords(src)
         row_pmf = self._axis_pmf(i, self.mesh.rows)
@@ -217,10 +299,23 @@ class HotSpotDestinations:
         self.hot_node = int(hot_node)
         self.h = check_probability(h, "h")
 
+    batch_stream_identical = False  # uniform draw happens only when not hot
+
     def sample(self, src: int, rng: np.random.Generator) -> int:
         if rng.random() < self.h:
             return self.hot_node
         return int(rng.integers(self.num_nodes))
+
+    def sample_batch(self, srcs, rng: np.random.Generator) -> np.ndarray:
+        """One coin block plus one uniform block for the non-hot packets."""
+        k = len(srcs)
+        hot = rng.random(k) < self.h
+        out = np.full(k, self.hot_node, dtype=np.int64)
+        cold = ~hot
+        ncold = int(cold.sum())
+        if ncold:
+            out[cold] = rng.integers(0, self.num_nodes, size=ncold)
+        return out
 
     def pmf(self, src: int) -> np.ndarray:
         out = np.full(self.num_nodes, (1.0 - self.h) / self.num_nodes)
@@ -238,11 +333,17 @@ class PermutationDestinations:
     rate solver and dominance checks on maximally non-uniform input.
     """
 
+    batch_stream_identical = True
+    #: Degenerate law: sampling consumes no RNG, so engines may batch the
+    #: *source* draws around it without disturbing the legacy stream.
+    consumes_rng = False
+
     def __init__(self, perm) -> None:
         p = np.asarray(perm, dtype=np.int64)
         if p.ndim != 1 or not np.array_equal(np.sort(p), np.arange(p.size)):
             raise ValueError("perm must be a permutation of 0..n-1")
         self._perm = p.tolist()
+        self._perm_array = p.copy()
         self.num_nodes = int(p.size)
 
     @classmethod
@@ -270,6 +371,10 @@ class PermutationDestinations:
 
     def sample(self, src: int, rng: np.random.Generator) -> int:
         return self._perm[src]
+
+    def sample_batch(self, srcs, rng: np.random.Generator) -> np.ndarray:
+        """One gather; consumes no randomness (degenerate law)."""
+        return self._perm_array[np.asarray(srcs, dtype=np.int64)]
 
     def pmf(self, src: int) -> np.ndarray:
         out = np.zeros(self.num_nodes)

@@ -66,32 +66,30 @@ class GreedyArrayRouter(BaseRouter):
                     self._down[i, j] = mesh.directed_edge_id(i, j, DOWN)
                 if i > 0:
                     self._up[i, j] = mesh.directed_edge_id(i, j, UP)
+        # Nested-list mirrors of the grids for the leg builders: Python
+        # list indexing is ~10x faster than NumPy scalar indexing, and the
+        # builders are the path cache's miss path (hot at large meshes
+        # where most (src, dst) pairs are seen once).
+        self._right_rows: list[list[int]] = self._right.tolist()
+        self._left_rows: list[list[int]] = self._left.tolist()
+        self._down_rows: list[list[int]] = self._down.tolist()
+        self._up_rows: list[list[int]] = self._up.tolist()
 
     def _row_leg(self, i: int, j: int, j2: int) -> list[int]:
         """Edges walking along row ``i`` from column ``j`` to ``j2``."""
-        leg: list[int] = []
         if j2 > j:
-            grid = self._right
-            for c in range(j, j2):
-                leg.append(int(grid[i, c]))
-        else:
-            grid = self._left
-            for c in range(j, j2, -1):
-                leg.append(int(grid[i, c]))
-        return leg
+            row = self._right_rows[i]
+            return row[j:j2]
+        row = self._left_rows[i]
+        return [row[c] for c in range(j, j2, -1)]
 
     def _col_leg(self, i: int, i2: int, j: int) -> list[int]:
         """Edges walking along column ``j`` from row ``i`` to ``i2``."""
-        leg: list[int] = []
         if i2 > i:
-            grid = self._down
-            for r in range(i, i2):
-                leg.append(int(grid[r, j]))
-        else:
-            grid = self._up
-            for r in range(i, i2, -1):
-                leg.append(int(grid[r, j]))
-        return leg
+            grid = self._down_rows
+            return [grid[r][j] for r in range(i, i2)]
+        grid = self._up_rows
+        return [grid[r][j] for r in range(i, i2, -1)]
 
     def path(self, src: int, dst: int) -> tuple[int, ...]:
         """Greedy path from ``src`` to ``dst``; empty when they coincide."""

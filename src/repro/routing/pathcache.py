@@ -1,0 +1,413 @@
+"""Shared path-cache arena: the per-packet routing hot path.
+
+Both simulation engines used to rebuild every packet's path hop by hop
+(``GreedyArrayRouter.path`` does one NumPy scalar index per hop), which at
+32x32 mesh sizes is a noticeable slice of the whole run. Paths, however,
+are pure functions of ``(src, dst)`` for every deterministic router, and a
+mixture of two such functions for the Section 6 randomized scheme — so the
+work is memoizable. This module provides that memo as a *flat shared
+arena*:
+
+* :class:`PathArena` — an append-only flat edge-id store. Both engines
+  bind the plain Python list mirror (:attr:`PathArena.edges`), where list
+  indexing beats NumPy scalar indexing by an order of magnitude; the
+  ``int32`` snapshot (:meth:`PathArena.as_array`) is the export for
+  NumPy-side consumers (analysis, future array kernels).
+* :class:`PathCache` — a ``(src, dst) -> (offset, length)`` memo over an
+  arena for deterministic routers. Lookups are one dict probe; misses
+  build the path once via the router (or a custom ``builder``) and append
+  it to the arena. For small networks a dense ``offset``/``length`` pair
+  of arrays is kept alongside the dict so batch lookups are a single
+  NumPy gather.
+* :class:`RandomizedGreedyPathCache` — the per-scheme cached-leg variant
+  for :class:`~repro.routing.randomized_greedy.RandomizedGreedyArrayRouter`:
+  two tables (row-first / column-first) share one arena, and each table's
+  paths are *composed from memoized row/column legs* (via
+  :class:`MeshLegCache`) instead of re-walking the direction grids for
+  both orders. The per-packet coin is the same single ``rng.random()``
+  draw the uncached router makes, so same-seed runs are bit-identical.
+* :class:`SampledPathInterner` — the no-memo fallback for routers the
+  cache layer does not recognise (and the ``use_path_cache=False``
+  baseline): it rebuilds the sampled path per packet, exactly like the
+  pre-cache engines, but still interns the result into an arena so the
+  engines can keep uniform ``(offset, length)`` packet records.
+
+Engines never call ``Router.sample_path`` directly any more; they go
+through :func:`path_cache_for`, which picks the right flavour. Caches only
+ever *grow* and cache state never influences results, so one cache can be
+shared freely across the replications of a cell (see
+:mod:`repro.sim.replication`).
+
+Bit-identity contract
+---------------------
+Path caching must not change any simulation output: deterministic lookups
+consume no RNG (as before), and the randomized variant draws exactly the
+coin the uncached scheme drew. The golden-result tests
+(``tests/test_golden_results.py``) pin this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.routing.base import BaseRouter, Router
+from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
+
+#: Below this many nodes a cache also maintains dense ``n*n`` offset and
+#: length arrays (1 MiB at the limit), enabling single-gather batch
+#: lookups; larger networks stay dict-only to keep memory proportional to
+#: the pairs actually routed.
+DENSE_NODE_LIMIT = 256
+
+
+class PathArena:
+    """Append-only flat store of path edge ids with ``(offset, length)`` views.
+
+    The arena is shared: several caches (e.g. the two tables of the
+    randomized scheme) may append to one arena. ``edges`` is the Python
+    list mirror used by the engines' interpreter loops and is only ever
+    extended in place — engines may safely bind it to a local once.
+    """
+
+    __slots__ = ("edges", "_array", "_array_len")
+
+    def __init__(self) -> None:
+        self.edges: list[int] = []
+        self._array: np.ndarray | None = None
+        self._array_len = -1
+
+    def add(self, path: Sequence[int]) -> int:
+        """Append ``path`` and return its offset."""
+        off = len(self.edges)
+        self.edges.extend(path)
+        return off
+
+    def as_array(self) -> np.ndarray:
+        """``int32`` snapshot of the arena (rebuilt lazily after growth).
+
+        The engines themselves index :attr:`edges`; this view is for
+        NumPy-side consumers that want the whole arena at once.
+        """
+        if self._array_len != len(self.edges):
+            self._array = np.asarray(self.edges, dtype=np.int32)
+            self._array_len = len(self.edges)
+        return self._array
+
+    def view(self, offset: int, length: int) -> tuple[int, ...]:
+        """Materialise one ``(offset, length)`` slice as an edge tuple."""
+        return tuple(self.edges[offset : offset + length])
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+class PathCache:
+    """Memoized ``(src, dst) -> (offset, length)`` views for a deterministic router.
+
+    Parameters
+    ----------
+    router:
+        A deterministic router (``sample_path`` must not consume RNG).
+    arena:
+        Shared :class:`PathArena`; a private one is created if omitted.
+    builder:
+        Optional replacement for ``router.path`` used to build a missing
+        path (the cached-leg composers use this). Must return the exact
+        same edge sequence ``router.path`` would.
+    precompute:
+        Eagerly build all ``n * n`` pairs up front. Default is lazy
+        memoization; precomputing is only worthwhile when a long run will
+        touch most pairs anyway and first-hit jitter matters.
+    """
+
+    #: Engines check this to decide whether lookups need the packet RNG.
+    consumes_rng = False
+
+    def __init__(
+        self,
+        router: Router,
+        *,
+        arena: PathArena | None = None,
+        builder: Callable[[int, int], Sequence[int]] | None = None,
+        precompute: bool = False,
+    ) -> None:
+        self.router = router
+        self.topology = router.topology
+        self.num_nodes = int(self.topology.num_nodes)
+        self.arena = arena if arena is not None else PathArena()
+        self._build_path = builder if builder is not None else router.path
+        self.table: dict[int, tuple[int, int]] = {}
+        n = self.num_nodes
+        if n <= DENSE_NODE_LIMIT:
+            self._dense_off: np.ndarray | None = np.full(n * n, -1, dtype=np.int64)
+            self._dense_len: np.ndarray | None = np.zeros(n * n, dtype=np.int64)
+        else:
+            self._dense_off = self._dense_len = None
+        if precompute:
+            self.precompute_all()
+
+    # -- scalar lookups (the event-engine hot path) --------------------
+    def ensure(self, src: int, dst: int) -> tuple[int, int]:
+        """Miss handler: build, append to the arena, memoize."""
+        path = self._build_path(src, dst)
+        off = self.arena.add(path)
+        ol = (off, len(path))
+        key = src * self.num_nodes + dst
+        self.table[key] = ol
+        if self._dense_off is not None:
+            self._dense_off[key] = ol[0]
+            self._dense_len[key] = ol[1]
+        return ol
+
+    def offlen(self, src: int, dst: int) -> tuple[int, int]:
+        """The ``(offset, length)`` view of the cached path."""
+        ol = self.table.get(src * self.num_nodes + dst)
+        return ol if ol is not None else self.ensure(src, dst)
+
+    def sample_offlen(
+        self, src: int, dst: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """Uniform engine interface; deterministic caches ignore ``rng``."""
+        return self.offlen(src, dst)
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """The cached path as an edge tuple (tests / analysis)."""
+        off, length = self.offlen(src, dst)
+        return self.arena.view(off, length)
+
+    # -- batch lookups (the slotted-engine vectorized kernel) ----------
+    def offlen_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(offsets, lengths)`` for parallel ``(src, dst)`` arrays.
+
+        With dense tables this is one NumPy gather (misses are filled
+        first); dict-only caches fall back to a Python loop, still one
+        dict probe per pair.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if self._dense_off is not None:
+            keys = srcs * self.num_nodes + dsts
+            offs = self._dense_off[keys]
+            if (offs < 0).any():
+                for s, d in zip(srcs[offs < 0].tolist(), dsts[offs < 0].tolist()):
+                    self.ensure(s, d)
+                offs = self._dense_off[keys]
+            return offs, self._dense_len[keys]
+        offs = np.empty(srcs.size, dtype=np.int64)
+        lens = np.empty(srcs.size, dtype=np.int64)
+        offlen = self.offlen
+        for i, (s, d) in enumerate(zip(srcs.tolist(), dsts.tolist())):
+            offs[i], lens[i] = offlen(s, d)
+        return offs, lens
+
+    def sample_offlen_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Uniform batch interface; deterministic caches ignore ``rng``."""
+        return self.offlen_batch(srcs, dsts)
+
+    def precompute_all(self) -> None:
+        """Materialise every ``(src, dst)`` pair (small networks only)."""
+        n = self.num_nodes
+        table = self.table
+        for src in range(n):
+            base = src * n
+            for dst in range(n):
+                if base + dst not in table:
+                    self.ensure(src, dst)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class MeshLegCache:
+    """Memoized row/column legs of greedy mesh walks.
+
+    A greedy mesh path is one row leg plus one column leg; the randomized
+    scheme needs *both* orders per pair, but the legs themselves are
+    shared (``n^3`` legs cover all ``2 n^4`` order/pair combinations). The
+    cache memoizes each leg once, built via the greedy router's own
+    per-direction grids.
+    """
+
+    def __init__(self, greedy_router) -> None:
+        self._router = greedy_router
+        self._rows: dict[tuple[int, int, int], list[int]] = {}
+        self._cols: dict[tuple[int, int, int], list[int]] = {}
+
+    def row_leg(self, i: int, j1: int, j2: int) -> list[int]:
+        """Edges along row ``i`` from column ``j1`` to ``j2`` (memoized)."""
+        key = (i, j1, j2)
+        leg = self._rows.get(key)
+        if leg is None:
+            leg = self._rows[key] = self._router._row_leg(i, j1, j2)
+        return leg
+
+    def col_leg(self, i1: int, i2: int, j: int) -> list[int]:
+        """Edges along column ``j`` from row ``i1`` to ``i2`` (memoized)."""
+        key = (i1, i2, j)
+        leg = self._cols.get(key)
+        if leg is None:
+            leg = self._cols[key] = self._router._col_leg(i1, i2, j)
+        return leg
+
+
+def _mesh_builders(legs: MeshLegCache, coords):
+    """Leg-composed builders for the two greedy mesh orders.
+
+    The randomized scheme needs both orders per pair; one shared leg memo
+    makes each table's miss two dict probes plus a list concatenation
+    (instead of a second hop-by-hop grid walk), and warm legs build a
+    path ~3x faster than ``GreedyArrayRouter.path``.
+    """
+
+    def build_row_first(src: int, dst: int) -> list[int]:
+        i1, j1 = coords(src)
+        i2, j2 = coords(dst)
+        first = legs.row_leg(i1, j1, j2) if j1 != j2 else []
+        second = legs.col_leg(i1, i2, j2) if i1 != i2 else []
+        return first + second
+
+    def build_col_first(src: int, dst: int) -> list[int]:
+        i1, j1 = coords(src)
+        i2, j2 = coords(dst)
+        first = legs.col_leg(i1, i2, j1) if i1 != i2 else []
+        second = legs.row_leg(i2, j1, j2) if j1 != j2 else []
+        return first + second
+
+    return build_row_first, build_col_first
+
+
+class RandomizedGreedyPathCache:
+    """Cached-leg path cache for the Section 6 randomized greedy scheme.
+
+    Holds two :class:`PathCache` tables — row-first and column-first — on
+    one shared arena. Each table composes its paths from the same
+    :class:`MeshLegCache` instead of re-walking the direction grids for
+    both orders. ``sample_offlen`` draws exactly the one coin
+    ``RandomizedGreedyArrayRouter.sample_path`` draws, keeping same-seed
+    runs bit-identical to the uncached scheme.
+    """
+
+    consumes_rng = True
+
+    def __init__(
+        self,
+        router: RandomizedGreedyArrayRouter,
+        *,
+        arena: PathArena | None = None,
+    ) -> None:
+        self.router = router
+        self.topology = router.topology
+        self.arena = arena if arena is not None else PathArena()
+        self.row_first_probability = router.row_first_probability
+        self.legs = MeshLegCache(router._row_first)
+        build_row_first, build_col_first = _mesh_builders(
+            self.legs, router.mesh.node_coords
+        )
+        self.row_first = PathCache(
+            router._row_first, arena=self.arena, builder=build_row_first
+        )
+        self.col_first = PathCache(
+            router._col_first, arena=self.arena, builder=build_col_first
+        )
+
+    def sample_offlen(
+        self, src: int, dst: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """One coin (same draw as the uncached scheme), one dict probe."""
+        if rng.random() < self.row_first_probability:
+            return self.row_first.offlen(src, dst)
+        return self.col_first.offlen(src, dst)
+
+    def sample_offlen_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch coins, then gather from the two tables.
+
+        The coins are one ``rng.random(k)`` call — bit-identical to the
+        per-packet scalar coins because path composition consumes no RNG
+        between them.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        heads = rng.random(srcs.size) < self.row_first_probability
+        offs = np.empty(srcs.size, dtype=np.int64)
+        lens = np.empty(srcs.size, dtype=np.int64)
+        for table, mask in (
+            (self.row_first, heads),
+            (self.col_first, ~heads),
+        ):
+            if mask.any():
+                offs[mask], lens[mask] = table.offlen_batch(srcs[mask], dsts[mask])
+        return offs, lens
+
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """Canonical (row-first) cached path."""
+        return self.row_first.path(src, dst)
+
+
+class SampledPathInterner:
+    """Uncached adapter: per-packet rebuild, arena-interned records.
+
+    Used for routers :func:`path_cache_for` does not recognise, and as the
+    engines' ``use_path_cache=False`` baseline. Every lookup calls
+    ``router.sample_path`` — identical RNG consumption and per-packet cost
+    to the pre-cache engines — then interns the resulting edge tuple so
+    packet records stay ``(offset, length)``. Interning bounds arena
+    growth by the number of *distinct* paths, not packets.
+    """
+
+    consumes_rng = True
+
+    def __init__(self, router: Router, *, arena: PathArena | None = None) -> None:
+        self.router = router
+        self.topology = router.topology
+        self.arena = arena if arena is not None else PathArena()
+        self._seen: dict[tuple[int, ...], tuple[int, int]] = {}
+
+    def sample_offlen(
+        self, src: int, dst: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        path = tuple(self.router.sample_path(src, dst, rng))
+        ol = self._seen.get(path)
+        if ol is None:
+            ol = self._seen[path] = (self.arena.add(path), len(path))
+        return ol
+
+    def sample_offlen_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        offs = np.empty(len(srcs), dtype=np.int64)
+        lens = np.empty(len(srcs), dtype=np.int64)
+        for i, (s, d) in enumerate(
+            zip(np.asarray(srcs).tolist(), np.asarray(dsts).tolist())
+        ):
+            offs[i], lens[i] = self.sample_offlen(s, d, rng)
+        return offs, lens
+
+
+def path_cache_for(
+    router: Router,
+    *,
+    arena: PathArena | None = None,
+    precompute: bool = False,
+):
+    """Build the right cache flavour for ``router``.
+
+    Deterministic routers (any :class:`BaseRouter` subclass that does not
+    override ``sample_path``) get a :class:`PathCache`; the randomized
+    greedy scheme gets its cached-leg :class:`RandomizedGreedyPathCache`;
+    anything else falls back to the :class:`SampledPathInterner`, which
+    preserves pre-cache behaviour exactly.
+    """
+    if isinstance(router, RandomizedGreedyArrayRouter):
+        return RandomizedGreedyPathCache(router, arena=arena)
+    sample = getattr(type(router), "sample_path", None)
+    if isinstance(router, BaseRouter) and sample is BaseRouter.sample_path:
+        return PathCache(router, arena=arena, precompute=precompute)
+    return SampledPathInterner(router, arena=arena)

@@ -40,6 +40,51 @@ one field away::
 Scenarios (topology + router + destination law) are registered by name in
 :mod:`repro.scenarios`; built-ins cover the paper's standard model plus
 hot-spot, transpose, bit-reversal, distance-biased and torus workloads.
+
+Hot-path architecture
+---------------------
+The per-packet work of both engines is built around three ideas:
+
+**Shared path-cache arena** (:mod:`repro.routing.pathcache`). Paths are
+memoized once per ``(src, dst)`` pair into one flat append-only edge-id
+store (a Python list the interpreter loops index directly, with an
+``int32`` snapshot view for NumPy-side consumers). A packet record is
+``[t0, arena_offset, length, hops_done, measured]`` — five scalars, no
+edge tuple — and "which edge next" is ``arena[offset + hop]``, one list
+index. Deterministic routers resolve a packet's path with a single dict
+probe; the Section 6 randomized scheme keeps two tables (row-first /
+column-first) on one arena, composed from a shared memoized leg store,
+and draws exactly the one coin the uncached scheme drew. Caches only
+grow and never influence outputs, so the replication engine shares one
+``(network, cache)`` per cell across all of the cell's seeded
+replications (per worker process) instead of rebuilding per task.
+
+**Blocked and batched draws.** NumPy ``Generator`` array fills are
+stream-identical to the same number of consecutive scalar draws of the
+same kind. Both engines exploit that: the event engine consumes
+exponential gaps and uniform id pairs from 8192-size blocks (ids refill
+exactly when all ``2 * 8192`` are consumed); the slotted engine samples a
+whole slot's sources/destinations/path views with single vectorized calls
+whenever the legacy per-packet draw sequence was a run of same-kind draws
+(uniform id pairs; RNG-free destination laws), and otherwise keeps the
+scalar loop. ``SlottedNetworkSimulation.run(batch_rng=True)`` goes
+further and *redefines* the draw order — Poisson counts blocked like the
+event engine's exponentials, then per slot: source batch, destination
+``sample_batch``, router coin batch — trading bit-compatibility for full
+vectorization of data-dependent laws (hot-spot, geometric).
+
+**Why same-seed bit-identity is the regression contract.** A stochastic
+simulation has no other cheap, exact oracle: statistical assertions pass
+under subtly wrong optimisations (a dropped id, a reordered draw, a
+reassociated float sum all vanish into the noise). Pinning the exact
+same-seed ``SimResult`` of the pre-optimisation engines (golden fixtures
+in ``tests/golden/``) makes the RNG draw order, the event ordering and
+the floating-point accumulation order all observable, so every hot-path
+change is either provably output-neutral or an explicit, documented
+contract change (regenerate via ``tests/golden/regen.py``). This is why
+the monotone-merge event loop replays the heap's exact ``(time, seq)``
+pop order, and why the slotted engine's default kernel only vectorizes
+stream-compatible draw runs.
 """
 
 from repro.sim.result import SimResult

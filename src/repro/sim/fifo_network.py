@@ -6,17 +6,30 @@ unit rates, and the Jackson model when ``service="exponential"``. The hot
 loop is written for CPython speed (repro band 4/5 flags "slow for
 large-mesh statistics" as the risk):
 
-* a single binary heap carries departure events plus one external-arrival
-  sentinel, so the loop is one ``heappop`` per event;
+* paths come from a shared :mod:`repro.routing.pathcache` arena — one
+  dict probe per packet instead of a hop-by-hop rebuild — and the packet
+  record stores the ``(arena_offset, length)`` view, not an edge tuple;
+* when every edge has the same deterministic service time (the standard
+  model), departure events are generated in nondecreasing time order, so
+  the binary heap degenerates into a *monotone merge* of two streams (a
+  FIFO departure deque plus the single pending arrival) with the exact
+  same ``(time, seq)`` pop order — O(1) per event instead of O(log n);
+* the general case (exponential or per-edge service times) keeps the
+  heap: one ``heappop`` per event, with the arrival sentinel merged in;
 * external arrivals use a *merged* Poisson stream — one exponential gap at
   rate ``sum of node rates`` with the source drawn per packet — which is
   distributionally identical to independent per-node streams and avoids
   scheduling ``n^2`` separate processes;
-* random numbers are drawn in blocks of 8192 and consumed by index;
-* a fast path batches source/destination draws when sources are uniform
-  and destinations are :class:`UniformDestinations`;
+* random numbers are drawn in blocks of 8192 and consumed by index; the
+  uniform-source/uniform-destination fast path draws id pairs from a
+  ``2 * 8192`` block, refilled exactly when all ids are consumed;
 * per-edge state is plain Python (lists, ``deque``, ``bytearray``) — no
   attribute lookups or NumPy scalar indexing inside the loop.
+
+Any restructuring here is bound by the *same-seed bit-identity contract*
+(see :mod:`repro.sim` docs): the RNG draw order, the event pop order and
+the floating-point accumulation order are all observable through the
+golden-result tests, and none of the optimisations above may change them.
 
 Statistics are exact time integrals (see :mod:`repro.sim` docs). After the
 horizon the run *drains* (no further arrivals, events keep processing) so
@@ -33,6 +46,7 @@ import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution, UniformDestinations
+from repro.routing.pathcache import SampledPathInterner, path_cache_for
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_node_rates, check_positive, pinned_cdf
@@ -48,8 +62,9 @@ class NetworkSimulation:
     Parameters
     ----------
     router:
-        Routing scheme (carries the topology). Randomized routers are
-        sampled per packet via :meth:`Router.sample_path`.
+        Routing scheme (carries the topology). Paths are served from a
+        shared path cache; randomized routers draw their per-packet coin
+        through the cache's ``sample_offlen`` with unchanged RNG order.
     destinations:
         Destination law.
     node_rate:
@@ -71,6 +86,15 @@ class NetworkSimulation:
         R_s(t) — remaining saturated services — for Table III.
     seed:
         Seed for the run's private :class:`numpy.random.Generator`.
+    use_path_cache:
+        Disable to fall back to per-packet path rebuilding (the pre-cache
+        behaviour; outputs are bit-identical either way — this exists for
+        benchmarking the cache).
+    path_cache:
+        An externally built cache (see
+        :func:`repro.routing.pathcache.path_cache_for`) to share across
+        runs — e.g. one cache for all replications of a cell. Must have
+        been built for an identical topology.
     """
 
     def __init__(
@@ -84,6 +108,8 @@ class NetworkSimulation:
         source_nodes: Sequence[int] | None = None,
         saturated_mask: Sequence[bool] | None = None,
         seed: int = 0,
+        use_path_cache: bool = True,
+        path_cache=None,
     ) -> None:
         if service not in (DETERMINISTIC, EXPONENTIAL):
             raise ValueError(
@@ -107,6 +133,13 @@ class NetworkSimulation:
         if np.any(phi <= 0):
             raise ValueError("service rates must be positive")
         self._service_times: list[float] = (1.0 / phi).tolist()
+        # Uniform deterministic service enables the monotone-merge event
+        # loop (departure times are nondecreasing in push order).
+        self._uniform_service = (
+            service == DETERMINISTIC
+            and self._service_times.count(self._service_times[0])
+            == len(self._service_times)
+        )
 
         self.source_nodes = (
             list(range(self.topology.num_nodes))
@@ -150,6 +183,20 @@ class NetworkSimulation:
             and sorted(self.source_nodes) == list(range(self.topology.num_nodes))
         )
 
+        if path_cache is not None:
+            if (
+                path_cache.topology.num_nodes != self.topology.num_nodes
+                or path_cache.topology.num_edges != self.topology.num_edges
+            ):
+                raise ValueError(
+                    "path_cache was built for an incompatible topology"
+                )
+            self.path_cache = path_cache
+        elif use_path_cache:
+            self.path_cache = path_cache_for(router)
+        else:
+            self.path_cache = SampledPathInterner(router)
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -192,14 +239,29 @@ class NetworkSimulation:
         rng = np.random.default_rng(self.seed)
         t_end = warmup + horizon
 
-        router = self.router
         destinations = self.destinations
         exponential = self.service == EXPONENTIAL
         st = self._service_times
         sat = self._sat
+        num_nodes = self.topology.num_nodes
         num_edges = self.topology.num_edges
         queues: list[deque] = [deque() for _ in range(num_edges)]
         busy = bytearray(num_edges)
+
+        # Path cache bindings. Deterministic caches get the dict probe
+        # inlined in the loop; RNG-consuming caches (randomized greedy,
+        # the uncached interner) go through sample_offlen, preserving the
+        # per-packet draw order of the pre-cache engine.
+        cache = self.path_cache
+        arena = cache.arena.edges  # extended in place; safe to bind once
+        if cache.consumes_rng:
+            det_get = None
+            det_build = None
+            sample_offlen = cache.sample_offlen
+        else:
+            det_get = cache.table.get
+            det_build = cache.ensure
+            sample_offlen = None
 
         heap: list = []
         push = heapq.heappush
@@ -212,10 +274,13 @@ class NetworkSimulation:
         sources = self.source_nodes
         nsrc = len(sources)
         uniform_fast = self._fast_ids
+        uniform_sources = self._uniform_sources
+        source_cdf = None if uniform_sources else self._source_cdf
         if uniform_fast:
-            id_block = rng.integers(
-                0, self.topology.num_nodes, size=2 * _BLOCK
-            ).tolist()
+            id_block = rng.integers(0, num_nodes, size=2 * _BLOCK).tolist()
+            id_i = 0
+        else:
+            id_block = None
             id_i = 0
         gap_scale = 1.0 / self.total_rate
 
@@ -234,6 +299,8 @@ class NetworkSimulation:
         ndist: dict[int, float] | None = {} if track_number_distribution else None
         max_delay = 0.0
         max_queue = 0
+        searchsorted = np.searchsorted
+        dest_sample = destinations.sample
 
         def service_sample(e: int) -> float:
             nonlocal exp_i, exp_block
@@ -246,7 +313,7 @@ class NetworkSimulation:
             exp_i += 1
             return v
 
-        def start_service(e: int, t: float, pkt: list) -> None:
+        def start_service_heap(e: int, t: float, pkt: list) -> None:
             nonlocal seq
             s = service_sample(e)
             push(heap, (t + s, seq, e, pkt))
@@ -257,11 +324,9 @@ class NetworkSimulation:
                 if hi > lo:
                     util[e] += hi - lo
 
-        # First arrival.
+        # First arrival (the merged-Poisson sentinel).
         first_gap = exp_block[exp_i] * gap_scale
         exp_i += 1
-        push(heap, (first_gap, seq, -1, None))
-        seq += 1
 
         draining = False
         in_flight_at_horizon = 0
@@ -269,146 +334,522 @@ class NetworkSimulation:
         # window: seed max_queue with them at the crossing, so the gate on
         # later updates only excludes growth that ended before the window.
         maxima_seeded = not track_maxima or warmup == 0.0
-        while heap:
-            t, _s, e, pkt = pop(heap)
-            if not maxima_seeded and t >= warmup:
-                maxima_seeded = True
-                for q in queues:
-                    if len(q) > max_queue:
-                        max_queue = len(q)
-            if t >= t_end and not draining:
-                draining = True
-                in_flight_at_horizon = in_system
-                # Close the integrals exactly at the horizon boundary.
-                lo = last_t if last_t > warmup else warmup
-                if t_end > lo:
-                    dt = t_end - lo
-                    int_n += in_system * dt
-                    int_r += remaining * dt
-                    int_rs += remaining_sat * dt
-                    if ndist is not None:
-                        ndist[in_system] = ndist.get(in_system, 0.0) + dt
-                last_t = t_end
-            if not draining and t > warmup:
-                lo = last_t if last_t > warmup else warmup
-                dt = t - lo
-                if dt > 0.0:
-                    int_n += in_system * dt
-                    int_r += remaining * dt
-                    int_rs += remaining_sat * dt
-                    if ndist is not None:
-                        ndist[in_system] = ndist.get(in_system, 0.0) + dt
-                last_t = t
-            elif not draining:
-                last_t = t
+        BLK = _BLOCK
+        TWO_BLOCK = 2 * _BLOCK
+        # The common standard-model configuration (no saturation mask, no
+        # N-distribution, no maxima, no utilization) gets a lean loop with
+        # every untracked branch removed; the arithmetic that remains is
+        # identical, so results are bit-identical across loop variants.
+        plain_stats = (
+            sat is None and ndist is None and not track_maxima and util is None
+        )
 
-            if e < 0:
-                # ----- external arrival -----
-                if draining:
-                    continue  # no arrivals past the horizon
-                if uniform_fast:
-                    if id_i >= 2 * _BLOCK - 1:
-                        id_block = rng.integers(
-                            0, self.topology.num_nodes, size=2 * _BLOCK
-                        ).tolist()
-                        id_i = 0
-                    src = id_block[id_i]
-                    dst = id_block[id_i + 1]
-                    id_i += 2
-                else:
-                    if self._uniform_sources:
-                        src = sources[int(rng.integers(nsrc))]
+        if self._uniform_service and plain_stats:
+            # -------- monotone-merge event loop, plain statistics --------
+            service_c = st[0]
+            dep_q: deque = deque()
+            dep_pop = dep_q.popleft
+            dep_append = dep_q.append
+            arr_t = first_gap
+            arr_seq = seq
+            seq += 1
+            have_arrival = True
+            while True:
+                if dep_q:
+                    head = dep_q[0]
+                    if have_arrival:
+                        ht = head[0]
+                        if arr_t < ht or (arr_t == ht and arr_seq < head[1]):
+                            is_arrival = True
+                            t = arr_t
+                        else:
+                            is_arrival = False
+                            t, _s, e, pkt = dep_pop()
                     else:
-                        # side="right" so a draw that lands exactly on a CDF
-                        # boundary (e.g. u = 0.0 with a leading zero-rate
-                        # source) never selects a zero-rate source.
-                        src = sources[
-                            int(
-                                np.searchsorted(
-                                    self._source_cdf, rng.random(), side="right"
+                        is_arrival = False
+                        t, _s, e, pkt = dep_pop()
+                elif have_arrival:
+                    is_arrival = True
+                    t = arr_t
+                else:
+                    break
+                if t >= t_end and not draining:
+                    draining = True
+                    in_flight_at_horizon = in_system
+                    # Close the integrals exactly at the horizon boundary.
+                    lo = last_t if last_t > warmup else warmup
+                    if t_end > lo:
+                        dt = t_end - lo
+                        int_n += in_system * dt
+                        int_r += remaining * dt
+                    last_t = t_end
+                if not draining and t > warmup:
+                    lo = last_t if last_t > warmup else warmup
+                    dt = t - lo
+                    if dt > 0.0:
+                        int_n += in_system * dt
+                        int_r += remaining * dt
+                    last_t = t
+                elif not draining:
+                    last_t = t
+
+                if is_arrival:
+                    # ----- external arrival -----
+                    if draining:
+                        have_arrival = False  # no arrivals past the horizon
+                        continue
+                    if uniform_fast:
+                        if id_i >= TWO_BLOCK:
+                            id_block = rng.integers(
+                                0, num_nodes, size=TWO_BLOCK
+                            ).tolist()
+                            id_i = 0
+                        src = id_block[id_i]
+                        dst = id_block[id_i + 1]
+                        id_i += 2
+                    else:
+                        if uniform_sources:
+                            src = sources[int(rng.integers(nsrc))]
+                        else:
+                            src = sources[
+                                int(
+                                    searchsorted(
+                                        source_cdf, rng.random(), side="right"
+                                    )
                                 )
-                            )
-                        ]
-                    dst = destinations.sample(src, rng)
-                measured = t >= warmup
-                if measured:
-                    generated += 1
-                if src == dst:
+                            ]
+                        dst = dest_sample(src, rng)
+                    measured = t >= warmup
                     if measured:
-                        zero_hop += 1
-                        completed += 1
-                        delay_acc.add(t, 0.0)
-                        if delays is not None:
-                            delays.append(0.0)
+                        generated += 1
+                    if src == dst:
+                        if measured:
+                            zero_hop += 1
+                            completed += 1
+                            delay_acc.add(t, 0.0)
+                            if delays is not None:
+                                delays.append(0.0)
+                    else:
+                        if det_get is not None:
+                            ol = det_get(src * num_nodes + dst)
+                            if ol is None:
+                                ol = det_build(src, dst)
+                            off, ln = ol
+                        else:
+                            off, ln = sample_offlen(src, dst, rng)
+                        in_system += 1
+                        remaining += ln
+                        new_pkt = [t, off, ln, 0, measured]
+                        f = arena[off]
+                        if busy[f]:
+                            queues[f].append(new_pkt)
+                        else:
+                            busy[f] = 1
+                            dep_append((t + service_c, seq, f, new_pkt))
+                            seq += 1
+                    # Next arrival.
+                    if exp_i >= BLK:
+                        exp_block = rng.exponential(size=BLK)
+                        exp_i = 0
+                    arr_t = t + exp_block[exp_i] * gap_scale
+                    exp_i += 1
+                    arr_seq = seq
+                    seq += 1
                 else:
-                    path = router.sample_path(src, dst, rng)
-                    in_system += 1
-                    remaining += len(path)
-                    if sat is not None:
-                        nsat = 0
-                        for pe in path:
-                            if sat[pe]:
-                                nsat += 1
-                        remaining_sat += nsat
-                    new_pkt = [t, path, 0, measured]
-                    f = path[0]
-                    if busy[f]:
-                        q = queues[f]
-                        q.append(new_pkt)
-                        if (
-                            track_maxima
-                            and measured
-                            and not draining
-                            and len(q) > max_queue
-                        ):
+                    # ----- departure: pkt finished service at edge e -----
+                    remaining -= 1
+                    hop = pkt[3] + 1
+                    if hop == pkt[2]:
+                        in_system -= 1
+                        if pkt[4]:
+                            completed += 1
+                            d = t - pkt[0]
+                            delay_acc.add(pkt[0], d)
+                            if delays is not None:
+                                delays.append(d)
+                    else:
+                        pkt[3] = hop
+                        f = arena[pkt[1] + hop]
+                        if busy[f]:
+                            queues[f].append(pkt)
+                        else:
+                            busy[f] = 1
+                            dep_append((t + service_c, seq, f, pkt))
+                            seq += 1
+                    q = queues[e]
+                    if q:
+                        dep_append((t + service_c, seq, e, q.popleft()))
+                        seq += 1
+                    else:
+                        busy[e] = 0
+        elif self._uniform_service:
+            # ---------------- monotone-merge event loop ----------------
+            # All service times equal => departures are pushed with
+            # nondecreasing times, so a FIFO deque plus the single pending
+            # arrival replays the heap's (time, seq) pop order exactly.
+            service_c = st[0]
+            dep_q: deque = deque()
+            dep_pop = dep_q.popleft
+            dep_append = dep_q.append
+            arr_t = first_gap
+            arr_seq = seq
+            seq += 1
+            have_arrival = True
+            while True:
+                if dep_q:
+                    head = dep_q[0]
+                    if have_arrival:
+                        ht = head[0]
+                        if arr_t < ht or (arr_t == ht and arr_seq < head[1]):
+                            is_arrival = True
+                            t = arr_t
+                        else:
+                            is_arrival = False
+                            t, _s, e, pkt = dep_pop()
+                    else:
+                        is_arrival = False
+                        t, _s, e, pkt = dep_pop()
+                elif have_arrival:
+                    is_arrival = True
+                    t = arr_t
+                else:
+                    break
+                if not maxima_seeded and t >= warmup:
+                    maxima_seeded = True
+                    for q in queues:
+                        if len(q) > max_queue:
                             max_queue = len(q)
+                if t >= t_end and not draining:
+                    draining = True
+                    in_flight_at_horizon = in_system
+                    # Close the integrals exactly at the horizon boundary.
+                    lo = last_t if last_t > warmup else warmup
+                    if t_end > lo:
+                        dt = t_end - lo
+                        int_n += in_system * dt
+                        int_r += remaining * dt
+                        int_rs += remaining_sat * dt
+                        if ndist is not None:
+                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                    last_t = t_end
+                if not draining and t > warmup:
+                    lo = last_t if last_t > warmup else warmup
+                    dt = t - lo
+                    if dt > 0.0:
+                        int_n += in_system * dt
+                        int_r += remaining * dt
+                        int_rs += remaining_sat * dt
+                        if ndist is not None:
+                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                    last_t = t
+                elif not draining:
+                    last_t = t
+
+                if is_arrival:
+                    # ----- external arrival -----
+                    if draining:
+                        have_arrival = False  # no arrivals past the horizon
+                        continue
+                    if uniform_fast:
+                        if id_i >= TWO_BLOCK:
+                            id_block = rng.integers(
+                                0, num_nodes, size=TWO_BLOCK
+                            ).tolist()
+                            id_i = 0
+                        src = id_block[id_i]
+                        dst = id_block[id_i + 1]
+                        id_i += 2
                     else:
-                        busy[f] = 1
-                        start_service(f, t, new_pkt)
-                # Next arrival.
-                if exp_i >= _BLOCK:
-                    exp_block = rng.exponential(size=_BLOCK)
-                    exp_i = 0
-                push(heap, (t + exp_block[exp_i] * gap_scale, seq, -1, None))
-                exp_i += 1
-                seq += 1
-            else:
-                # ----- departure: pkt finished service at edge e -----
-                remaining -= 1
-                if sat is not None and sat[e]:
-                    remaining_sat -= 1
-                pkt[2] += 1
-                path = pkt[1]
-                if pkt[2] == len(path):
-                    in_system -= 1
-                    if pkt[3]:
-                        completed += 1
-                        d = t - pkt[0]
-                        delay_acc.add(pkt[0], d)
-                        if track_maxima and d > max_delay:
-                            max_delay = d
-                        if delays is not None:
-                            delays.append(d)
-                else:
-                    f = path[pkt[2]]
-                    if busy[f]:
-                        qf = queues[f]
-                        qf.append(pkt)
-                        if (
-                            track_maxima
-                            and not draining
-                            and t >= warmup
-                            and len(qf) > max_queue
-                        ):
-                            max_queue = len(qf)
+                        if uniform_sources:
+                            src = sources[int(rng.integers(nsrc))]
+                        else:
+                            # side="right" so a draw that lands exactly on
+                            # a CDF boundary (e.g. u = 0.0 with a leading
+                            # zero-rate source) never selects a zero-rate
+                            # source.
+                            src = sources[
+                                int(
+                                    searchsorted(
+                                        source_cdf, rng.random(), side="right"
+                                    )
+                                )
+                            ]
+                        dst = dest_sample(src, rng)
+                    measured = t >= warmup
+                    if measured:
+                        generated += 1
+                    if src == dst:
+                        if measured:
+                            zero_hop += 1
+                            completed += 1
+                            delay_acc.add(t, 0.0)
+                            if delays is not None:
+                                delays.append(0.0)
                     else:
-                        busy[f] = 1
-                        start_service(f, t, pkt)
-                q = queues[e]
-                if q:
-                    start_service(e, t, q.popleft())
+                        if det_get is not None:
+                            ol = det_get(src * num_nodes + dst)
+                            if ol is None:
+                                ol = det_build(src, dst)
+                            off, ln = ol
+                        else:
+                            off, ln = sample_offlen(src, dst, rng)
+                        in_system += 1
+                        remaining += ln
+                        if sat is not None:
+                            nsat = 0
+                            for k in range(off, off + ln):
+                                if sat[arena[k]]:
+                                    nsat += 1
+                            remaining_sat += nsat
+                        new_pkt = [t, off, ln, 0, measured]
+                        f = arena[off]
+                        if busy[f]:
+                            q = queues[f]
+                            q.append(new_pkt)
+                            if (
+                                track_maxima
+                                and measured
+                                and not draining
+                                and len(q) > max_queue
+                            ):
+                                max_queue = len(q)
+                        else:
+                            busy[f] = 1
+                            dep_append((t + service_c, seq, f, new_pkt))
+                            seq += 1
+                            if util is not None:
+                                lo = t if t > warmup else warmup
+                                hi = t + service_c
+                                if hi > t_end:
+                                    hi = t_end
+                                if hi > lo:
+                                    util[f] += hi - lo
+                    # Next arrival.
+                    if exp_i >= BLK:
+                        exp_block = rng.exponential(size=BLK)
+                        exp_i = 0
+                    arr_t = t + exp_block[exp_i] * gap_scale
+                    exp_i += 1
+                    arr_seq = seq
+                    seq += 1
                 else:
-                    busy[e] = 0
+                    # ----- departure: pkt finished service at edge e -----
+                    remaining -= 1
+                    if sat is not None and sat[e]:
+                        remaining_sat -= 1
+                    hop = pkt[3] + 1
+                    if hop == pkt[2]:
+                        in_system -= 1
+                        if pkt[4]:
+                            completed += 1
+                            d = t - pkt[0]
+                            delay_acc.add(pkt[0], d)
+                            if track_maxima and d > max_delay:
+                                max_delay = d
+                            if delays is not None:
+                                delays.append(d)
+                    else:
+                        pkt[3] = hop
+                        f = arena[pkt[1] + hop]
+                        if busy[f]:
+                            qf = queues[f]
+                            qf.append(pkt)
+                            if (
+                                track_maxima
+                                and not draining
+                                and t >= warmup
+                                and len(qf) > max_queue
+                            ):
+                                max_queue = len(qf)
+                        else:
+                            busy[f] = 1
+                            dep_append((t + service_c, seq, f, pkt))
+                            seq += 1
+                            if util is not None:
+                                lo = t if t > warmup else warmup
+                                hi = t + service_c
+                                if hi > t_end:
+                                    hi = t_end
+                                if hi > lo:
+                                    util[f] += hi - lo
+                    q = queues[e]
+                    if q:
+                        nxt = q.popleft()
+                        dep_append((t + service_c, seq, e, nxt))
+                        seq += 1
+                        if util is not None:
+                            lo = t if t > warmup else warmup
+                            hi = t + service_c
+                            if hi > t_end:
+                                hi = t_end
+                            if hi > lo:
+                                util[e] += hi - lo
+                    else:
+                        busy[e] = 0
+        else:
+            # --------------------- heap event loop ---------------------
+            # Exponential or per-edge deterministic service: departure
+            # times are not monotone, keep the binary heap with the
+            # arrival sentinel merged in.
+            push(heap, (first_gap, seq, -1, None))
+            seq += 1
+            fast_service = not exponential and util is None
+            while heap:
+                t, _s, e, pkt = pop(heap)
+                if not maxima_seeded and t >= warmup:
+                    maxima_seeded = True
+                    for q in queues:
+                        if len(q) > max_queue:
+                            max_queue = len(q)
+                if t >= t_end and not draining:
+                    draining = True
+                    in_flight_at_horizon = in_system
+                    # Close the integrals exactly at the horizon boundary.
+                    lo = last_t if last_t > warmup else warmup
+                    if t_end > lo:
+                        dt = t_end - lo
+                        int_n += in_system * dt
+                        int_r += remaining * dt
+                        int_rs += remaining_sat * dt
+                        if ndist is not None:
+                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                    last_t = t_end
+                if not draining and t > warmup:
+                    lo = last_t if last_t > warmup else warmup
+                    dt = t - lo
+                    if dt > 0.0:
+                        int_n += in_system * dt
+                        int_r += remaining * dt
+                        int_rs += remaining_sat * dt
+                        if ndist is not None:
+                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
+                    last_t = t
+                elif not draining:
+                    last_t = t
+
+                if e < 0:
+                    # ----- external arrival -----
+                    if draining:
+                        continue  # no arrivals past the horizon
+                    if uniform_fast:
+                        if id_i >= TWO_BLOCK:
+                            id_block = rng.integers(
+                                0, num_nodes, size=TWO_BLOCK
+                            ).tolist()
+                            id_i = 0
+                        src = id_block[id_i]
+                        dst = id_block[id_i + 1]
+                        id_i += 2
+                    else:
+                        if uniform_sources:
+                            src = sources[int(rng.integers(nsrc))]
+                        else:
+                            src = sources[
+                                int(
+                                    searchsorted(
+                                        source_cdf, rng.random(), side="right"
+                                    )
+                                )
+                            ]
+                        dst = dest_sample(src, rng)
+                    measured = t >= warmup
+                    if measured:
+                        generated += 1
+                    if src == dst:
+                        if measured:
+                            zero_hop += 1
+                            completed += 1
+                            delay_acc.add(t, 0.0)
+                            if delays is not None:
+                                delays.append(0.0)
+                    else:
+                        if det_get is not None:
+                            ol = det_get(src * num_nodes + dst)
+                            if ol is None:
+                                ol = det_build(src, dst)
+                            off, ln = ol
+                        else:
+                            off, ln = sample_offlen(src, dst, rng)
+                        in_system += 1
+                        remaining += ln
+                        if sat is not None:
+                            nsat = 0
+                            for k in range(off, off + ln):
+                                if sat[arena[k]]:
+                                    nsat += 1
+                            remaining_sat += nsat
+                        new_pkt = [t, off, ln, 0, measured]
+                        f = arena[off]
+                        if busy[f]:
+                            q = queues[f]
+                            q.append(new_pkt)
+                            if (
+                                track_maxima
+                                and measured
+                                and not draining
+                                and len(q) > max_queue
+                            ):
+                                max_queue = len(q)
+                        else:
+                            busy[f] = 1
+                            if fast_service:
+                                push(heap, (t + st[f], seq, f, new_pkt))
+                                seq += 1
+                            else:
+                                start_service_heap(f, t, new_pkt)
+                    # Next arrival.
+                    if exp_i >= BLK:
+                        exp_block = rng.exponential(size=BLK)
+                        exp_i = 0
+                    push(heap, (t + exp_block[exp_i] * gap_scale, seq, -1, None))
+                    exp_i += 1
+                    seq += 1
+                else:
+                    # ----- departure: pkt finished service at edge e -----
+                    remaining -= 1
+                    if sat is not None and sat[e]:
+                        remaining_sat -= 1
+                    hop = pkt[3] + 1
+                    if hop == pkt[2]:
+                        in_system -= 1
+                        if pkt[4]:
+                            completed += 1
+                            d = t - pkt[0]
+                            delay_acc.add(pkt[0], d)
+                            if track_maxima and d > max_delay:
+                                max_delay = d
+                            if delays is not None:
+                                delays.append(d)
+                    else:
+                        pkt[3] = hop
+                        f = arena[pkt[1] + hop]
+                        if busy[f]:
+                            qf = queues[f]
+                            qf.append(pkt)
+                            if (
+                                track_maxima
+                                and not draining
+                                and t >= warmup
+                                and len(qf) > max_queue
+                            ):
+                                max_queue = len(qf)
+                        else:
+                            busy[f] = 1
+                            if fast_service:
+                                push(heap, (t + st[f], seq, f, pkt))
+                                seq += 1
+                            else:
+                                start_service_heap(f, t, pkt)
+                    q = queues[e]
+                    if q:
+                        nxt = q.popleft()
+                        if fast_service:
+                            push(heap, (t + st[e], seq, e, nxt))
+                            seq += 1
+                        else:
+                            start_service_heap(e, t, nxt)
+                    else:
+                        busy[e] = 0
 
         # If the run never reached the horizon (cannot happen: the arrival
         # sentinel always carries the clock forward), close integrals.

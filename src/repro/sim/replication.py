@@ -25,11 +25,13 @@ slotted engine interprets the window in units of ``tau``-slots.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
+from repro.routing.pathcache import path_cache_for
 from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
 from repro.sim.measurement import BatchMeans, batch_means
 from repro.sim.result import SimResult
@@ -259,12 +261,39 @@ class ReplicatedResult:
         return t.render()
 
 
+#: Worker-local memo of (network, shared path cache) per cell identity.
+#: Replications of one cell are separate pool tasks; without the memo each
+#: task rebuilds the scenario network *and* re-routes every path from
+#: scratch, multiplying the path-construction work by the seed count. A
+#: path cache only grows and never influences results (deterministic
+#: lookups are RNG-free, the randomized variant draws the same per-packet
+#: coin), so sharing it across same-cell replications is safe. Each pool
+#: worker process keeps its own memo.
+_NETWORK_MEMO: OrderedDict = OrderedDict()
+_NETWORK_MEMO_MAX = 8
+
+
+def _cell_network(spec: CellSpec):
+    """The (network, path cache) for a cell, memoized per worker."""
+    from repro.scenarios import build_network  # late: scenarios imports us
+
+    key = (spec.scenario, spec.n, spec.params)
+    ent = _NETWORK_MEMO.get(key)
+    if ent is None:
+        net = build_network(spec.scenario, spec.n, **spec.params_dict)
+        ent = (net, path_cache_for(net.router))
+        _NETWORK_MEMO[key] = ent
+        if len(_NETWORK_MEMO) > _NETWORK_MEMO_MAX:
+            _NETWORK_MEMO.popitem(last=False)
+    else:
+        _NETWORK_MEMO.move_to_end(key)
+    return ent
+
+
 def _run_replication(job: tuple) -> SimResult:
     """Run one seeded replication of a cell (top-level for pickling)."""
     spec, seed, node_rate, mask = job
-    from repro.scenarios import build_network  # late: scenarios imports us
-
-    net = build_network(spec.scenario, spec.n, **spec.params_dict)
+    net, cache = _cell_network(spec)
     if spec.engine == SLOTTED:
         sim = SlottedNetworkSimulation(
             net.router,
@@ -274,6 +303,7 @@ def _run_replication(job: tuple) -> SimResult:
             source_nodes=net.source_nodes,
             saturated_mask=mask,
             seed=seed,
+            path_cache=cache,
         )
         warmup_slots = int(round(spec.warmup / spec.tau))
         horizon_slots = max(1, int(round(spec.horizon / spec.tau)))
@@ -286,6 +316,7 @@ def _run_replication(job: tuple) -> SimResult:
         source_nodes=net.source_nodes,
         saturated_mask=mask,
         seed=seed,
+        path_cache=cache,
     )
     return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
 

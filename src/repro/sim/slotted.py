@@ -13,9 +13,43 @@ slot every non-empty edge transmits exactly its head-of-line packet, and
 all deliveries land simultaneously at the end of the slot. Delays count
 whole slots from the generation slot's start to the arrival instant.
 
-Implementation note: only non-empty edges are touched each slot (an active
-set), so quiet networks cost O(arrivals + moves), not O(E), per slot — the
-same lazy-work discipline as the event-driven engine.
+Implementation notes:
+
+* only non-empty edges are touched each slot (an active set), so quiet
+  networks cost O(arrivals + moves), not O(E), per slot — the same
+  lazy-work discipline as the event-driven engine;
+* paths come from the shared :mod:`repro.routing.pathcache` arena and the
+  packet record stores an ``(arena_offset, length)`` view;
+* the whole Poisson batch of a slot is sampled with vectorized kernels
+  wherever that reproduces the legacy per-packet RNG draw order exactly
+  (see *RNG compatibility* below); ``run(batch_rng=True)`` lifts that
+  restriction and batches everything, including the per-slot Poisson
+  counts themselves (drawn in 8192-size blocks like the event engine's
+  exponential and id blocks).
+
+RNG compatibility
+-----------------
+The default kernel is bound by the same-seed bit-identity contract (see
+:mod:`repro.sim` docs): it must consume the RNG exactly like the original
+per-packet loop. NumPy ``Generator`` array draws are stream-identical to
+the same number of consecutive scalar draws, so a slot *can* be batched
+whenever the legacy draw sequence was a run of same-kind draws:
+
+* uniform sources over all nodes + uniform destinations — the legacy
+  ``src, dst, src, dst, ...`` draws are all bounded integers with one
+  bound, batched as a single ``integers(0, n, 2k)`` call (the event
+  engine's fast-id discipline);
+* RNG-free destination laws (fixed permutations) — only the source draws
+  touch the RNG and they are consecutive, batched as one call.
+
+Data-dependent laws (hot-spot's conditional uniform draw, the geometric
+stopping chain, randomized routing coins interleaved with id draws) keep
+the scalar per-packet loop — still path-cached — because no batch can
+replay their interleaved stream. ``batch_rng=True`` instead *redefines*
+the draw order (Poisson count blocks, then per slot: source batch,
+``sample_batch`` destination batch, router coin batch) and is the fast
+path for those laws; it is seed-stable and pinned by its own regression
+values, but intentionally not bit-compatible with the legacy stream.
 """
 
 from __future__ import annotations
@@ -26,10 +60,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.base import Router
-from repro.routing.destinations import DestinationDistribution
+from repro.routing.destinations import DestinationDistribution, UniformDestinations
+from repro.routing.pathcache import SampledPathInterner, path_cache_for
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_node_rates, check_positive, pinned_cdf
+
+_BLOCK = 8192
 
 
 class SlottedNetworkSimulation:
@@ -38,7 +75,9 @@ class SlottedNetworkSimulation:
     Parameters mirror :class:`repro.sim.NetworkSimulation`; the slot
     duration ``tau`` scales the batch mean (``total_rate * tau`` packets
     per slot) and the reported times (delays are in the same units as the
-    continuous model: slot index times ``tau``).
+    continuous model: slot index times ``tau``). ``use_path_cache`` /
+    ``path_cache`` control the shared path-cache arena exactly as in the
+    event engine.
     """
 
     def __init__(
@@ -51,6 +90,8 @@ class SlottedNetworkSimulation:
         source_nodes: Sequence[int] | None = None,
         saturated_mask: Sequence[bool] | None = None,
         seed: int = 0,
+        use_path_cache: bool = True,
+        path_cache=None,
     ) -> None:
         self.router = router
         self.topology = router.topology
@@ -80,16 +121,65 @@ class SlottedNetworkSimulation:
                 raise ValueError(f"saturated_mask must have {num_edges} entries")
             self._sat = mask.tolist()
 
+        self._uniform_sources = bool(
+            np.allclose(self.node_rates, self.node_rates[0])
+        )
+        # Batched id pairs need every node generating at equal rate with
+        # the identity source order (so ids are node ids) and uniform
+        # destinations — then the legacy src/dst draws are one flat run of
+        # same-bound integer draws.
+        self._fast_ids = (
+            self._uniform_sources
+            and isinstance(destinations, UniformDestinations)
+            and self.source_nodes == list(range(self.topology.num_nodes))
+        )
+
+        if path_cache is not None:
+            if (
+                path_cache.topology.num_nodes != self.topology.num_nodes
+                or path_cache.topology.num_edges != self.topology.num_edges
+            ):
+                raise ValueError(
+                    "path_cache was built for an incompatible topology"
+                )
+            self.path_cache = path_cache
+        elif use_path_cache:
+            self.path_cache = path_cache_for(router)
+        else:
+            self.path_cache = SampledPathInterner(router)
+
     def run(
         self,
         warmup_slots: int,
         horizon_slots: int,
         *,
         delay_batches: int = 32,
+        track_maxima: bool = False,
+        collect_delays: bool = False,
+        batch_rng: bool = False,
     ) -> SimResult:
         """Simulate ``warmup_slots + horizon_slots`` slots, then drain.
 
         All times in the result are in continuous units (slots * tau).
+
+        Parameters
+        ----------
+        delay_batches:
+            Number of time batches for the delay confidence interval.
+        track_maxima:
+            Also record the worst per-packet delay of measured packets and
+            the longest queue observed during measurement-window slots;
+            queues standing when the warmup ends seed the maximum at the
+            crossing, mirroring the event engine's warmup-window
+            semantics.
+        collect_delays:
+            Return the raw delay of every measured packet (one float per
+            packet, in completion order — zero-hop packets at generation).
+        batch_rng:
+            Use the fully batched draw order (blocked Poisson counts,
+            per-slot source/destination/coin batches). Deterministic per
+            seed and statistically identical, but *not* bit-compatible
+            with the legacy per-packet stream — see the module docstring.
         """
         if warmup_slots < 0 or horizon_slots <= 0:
             raise ValueError("need warmup_slots >= 0 and horizon_slots > 0")
@@ -99,9 +189,36 @@ class SlottedNetworkSimulation:
         horizon = horizon_slots * tau
         t_end_slot = warmup_slots + horizon_slots
         batch_mean = self.total_rate * tau
-        uniform_sources = bool(np.allclose(self.node_rates, self.node_rates[0]))
         num_nodes = self.topology.num_nodes
         sat = self._sat
+
+        uniform_sources = self._uniform_sources
+        fast_ids = self._fast_ids
+        sources = self.source_nodes
+        source_arr = np.asarray(sources, dtype=np.int64)
+        nsrc = len(sources)
+        source_cdf = self._source_cdf
+        destinations = self.destinations
+        dest_sample = destinations.sample
+        dest_sample_batch = getattr(destinations, "sample_batch", None)
+        dest_rng_free = not getattr(destinations, "consumes_rng", True)
+
+        cache = self.path_cache
+        arena = cache.arena.edges  # extended in place; safe to bind once
+        cache_rng_free = not cache.consumes_rng
+        if cache_rng_free:
+            offlen_batch = cache.offlen_batch
+            det_get = cache.table.get
+            det_build = cache.ensure
+        else:
+            offlen_batch = None
+            det_get = det_build = None
+        sample_offlen = cache.sample_offlen
+        sample_offlen_batch = cache.sample_offlen_batch
+        # Which vectorized kernel may run under the legacy-stream contract:
+        # fast id pairs, or consecutive source draws with an RNG-free law.
+        compat_pairs = fast_ids and cache_rng_free
+        compat_src_batch = dest_rng_free and cache_rng_free
 
         queues: list[deque] = [deque() for _ in range(self.topology.num_edges)]
         active: set[int] = set()
@@ -112,6 +229,13 @@ class SlottedNetworkSimulation:
         generated = completed = zero_hop = 0
         in_flight_at_horizon = 0
         delay_acc = TimeBatchAccumulator(warmup, warmup + horizon, delay_batches)
+        delays: list[float] | None = [] if collect_delays else None
+        max_delay = 0.0
+        max_queue = 0
+        maxima_seeded = not track_maxima or warmup_slots == 0
+        count_block: list[int] = []
+        count_i = 0
+        counts_drawn = 0
 
         slot = 0
         while True:
@@ -120,39 +244,123 @@ class SlottedNetworkSimulation:
             draining = slot >= t_end_slot
             if draining and in_system == 0:
                 break
+            if not maxima_seeded and slot >= warmup_slots:
+                # Queues standing at the warmup crossing belong to the
+                # measurement window (event-engine parity).
+                maxima_seeded = True
+                for q in queues:
+                    if len(q) > max_queue:
+                        max_queue = len(q)
             # --- batch arrivals at slot start ---
             if not draining:
-                k = int(rng.poisson(batch_mean))
-                for _ in range(k):
-                    if uniform_sources:
-                        src = self.source_nodes[int(rng.integers(len(self.source_nodes)))]
-                    else:
-                        # side="right": a boundary draw must not pick a
-                        # zero-rate source (see the event engine).
-                        src = self.source_nodes[
-                            int(
+                if batch_rng:
+                    if count_i >= len(count_block):
+                        size = min(_BLOCK, t_end_slot - counts_drawn)
+                        count_block = rng.poisson(batch_mean, size=size).tolist()
+                        counts_drawn += size
+                        count_i = 0
+                    k = count_block[count_i]
+                    count_i += 1
+                else:
+                    k = int(rng.poisson(batch_mean))
+                if k:
+                    # Draw the slot's sources/destinations/paths. Every
+                    # branch enqueues packets in identical order; they
+                    # differ only in how many RNG calls produce the draws.
+                    offs = lens = None
+                    if compat_pairs:
+                        ids = rng.integers(0, num_nodes, size=2 * k)
+                        srcs_a = ids[0::2]
+                        dsts_a = ids[1::2]
+                    elif batch_rng or compat_src_batch:
+                        if uniform_sources:
+                            srcs_a = source_arr[rng.integers(0, nsrc, size=k)]
+                        else:
+                            srcs_a = source_arr[
                                 np.searchsorted(
-                                    self._source_cdf, rng.random(), side="right"
+                                    source_cdf, rng.random(k), side="right"
                                 )
+                            ]
+                        if dest_sample_batch is not None:
+                            dsts_a = np.asarray(dest_sample_batch(srcs_a, rng))
+                        else:
+                            dsts_a = np.asarray(
+                                [dest_sample(int(s), rng) for s in srcs_a.tolist()]
                             )
-                        ]
-                    dst = self.destinations.sample(src, rng)
-                    if measuring:
-                        generated += 1
-                    if src == dst:
+                    else:
+                        # Interleaved data-dependent draws: keep the legacy
+                        # scalar order (bit-identity), path-cached below.
+                        srcs_a = dsts_a = None
+                    if srcs_a is not None:
+                        nz = srcs_a != dsts_a
+                        if nz.any():
+                            if cache_rng_free:
+                                offs, lens = offlen_batch(srcs_a[nz], dsts_a[nz])
+                            else:
+                                offs, lens = sample_offlen_batch(
+                                    srcs_a[nz], dsts_a[nz], rng
+                                )
+                            offs = offs.tolist()
+                            lens = lens.tolist()
+                        srcs = srcs_a.tolist()
+                        dsts = dsts_a.tolist()
+                    at = 0  # index into offs/lens (non-zero-hop packets)
+                    for i in range(k):
+                        if srcs_a is not None:
+                            src = srcs[i]
+                            dst = dsts[i]
+                        else:
+                            if uniform_sources:
+                                src = sources[int(rng.integers(nsrc))]
+                            else:
+                                # side="right": a boundary draw must not
+                                # pick a zero-rate source (see the event
+                                # engine).
+                                src = sources[
+                                    int(
+                                        np.searchsorted(
+                                            source_cdf,
+                                            rng.random(),
+                                            side="right",
+                                        )
+                                    )
+                                ]
+                            dst = dest_sample(src, rng)
                         if measuring:
-                            zero_hop += 1
-                            completed += 1
-                            delay_acc.add(t, 0.0)
-                        continue
-                    path = self.router.sample_path(src, dst, rng)
-                    in_system += 1
-                    remaining += len(path)
-                    if sat is not None:
-                        remaining_sat += sum(1 for e in path if sat[e])
-                    f = path[0]
-                    queues[f].append([t, path, 0, measuring])
-                    active.add(f)
+                            generated += 1
+                        if src == dst:
+                            if measuring:
+                                zero_hop += 1
+                                completed += 1
+                                delay_acc.add(t, 0.0)
+                                if delays is not None:
+                                    delays.append(0.0)
+                            continue
+                        if offs is not None:
+                            off = offs[at]
+                            ln = lens[at]
+                            at += 1
+                        elif det_get is not None:
+                            ol = det_get(src * num_nodes + dst)
+                            if ol is None:
+                                ol = det_build(src, dst)
+                            off, ln = ol
+                        else:
+                            off, ln = sample_offlen(src, dst, rng)
+                        in_system += 1
+                        remaining += ln
+                        if sat is not None:
+                            nsat = 0
+                            for e_i in range(off, off + ln):
+                                if sat[arena[e_i]]:
+                                    nsat += 1
+                            remaining_sat += nsat
+                        f = arena[off]
+                        q = queues[f]
+                        q.append([t, off, ln, 0, measuring])
+                        active.add(f)
+                        if track_maxima and measuring and len(q) > max_queue:
+                            max_queue = len(q)
             # --- per-slot occupancy integrals (state during the slot) ---
             if measuring:
                 int_n += in_system * tau
@@ -173,19 +381,27 @@ class SlottedNetworkSimulation:
             arrive_t = t + tau
             for pkt in deliveries:
                 remaining -= 1
-                if sat is not None and sat[pkt[1][pkt[2]]]:
+                if sat is not None and sat[arena[pkt[1] + pkt[3]]]:
                     remaining_sat -= 1
-                pkt[2] += 1
-                path = pkt[1]
-                if pkt[2] == len(path):
+                hop = pkt[3] + 1
+                if hop == pkt[2]:
                     in_system -= 1
-                    if pkt[3]:
+                    if pkt[4]:
                         completed += 1
-                        delay_acc.add(pkt[0], arrive_t - pkt[0])
+                        d = arrive_t - pkt[0]
+                        delay_acc.add(pkt[0], d)
+                        if track_maxima and d > max_delay:
+                            max_delay = d
+                        if delays is not None:
+                            delays.append(d)
                 else:
-                    f = path[pkt[2]]
-                    queues[f].append(pkt)
+                    pkt[3] = hop
+                    f = arena[pkt[1] + hop]
+                    qf = queues[f]
+                    qf.append(pkt)
                     active.add(f)
+                    if track_maxima and measuring and len(qf) > max_queue:
+                        max_queue = len(qf)
             slot += 1
 
         mean_number = int_n / horizon
@@ -207,4 +423,7 @@ class SlottedNetworkSimulation:
             delay_half_width=summary.half_width,
             mean_delay_littles=mean_number / self.total_rate,
             total_rate=self.total_rate,
+            delays=np.asarray(delays) if delays is not None else None,
+            max_delay=max_delay if track_maxima else float("nan"),
+            max_queue_length=max_queue if track_maxima else -1,
         )

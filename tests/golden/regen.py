@@ -1,0 +1,182 @@
+"""Regenerate the golden engine-result fixtures.
+
+The fixtures pin *bit-exact* same-seed outputs of both simulation engines
+on a spread of workloads (uniform, hotspot, randomized, permutation,
+distance-biased, torus). They are the regression contract for every
+hot-path optimisation: a refactor that changes the RNG draw order, the
+event ordering, or even the floating-point accumulation order of either
+engine will change at least one of these numbers and fail the golden test.
+
+Floats are stored as ``float.hex()`` strings so JSON round-trips cannot
+smuggle in a ulp of drift.
+
+Run from the repo root (only when an *intentional*, documented behaviour
+change requires re-pinning)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.routing.destinations import (
+    GeometricStopDestinations,
+    HotSpotDestinations,
+    PermutationDestinations,
+    UniformDestinations,
+)
+from repro.routing.greedy import GreedyArrayRouter
+from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
+from repro.routing.torus_greedy import GreedyTorusRouter
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+from repro.topology.array_mesh import ArrayMesh
+from repro.topology.torus import Torus
+
+OUT = os.path.join(os.path.dirname(__file__), "engine_results.json")
+
+FLOAT_FIELDS = (
+    "mean_number",
+    "mean_remaining",
+    "mean_remaining_saturated",
+    "mean_delay",
+    "delay_half_width",
+    "mean_delay_littles",
+    "total_rate",
+    "max_delay",
+)
+INT_FIELDS = (
+    "generated",
+    "completed",
+    "zero_hop",
+    "in_flight_at_end",
+    "max_queue_length",
+)
+
+
+def _hex(v: float) -> str:
+    return "nan" if math.isnan(v) else float(v).hex()
+
+
+def _encode(res) -> dict:
+    out: dict = {}
+    for f in INT_FIELDS:
+        out[f] = int(getattr(res, f))
+    for f in FLOAT_FIELDS:
+        out[f] = _hex(float(getattr(res, f)))
+    if res.utilization is not None:
+        # The full per-edge vector is pinned through an exact checksum
+        # (same accumulation order as np.sum every run) plus the peak.
+        out["utilization_sum"] = _hex(float(res.utilization.sum()))
+        out["utilization_max"] = _hex(float(res.utilization.max()))
+    return out
+
+
+def sat_mask(num_edges: int):
+    """Deterministic saturated-edge mask used by the sat golden cells."""
+    import numpy as np
+
+    return np.arange(num_edges) % 3 == 0
+
+
+def per_edge_rates(num_edges: int):
+    """Deterministic non-uniform service rates (forces the heap loop)."""
+    import numpy as np
+
+    return 1.0 + 0.5 * (np.arange(num_edges) % 4 == 0)
+
+
+def _mesh_net(n: int, dests, **kw) -> NetworkSimulation:
+    mesh = ArrayMesh(n)
+    return NetworkSimulation(GreedyArrayRouter(mesh), dests(mesh), **kw)
+
+
+def build_cases() -> dict:
+    """Every golden cell: name -> (constructor, run) description + result."""
+    cases = {}
+
+    def event(name, router, dests, rate, seed, *, service="deterministic",
+              warmup=15.0, horizon=150.0, track_maxima=False,
+              saturated_mask=None, service_rates=1.0,
+              track_utilization=False):
+        sim = NetworkSimulation(
+            router, dests, rate, service=service, seed=seed,
+            saturated_mask=saturated_mask, service_rates=service_rates,
+        )
+        res = sim.run(
+            warmup, horizon, track_maxima=track_maxima,
+            track_utilization=track_utilization,
+        )
+        cases[name] = _encode(res)
+
+    def slotted(name, router, dests, rate, seed, *, warmup_slots=10,
+                horizon_slots=150, tau=1.0, saturated_mask=None):
+        sim = SlottedNetworkSimulation(
+            router, dests, rate, tau=tau, seed=seed,
+            saturated_mask=saturated_mask,
+        )
+        res = sim.run(warmup_slots, horizon_slots)
+        cases[name] = _encode(res)
+
+    m5 = ArrayMesh(5)
+    m4 = ArrayMesh(4)
+    t5 = Torus(5)
+
+    event("event_uniform_det", GreedyArrayRouter(m5),
+          UniformDestinations(25), 0.12, 7, track_maxima=True)
+    event("event_uniform_exp", GreedyArrayRouter(m5),
+          UniformDestinations(25), 0.10, 8, service="exponential")
+    event("event_hotspot", GreedyArrayRouter(m5),
+          HotSpotDestinations(25, hot_node=12, h=0.3), 0.08, 9,
+          track_maxima=True)
+    event("event_randomized", RandomizedGreedyArrayRouter(m5),
+          UniformDestinations(25), 0.10, 10)
+    event("event_torus", GreedyTorusRouter(t5),
+          UniformDestinations(25), 0.15, 11)
+    event("event_transpose", GreedyArrayRouter(m4),
+          PermutationDestinations.transpose(m4), 0.10, 13)
+    event("event_geometric", GreedyArrayRouter(m4),
+          GeometricStopDestinations(m4, stop=0.5), 0.20, 16)
+
+    slotted("slotted_uniform", GreedyArrayRouter(m5),
+            UniformDestinations(25), 0.10, 11)
+    slotted("slotted_hotspot", GreedyArrayRouter(m5),
+            HotSpotDestinations(25, hot_node=12, h=0.3), 0.07, 12)
+    slotted("slotted_transpose", GreedyArrayRouter(m4),
+            PermutationDestinations.transpose(m4), 0.10, 14)
+    slotted("slotted_geometric", GreedyArrayRouter(m4),
+            GeometricStopDestinations(m4, stop=0.5), 0.15, 15)
+    slotted("slotted_randomized", RandomizedGreedyArrayRouter(m5),
+            UniformDestinations(25), 0.09, 17)
+
+    # Bookkeeping branches the uniform cells never touch: saturated-mask
+    # accounting, utilization accumulation (three inlined sites in the
+    # merge loop), and per-edge deterministic service (the heap loop's
+    # fast_service path).
+    e5 = m5.num_edges
+    event("event_sat_util", GreedyArrayRouter(m5),
+          UniformDestinations(25), 0.12, 18,
+          saturated_mask=sat_mask(e5), track_utilization=True,
+          track_maxima=True)
+    event("event_peredge_service", GreedyArrayRouter(m5),
+          UniformDestinations(25), 0.12, 19,
+          service_rates=per_edge_rates(e5))
+    event("event_exp_util", GreedyArrayRouter(m5),
+          UniformDestinations(25), 0.10, 20,
+          service="exponential", track_utilization=True,
+          saturated_mask=sat_mask(e5))
+    slotted("slotted_sat", GreedyArrayRouter(m5),
+            UniformDestinations(25), 0.10, 21,
+            saturated_mask=sat_mask(e5))
+    return cases
+
+
+if __name__ == "__main__":
+    cases = build_cases()
+    with open(OUT, "w") as fh:
+        json.dump(cases, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(cases)} golden cells to {OUT}")

@@ -1,0 +1,162 @@
+"""Golden-result regression tests: same-seed bit-identity of both engines.
+
+The fixtures in ``tests/golden/engine_results.json`` were generated from
+the *pre-path-cache* engines (see ``tests/golden/regen.py``). Every cell
+must reproduce them exactly — not approximately — on the current engines:
+the path-cache arena, the monotone-merge event loop, the vectorized slot
+kernels and any future hot-path work are only admissible if the RNG draw
+order, event ordering and floating-point accumulation order all stay
+observably unchanged. A single ulp of drift fails these tests.
+"""
+
+import json
+import math
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "golden"))
+from regen import FLOAT_FIELDS, build_cases  # noqa: E402
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "engine_results.json")
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    """All golden cells re-simulated on the current engines."""
+    return build_cases()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _cell_names():
+    with open(GOLDEN_PATH) as fh:
+        return sorted(json.load(fh))
+
+
+@pytest.mark.parametrize("name", _cell_names())
+def test_cell_bit_identical(name, golden, fresh):
+    """Every recorded field matches exactly (ints, float bit patterns, and
+    the utilization checksum where tracked)."""
+    want, got = golden[name], fresh[name]
+    assert set(got) == set(want), f"{name}: recorded field set changed"
+    for field, w in want.items():
+        assert got[field] == w, (
+            f"{name}.{field}: expected {w}, got {got[field]} "
+            f"(bit-level drift)"
+        )
+
+
+def test_fixture_covers_both_engines_on_uniform_and_hotspot(golden):
+    """The acceptance scenarios are pinned for both engines."""
+    names = set(golden)
+    for required in (
+        "event_uniform_det",
+        "event_hotspot",
+        "slotted_uniform",
+        "slotted_hotspot",
+    ):
+        assert required in names
+
+
+def test_fixture_floats_are_exact_hex(golden):
+    """Fixtures store float bit patterns, not decimal approximations."""
+    for name, fields in golden.items():
+        for field in FLOAT_FIELDS:
+            v = fields[field]
+            if v != "nan":
+                assert float.fromhex(v) == float.fromhex(v)  # parses
+                assert "0x" in v
+
+
+def test_cached_and_uncached_engines_agree():
+    """use_path_cache=False replays the pre-cache per-packet rebuild and
+    must produce the exact same trajectory."""
+    from repro.routing.destinations import HotSpotDestinations
+    from repro.routing.greedy import GreedyArrayRouter
+    from repro.sim.fifo_network import NetworkSimulation
+    from repro.topology.array_mesh import ArrayMesh
+
+    mesh = ArrayMesh(4)
+    router = GreedyArrayRouter(mesh)
+    dests = HotSpotDestinations(16, hot_node=5, h=0.3)
+    runs = [
+        NetworkSimulation(
+            router, dests, 0.1, seed=3, use_path_cache=flag
+        ).run(10, 120, track_maxima=True)
+        for flag in (True, False)
+    ]
+    a, b = runs
+    for field in ("generated", "completed", "zero_hop", "mean_number",
+                  "mean_remaining", "mean_delay", "delay_half_width",
+                  "max_delay", "max_queue_length"):
+        va, vb = getattr(a, field), getattr(b, field)
+        assert va == vb or (math.isnan(va) and math.isnan(vb)), field
+
+
+def test_shared_cache_state_does_not_leak_into_results():
+    """A warm shared cache (replication pattern) changes nothing."""
+    from repro.routing.destinations import UniformDestinations
+    from repro.routing.greedy import GreedyArrayRouter
+    from repro.routing.pathcache import path_cache_for
+    from repro.sim.fifo_network import NetworkSimulation
+    from repro.sim.slotted import SlottedNetworkSimulation
+    from repro.topology.array_mesh import ArrayMesh
+
+    mesh = ArrayMesh(4)
+    router = GreedyArrayRouter(mesh)
+    dests = UniformDestinations(16)
+    shared = path_cache_for(router)
+    # Warm the cache with a different seed first.
+    NetworkSimulation(router, dests, 0.2, seed=99, path_cache=shared).run(5, 60)
+    warm = NetworkSimulation(
+        router, dests, 0.2, seed=5, path_cache=shared
+    ).run(5, 60)
+    cold = NetworkSimulation(router, dests, 0.2, seed=5).run(5, 60)
+    assert warm.mean_delay == cold.mean_delay
+    assert warm.mean_number == cold.mean_number
+
+    SlottedNetworkSimulation(
+        router, dests, 0.2, seed=99, path_cache=shared
+    ).run(5, 60)
+    warm_s = SlottedNetworkSimulation(
+        router, dests, 0.2, seed=5, path_cache=shared
+    ).run(5, 60)
+    cold_s = SlottedNetworkSimulation(router, dests, 0.2, seed=5).run(5, 60)
+    assert warm_s.mean_delay == cold_s.mean_delay
+    assert warm_s.mean_number == cold_s.mean_number
+
+
+def test_merge_loop_matches_heap_loop_exactly():
+    """The monotone-merge event loop is a pure data-structure swap: forcing
+    the same workload through the heap loop reproduces every statistic
+    bit-for-bit (same events, same order, same arithmetic)."""
+    from repro.routing.destinations import UniformDestinations
+    from repro.routing.greedy import GreedyArrayRouter
+    from repro.sim.fifo_network import NetworkSimulation
+    from repro.topology.array_mesh import ArrayMesh
+
+    mesh = ArrayMesh(4)
+    router = GreedyArrayRouter(mesh)
+    dests = UniformDestinations(16)
+
+    merge = NetworkSimulation(router, dests, 0.25, seed=11)
+    assert merge._uniform_service
+    res_merge = merge.run(10, 150, track_maxima=True, collect_delays=True)
+
+    heap = NetworkSimulation(router, dests, 0.25, seed=11)
+    heap._uniform_service = False  # force the general heap loop
+    res_heap = heap.run(10, 150, track_maxima=True, collect_delays=True)
+
+    assert res_merge.mean_number == res_heap.mean_number
+    assert res_merge.mean_remaining == res_heap.mean_remaining
+    assert res_merge.mean_delay == res_heap.mean_delay
+    assert res_merge.delay_half_width == res_heap.delay_half_width
+    assert res_merge.max_delay == res_heap.max_delay
+    assert res_merge.max_queue_length == res_heap.max_queue_length
+    assert res_merge.delays.tolist() == res_heap.delays.tolist()
