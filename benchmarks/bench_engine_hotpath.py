@@ -1,5 +1,5 @@
-"""Hot-path throughput benchmarks: event + slotted engines, cached vs
-uncached, 8x8 and 32x32 meshes.
+"""Hot-path throughput benchmarks: all four engines (event, slotted,
+rushed, PS), cached vs uncached, calendar queue vs heap, 8x8-32x32 meshes.
 
 ``scripts/check.sh`` runs this file with ``--benchmark-json`` so the
 engine throughput trajectory is recorded across PRs
@@ -25,6 +25,16 @@ The acceptance target for this PR was >= 2x packet throughput on the
 soft 1.5x floor so a noisy or slower machine does not fail the gate
 spuriously — absolute cross-machine comparisons belong to the warn-only
 perf gate, not to hard asserts.
+
+PR 3 added the remaining engines and the stochastic-service structural
+work: the exponential 32x32 cell on both event queues (calendar vs
+heap; parity within this container's noise band, interleaved best-of
+runs put the calendar at ~0.98-1.05x — the structure targets larger
+networks where heap depth grows), the ported rushed engine (16x16,
+~1.25-1.45x its pre-port baseline via the merge loop + arena + blocked
+draws) and the ported PS engine (8x8; PS keeps its O(k)-per-event
+re-linearisation, so the port is about shared architecture and
+validation parity, not throughput).
 """
 
 import time
@@ -34,6 +44,8 @@ from repro.routing.destinations import UniformDestinations
 from repro.routing.greedy import GreedyArrayRouter
 from repro.routing.pathcache import path_cache_for
 from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.ps_network import PSNetworkSimulation
+from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
 from repro.topology.array_mesh import ArrayMesh
 
@@ -42,6 +54,13 @@ RHO = 0.8
 
 PRE_PR_EVENT = {8: 69_575.0, 32: 18_961.0}
 PRE_PR_SLOTTED = {8: 118_042.0, 32: 36_289.0}
+# PR-3 baselines, same protocol (packets/s, best of 3, this container,
+# commit b06dc10 — the engines before the PR-3 port): the heap-loop
+# exponential cell, plus the pre-port rushed (16x16) and PS (8x8)
+# engines (per-packet path rebuild, scalar RNG draws).
+PRE_PR_EVENT_EXP_32 = 16_399.0
+PRE_PR_RUSHED_16 = 36_411.0
+PRE_PR_PS_8 = 34_545.0
 
 
 def _event_cell(n, *, seed=3, **kwargs):
@@ -146,6 +165,53 @@ def test_event_32x32_cached_beats_uncached(once, benchmark):
     t_cached, t_uncached = once(both)
     benchmark.extra_info["cached_over_uncached"] = round(t_uncached / t_cached, 3)
     assert t_cached < t_uncached * 1.05  # cache never loses
+
+
+def test_event_32x32_exponential_calendar(best_of, benchmark):
+    """The stochastic-service loop on the calendar queue (the default)."""
+    sim = _event_cell(32, service="exponential")
+    res = best_of(sim.run, WARMUP, HORIZON)
+    _record(benchmark, res, PRE_PR_EVENT_EXP_32)
+    assert res.generated > 10_000
+
+
+def test_event_32x32_exponential_heap(best_of, benchmark):
+    """The same cell on the binary heap, for the structural contrast."""
+    sim = _event_cell(32, service="exponential", event_queue="heap")
+    res = best_of(sim.run, WARMUP, HORIZON)
+    _record(benchmark, res, PRE_PR_EVENT_EXP_32)
+    assert res.generated > 10_000
+
+
+def test_rushed_16x16(best_of, benchmark):
+    """The PR-3-ported rushed engine (Theorem 10 copies) on its
+    monotone-merge loop with the shared path-cache arena."""
+    mesh = ArrayMesh(16)
+    sim = RushedNetworkSimulation(
+        GreedyArrayRouter(mesh),
+        UniformDestinations(mesh.num_nodes),
+        lambda_for_load(16, RHO, "table1"),
+        seed=3,
+    )
+    res = best_of(sim.run, WARMUP, HORIZON)
+    _record(benchmark, res, PRE_PR_RUSHED_16)
+    assert res.generated > 3000
+    assert res.generated == res.completed
+
+
+def test_ps_8x8(best_of, benchmark):
+    """The PR-3-ported PS engine (arena-backed records, cached paths)."""
+    mesh = ArrayMesh(8)
+    sim = PSNetworkSimulation(
+        GreedyArrayRouter(mesh),
+        UniformDestinations(mesh.num_nodes),
+        lambda_for_load(8, RHO, "table1"),
+        seed=3,
+    )
+    res = best_of(sim.run, WARMUP, HORIZON)
+    _record(benchmark, res, PRE_PR_PS_8)
+    assert res.generated > 2000
+    assert res.generated == res.completed
 
 
 def test_slotted_8x8(best_of, benchmark):

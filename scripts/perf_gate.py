@@ -40,6 +40,15 @@ def main(argv: list[str]) -> int:
     except (OSError, ValueError, KeyError) as exc:
         print(f"perf_gate: cannot compare ({exc}); skipping")
         return 0
+    # A benchmark present in the baseline but absent from the fresh run
+    # would otherwise be silently skipped — a benchmark that stops
+    # running must look like a warning, not a pass.
+    missing = sorted(set(baseline) - set(fresh))
+    for name in missing:
+        print(
+            f"perf_gate WARNING: baseline benchmark {name} missing from "
+            f"the fresh run (removed, renamed, or no longer collected?)"
+        )
     shared = sorted(set(baseline) & set(fresh))
     if not shared:
         print("perf_gate: no common benchmarks; skipping")
@@ -54,9 +63,10 @@ def main(argv: list[str]) -> int:
                 f"{(f / b - 1.0) * 100:.0f}% ({b * 1e3:.1f}ms -> {f * 1e3:.1f}ms)"
             )
     if not regressed:
+        tail = f" ({len(missing)} baseline benchmark(s) missing)" if missing else ""
         print(
             f"perf_gate: {len(shared)} benchmarks within "
-            f"{threshold:.0%} of the committed baseline"
+            f"{threshold:.0%} of the committed baseline{tail}"
         )
     return 0  # warn-only by design
 

@@ -8,7 +8,7 @@ mixture of two such functions for the Section 6 randomized scheme — so the
 work is memoizable. This module provides that memo as a *flat shared
 arena*:
 
-* :class:`PathArena` — an append-only flat edge-id store. Both engines
+* :class:`PathArena` — an append-only flat edge-id store. The engines
   bind the plain Python list mirror (:attr:`PathArena.edges`), where list
   indexing beats NumPy scalar indexing by an order of magnitude; the
   ``int32`` snapshot (:meth:`PathArena.as_array`) is the export for
@@ -26,6 +26,12 @@ arena*:
   :class:`MeshLegCache`) instead of re-walking the direction grids for
   both orders. The per-packet coin is the same single ``rng.random()``
   draw the uncached router makes, so same-seed runs are bit-identical.
+* Specialised miss-path builders for every shipped deterministic
+  topology: the torus and k-d arrays compose paths from memoized
+  single-axis legs (:class:`TorusLegCache`, :class:`KDLegCache`), and
+  the hypercube and butterfly use closed-form edge-id arithmetic — so a
+  cache miss never falls back to the generic hop-by-hop ``router.path``
+  walk on those networks.
 * :class:`SampledPathInterner` — the no-memo fallback for routers the
   cache layer does not recognise (and the ``use_path_cache=False``
   baseline): it rebuilds the sampled path per packet, exactly like the
@@ -53,7 +59,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.routing.base import BaseRouter, Router
+from repro.routing.butterfly_routing import ButterflyRouter
+from repro.routing.greedy import GreedyKDRouter
+from repro.routing.hypercube_greedy import GreedyHypercubeRouter
 from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
+from repro.routing.torus_greedy import GreedyTorusRouter
 
 #: Below this many nodes a cache also maintains dense ``n*n`` offset and
 #: length arrays (1 MiB at the limit), enabling single-gather batch
@@ -193,8 +203,14 @@ class PathCache:
             keys = srcs * self.num_nodes + dsts
             offs = self._dense_off[keys]
             if (offs < 0).any():
+                table = self.table
+                n = self.num_nodes
                 for s, d in zip(srcs[offs < 0].tolist(), dsts[offs < 0].tolist()):
-                    self.ensure(s, d)
+                    # Re-check per pair: a batch may repeat a missing
+                    # pair, and a duplicate ensure() would append a dead
+                    # copy of the path to the append-only shared arena.
+                    if s * n + d not in table:
+                        self.ensure(s, d)
                 offs = self._dense_off[keys]
             return offs, self._dense_len[keys]
         offs = np.empty(srcs.size, dtype=np.int64)
@@ -351,6 +367,209 @@ class RandomizedGreedyPathCache:
         return self.row_first.path(src, dst)
 
 
+class TorusLegCache:
+    """Memoized wraparound row/column legs of greedy torus walks.
+
+    Same idea as :class:`MeshLegCache`: a greedy torus path is one
+    horizontal leg plus one vertical leg, and ``n^3`` legs cover all
+    pairs of either dimension order, so the legs are the right memo
+    granularity. Legs are built once via the torus router's own
+    ``_leg`` walk (shorter-way-around with the deterministic tie rule).
+    """
+
+    def __init__(self, torus_router: GreedyTorusRouter) -> None:
+        self._router = torus_router
+        self._rows: dict[tuple[int, int, int], list[int]] = {}
+        self._cols: dict[tuple[int, int, int], list[int]] = {}
+
+    def row_leg(self, i: int, j1: int, j2: int) -> list[int]:
+        """Edges along row ``i`` from column ``j1`` to ``j2`` (memoized)."""
+        key = (i, j1, j2)
+        leg = self._rows.get(key)
+        if leg is None:
+            leg, _, _ = self._router._leg(i, j1, j2, horizontal=True)
+            self._rows[key] = leg
+        return leg
+
+    def col_leg(self, i1: int, i2: int, j: int) -> list[int]:
+        """Edges along column ``j`` from row ``i1`` to ``i2`` (memoized)."""
+        key = (i1, i2, j)
+        leg = self._cols.get(key)
+        if leg is None:
+            leg, _, _ = self._router._leg(i1, j, i2, horizontal=False)
+            self._cols[key] = leg
+        return leg
+
+
+def _torus_builder(router: GreedyTorusRouter):
+    """Leg-composed builder reproducing ``GreedyTorusRouter.path`` exactly."""
+    legs = TorusLegCache(router)
+    coords = router.torus.node_coords
+    column_first = router.column_first
+    row_leg, col_leg = legs.row_leg, legs.col_leg
+
+    def build_torus_path(src: int, dst: int) -> list[int]:
+        if src == dst:
+            return []
+        i1, j1 = coords(src)
+        i2, j2 = coords(dst)
+        if column_first:
+            first = col_leg(i1, i2, j1) if i1 != i2 else []
+            second = row_leg(i2, j1, j2) if j1 != j2 else []
+        else:
+            first = row_leg(i1, j1, j2) if j1 != j2 else []
+            second = col_leg(i1, i2, j2) if i1 != i2 else []
+        return first + second
+
+    return build_torus_path
+
+
+def _hypercube_builder(router: GreedyHypercubeRouter):
+    """Closed-form builder for the canonical-order hypercube walk.
+
+    Dimension ``k``'s edge block starts at ``k * 2^d`` and the edge out
+    of node ``v`` sits at offset ``v``, so the whole path is integer
+    arithmetic — no per-hop method calls or range checks (the cache only
+    ever asks for valid node ids).
+    """
+    n = int(router.cube.num_nodes)
+
+    def build_hypercube_path(src: int, dst: int) -> list[int]:
+        at = int(src)
+        diff = at ^ int(dst)
+        out: list[int] = []
+        base = 0
+        bit = 1
+        while diff:
+            if diff & 1:
+                out.append(base + at)
+                at ^= bit
+            diff >>= 1
+            base += n
+            bit <<= 1
+        return out
+
+    return build_hypercube_path
+
+
+def _butterfly_builder(router: ButterflyRouter):
+    """Level-composed builder for the unique butterfly path.
+
+    Per level the two candidate edges are ``base + row`` (straight) and
+    ``base + rows + row`` (cross) with ``base = level * 2 * rows``; the
+    builder walks the row bits directly. Invalid (non input-to-output)
+    pairs still raise ``ValueError`` via ``node_coords``-style checks,
+    matching the router's contract.
+    """
+    b = router.butterfly
+    rows = b.rows
+    d = b.d
+    node_coords = b.node_coords
+
+    def build_butterfly_path(src: int, dst: int) -> list[int]:
+        level_s, row = node_coords(src)
+        level_d, row_d = node_coords(dst)
+        if level_s != 0:
+            raise ValueError(
+                f"butterfly sources must be level-0 nodes, got level {level_s}"
+            )
+        if level_d != d:
+            raise ValueError(
+                f"butterfly destinations must be level-{d} nodes, got level {level_d}"
+            )
+        out: list[int] = []
+        need = row ^ row_d
+        base = 0
+        bit = 1
+        for _level in range(d):
+            if need & bit:
+                out.append(base + rows + row)
+                row ^= bit
+            else:
+                out.append(base + row)
+            base += 2 * rows
+            bit <<= 1
+        return out
+
+    return build_butterfly_path
+
+
+class KDLegCache:
+    """Memoized single-axis legs of dimension-order walks on a k-d array.
+
+    A leg is the edge run correcting one axis from one node; it is keyed
+    by ``(start node, axis, target coordinate)`` and shared by every
+    ``(src, dst)`` pair whose walk passes through that node with that
+    correction — the k-d analogue of the mesh/torus row-column legs.
+    """
+
+    def __init__(self, array) -> None:
+        self._array = array
+        self._legs: dict[tuple[int, int, int], tuple[list[int], int]] = {}
+
+    def leg(self, at: int, axis: int, cur: int, target: int) -> tuple[list[int], int]:
+        """Edges correcting ``axis`` from ``cur`` to ``target`` starting at
+        node ``at``; returns ``(edges, end_node)`` (memoized)."""
+        key = (at, axis, target)
+        hit = self._legs.get(key)
+        if hit is not None:
+            return hit
+        array = self._array
+        step = array.strides[axis]
+        edges: list[int] = []
+        node = at
+        while cur < target:
+            nxt = node + step
+            edges.append(array.edge_id(node, nxt))
+            node = nxt
+            cur += 1
+        while cur > target:
+            nxt = node - step
+            edges.append(array.edge_id(node, nxt))
+            node = nxt
+            cur -= 1
+        self._legs[key] = (edges, node)
+        return edges, node
+
+
+def _kd_builder(router: GreedyKDRouter):
+    """Leg-composed builder reproducing ``GreedyKDRouter.path`` exactly."""
+    legs = KDLegCache(router.array)
+    node_coords = router.array.node_coords
+    order = router.dimension_order
+    leg = legs.leg
+
+    def build_kd_path(src: int, dst: int) -> list[int]:
+        if src == dst:
+            return []
+        coord = node_coords(src)
+        target = node_coords(dst)
+        at = src
+        out: list[int] = []
+        for axis in order:
+            c, g = coord[axis], target[axis]
+            if c != g:
+                edges, at = leg(at, axis, c, g)
+                out.extend(edges)
+        return out
+
+    return build_kd_path
+
+
+def _deterministic_builder(router: Router):
+    """The specialised (leg-composed / closed-form) builder for ``router``,
+    or ``None`` when only the generic ``router.path`` is available."""
+    if isinstance(router, GreedyTorusRouter):
+        return _torus_builder(router)
+    if isinstance(router, GreedyHypercubeRouter):
+        return _hypercube_builder(router)
+    if isinstance(router, ButterflyRouter):
+        return _butterfly_builder(router)
+    if isinstance(router, GreedyKDRouter):
+        return _kd_builder(router)
+    return None
+
+
 class SampledPathInterner:
     """Uncached adapter: per-packet rebuild, arena-interned records.
 
@@ -400,14 +619,46 @@ def path_cache_for(
     """Build the right cache flavour for ``router``.
 
     Deterministic routers (any :class:`BaseRouter` subclass that does not
-    override ``sample_path``) get a :class:`PathCache`; the randomized
-    greedy scheme gets its cached-leg :class:`RandomizedGreedyPathCache`;
-    anything else falls back to the :class:`SampledPathInterner`, which
-    preserves pre-cache behaviour exactly.
+    override ``sample_path``) get a :class:`PathCache` — with a
+    specialised miss-path builder where one exists (leg-composed for the
+    torus and k-d arrays, closed-form for the hypercube and butterfly;
+    the mesh routers' per-direction grid walk is already leg-shaped).
+    The randomized greedy scheme gets its cached-leg
+    :class:`RandomizedGreedyPathCache`; anything else falls back to the
+    :class:`SampledPathInterner`, which preserves pre-cache behaviour
+    exactly.
     """
     if isinstance(router, RandomizedGreedyArrayRouter):
         return RandomizedGreedyPathCache(router, arena=arena)
     sample = getattr(type(router), "sample_path", None)
     if isinstance(router, BaseRouter) and sample is BaseRouter.sample_path:
-        return PathCache(router, arena=arena, precompute=precompute)
+        return PathCache(
+            router,
+            arena=arena,
+            builder=_deterministic_builder(router),
+            precompute=precompute,
+        )
     return SampledPathInterner(router, arena=arena)
+
+
+def resolve_path_cache(router: Router, *, path_cache=None, use_path_cache=True):
+    """Resolve an engine's path cache — the one constructor policy all four
+    simulators share.
+
+    An externally supplied ``path_cache`` must have been built for this
+    very ``router`` *instance*: an equal-sized topology is not enough,
+    since a cache built for a different scheme (say the column-first
+    mesh order) would silently simulate the wrong routing. Otherwise
+    build the right flavour via :func:`path_cache_for`, or the
+    per-packet :class:`SampledPathInterner` when caching is disabled.
+    """
+    if path_cache is not None:
+        if path_cache.router is not router:
+            raise ValueError(
+                "path_cache was built for a different router instance; "
+                "share the router object along with its cache"
+            )
+        return path_cache
+    if use_path_cache:
+        return path_cache_for(router)
+    return SampledPathInterner(router)

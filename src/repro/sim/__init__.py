@@ -43,7 +43,7 @@ hot-spot, transpose, bit-reversal, distance-biased and torus workloads.
 
 Hot-path architecture
 ---------------------
-The per-packet work of both engines is built around three ideas:
+The per-packet work of all four engines is built around four ideas:
 
 **Shared path-cache arena** (:mod:`repro.routing.pathcache`). Paths are
 memoized once per ``(src, dst)`` pair into one flat append-only edge-id
@@ -59,9 +59,30 @@ grow and never influence outputs, so the replication engine shares one
 ``(network, cache)`` per cell across all of the cell's seeded
 replications (per worker process) instead of rebuilding per task.
 
+All four simulators resolve paths through one cache built by
+``path_cache_for`` — which now has a specialised miss-path builder for
+every shipped deterministic topology (leg-composed for mesh, torus and
+k-d arrays; closed-form for hypercube and butterfly) — so no engine and
+no topology falls back to per-packet path building unless explicitly
+asked to (``use_path_cache=False``).
+
+**Monotone merge where service is uniform deterministic; a calendar
+queue where it is not.** With one deterministic service time everywhere
+(the standard model), departures are pushed in nondecreasing time
+order, so the event engine and the rushed engine replace the priority
+queue with an O(1) merge of a departure deque and the pending arrival.
+The stochastic-service cases (exponential service, per-edge rates)
+run on a pluggable event queue (:mod:`repro.sim.eventqueue`): a
+*calendar queue* — a bucketed event list whose buckets are sorted once
+on activation, with a small day-heap skipping empty buckets — or the
+classic binary heap. Both pop the exact ``(time, seq)`` order, so the
+choice is benchmarkable without touching the contract. PS keeps its
+versioned heap (completions are re-planned on every queue change; no
+monotone structure exists to exploit).
+
 **Blocked and batched draws.** NumPy ``Generator`` array fills are
 stream-identical to the same number of consecutive scalar draws of the
-same kind. Both engines exploit that: the event engine consumes
+same kind. The engines exploit that: the event engine consumes
 exponential gaps and uniform id pairs from 8192-size blocks (ids refill
 exactly when all ``2 * 8192`` are consumed); the slotted engine samples a
 whole slot's sources/destinations/path views with single vectorized calls

@@ -1,0 +1,158 @@
+"""Event-queue structures for the simulators' stochastic-service loops.
+
+The monotone-merge loop (uniform deterministic service) removed the heap
+from the engines' common case, but exponential and per-edge deterministic
+service still need a priority queue: departure times are not monotone in
+push order. This module provides that queue's first structural
+alternative to ``heapq`` — a *calendar queue* (bucketed event list) — plus
+a thin ``heapq`` adapter so the engines can select either behind one
+``push``/``pop`` interface.
+
+Bit-identity contract
+---------------------
+Both queues pop events in the exact total order ``heapq`` would: event
+tuples start with ``(time, seq)`` and ``seq`` is unique per run, so the
+tuple order is total and no comparison ever reaches the payload. The
+calendar queue preserves that order structurally — events are bucketed by
+``floor(time / width)`` (bucket time ranges are disjoint, so all events of
+an earlier bucket precede all events of a later one) and each bucket is
+sorted on activation, with same-bucket pushes merged in by ``insort``.
+Golden fixtures for the exponential and per-edge service cells therefore
+pin the calendar loop exactly as they pinned the heap loop.
+
+Why a calendar queue: ``heapq`` costs O(log n) comparisons per push *and*
+per pop on one global heap. The calendar queue does an O(1) list append
+per push into a future bucket, pays one C-speed sort per bucket on
+activation (timsort over a short, mostly-ordered run), and pops by index.
+A day heap (a small heap of active bucket indices) skips empty buckets,
+so sparse schedules cost nothing to traverse.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+
+
+class HeapEventQueue:
+    """``heapq`` behind the shared push/pop interface (the baseline)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list = []
+
+    def push(self, item) -> None:
+        heapq.heappush(self._heap, item)
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class CalendarQueue:
+    """Bucketed event list with ``heapq``-identical pop order.
+
+    Parameters
+    ----------
+    width:
+        Bucket width in simulation time. The engines pass one mean
+        arrival gap (``1 / total arrival rate``), so a bucket holds
+        roughly one route's worth of departure events. Correctness does
+        not depend on the choice — only the append/sort balance does.
+
+    Notes
+    -----
+    Items must be tuples ordered by their first two fields ``(time,
+    seq)`` with ``seq`` unique, times non-negative, and — as in every
+    discrete-event loop — no push may carry a time earlier than the last
+    pop. A defensive early-item heap keeps even that violation exact
+    rather than silently misordered.
+    """
+
+    __slots__ = ("_width", "_map", "_days", "_count", "_active_day", "_active", "_ai", "_early")
+
+    def __init__(self, width: float) -> None:
+        if not width > 0:
+            raise ValueError(f"bucket width must be > 0, got {width}")
+        self._width = float(width)
+        self._map: dict[int, list] = {}
+        self._days: list[int] = []  # min-heap of bucket indices in _map
+        self._count = 0
+        self._active_day: int | None = None
+        self._active: list = []
+        self._ai = 0  # pop cursor into the sorted active bucket
+        self._early: list = []  # defensive: pushes behind the active day
+
+    def push(self, item) -> None:
+        day = int(item[0] / self._width)
+        active_day = self._active_day
+        if active_day is not None and day <= active_day:
+            if day == active_day:
+                # Same-bucket push during processing: merge into the
+                # sorted remainder (never before the pop cursor — event
+                # times are nondecreasing, ties ordered by the fresh seq).
+                insort(self._active, item, lo=self._ai)
+            else:
+                heapq.heappush(self._early, item)
+        else:
+            lst = self._map.get(day)
+            if lst is None:
+                self._map[day] = [item]
+                heapq.heappush(self._days, day)
+            else:
+                lst.append(item)
+        self._count += 1
+
+    def pop(self):
+        if not self._count:
+            raise IndexError("pop from an empty CalendarQueue")
+        if self._ai >= len(self._active):
+            if not self._days:
+                # Only defensively-queued early items remain.
+                self._count -= 1
+                return heapq.heappop(self._early)
+            # Activate the next non-empty bucket.
+            day = heapq.heappop(self._days)
+            bucket = self._map.pop(day)
+            bucket.sort()
+            self._active = bucket
+            self._ai = 0
+            self._active_day = day
+        if self._early and self._early[0] < self._active[self._ai]:
+            self._count -= 1
+            return heapq.heappop(self._early)
+        item = self._active[self._ai]
+        self._ai += 1
+        self._count -= 1
+        if self._ai >= len(self._active):
+            # Bucket exhausted: drop the references now (the list may be
+            # large) but keep _active_day so same-day pushes stay exact.
+            self._active = []
+            self._ai = 0
+        return item
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+
+#: Engine constructor vocabulary for selecting the stochastic-service
+#: event queue (the uniform-deterministic merge loop bypasses both).
+CALENDAR, HEAP = "calendar", "heap"
+
+
+def make_event_queue(kind: str, *, width: float):
+    """Build the requested queue; ``width`` only matters for the calendar."""
+    if kind == CALENDAR:
+        return CalendarQueue(width)
+    if kind == HEAP:
+        return HeapEventQueue()
+    raise ValueError(f"event_queue must be '{CALENDAR}' or '{HEAP}', got {kind!r}")

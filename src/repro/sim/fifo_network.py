@@ -14,8 +14,11 @@ large-mesh statistics" as the risk):
   the binary heap degenerates into a *monotone merge* of two streams (a
   FIFO departure deque plus the single pending arrival) with the exact
   same ``(time, seq)`` pop order — O(1) per event instead of O(log n);
-* the general case (exponential or per-edge service times) keeps the
-  heap: one ``heappop`` per event, with the arrival sentinel merged in;
+* the general case (exponential or per-edge service times) runs on a
+  pluggable event queue (:mod:`repro.sim.eventqueue`): a calendar queue
+  (bucketed event list, the default) or the classic binary heap, both
+  popping the exact same ``(time, seq)`` order, with the arrival
+  sentinel merged in;
 * external arrivals use a *merged* Poisson stream — one exponential gap at
   rate ``sum of node rates`` with the source drawn per packet — which is
   distributionally identical to independent per-node streams and avoids
@@ -38,7 +41,6 @@ per-packet delays are never censored.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Sequence
 
@@ -46,7 +48,8 @@ import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution, UniformDestinations
-from repro.routing.pathcache import SampledPathInterner, path_cache_for
+from repro.routing.pathcache import resolve_path_cache
+from repro.sim.eventqueue import CALENDAR, HEAP, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_node_rates, check_positive, pinned_cdf
@@ -94,7 +97,16 @@ class NetworkSimulation:
         An externally built cache (see
         :func:`repro.routing.pathcache.path_cache_for`) to share across
         runs — e.g. one cache for all replications of a cell. Must have
-        been built for an identical topology.
+        been built for this very ``router`` instance (an equal-sized
+        topology under a different scheme would silently route wrong).
+    event_queue:
+        Event-queue structure for the stochastic-service loop
+        (exponential or per-edge deterministic service):
+        ``"calendar"`` (bucketed event list, the default) or ``"heap"``
+        (binary heap). Both pop the identical ``(time, seq)`` order, so
+        outputs are bit-identical either way — this exists for
+        benchmarking the calendar queue. The uniform-deterministic
+        merge loop bypasses both.
     """
 
     def __init__(
@@ -110,11 +122,17 @@ class NetworkSimulation:
         seed: int = 0,
         use_path_cache: bool = True,
         path_cache=None,
+        event_queue: str = CALENDAR,
     ) -> None:
         if service not in (DETERMINISTIC, EXPONENTIAL):
             raise ValueError(
                 f"service must be '{DETERMINISTIC}' or '{EXPONENTIAL}', got {service!r}"
             )
+        if event_queue not in (CALENDAR, HEAP):
+            raise ValueError(
+                f"event_queue must be '{CALENDAR}' or '{HEAP}', got {event_queue!r}"
+            )
+        self.event_queue = event_queue
         self.router = router
         self.topology = router.topology
         self.destinations = destinations
@@ -183,19 +201,9 @@ class NetworkSimulation:
             and sorted(self.source_nodes) == list(range(self.topology.num_nodes))
         )
 
-        if path_cache is not None:
-            if (
-                path_cache.topology.num_nodes != self.topology.num_nodes
-                or path_cache.topology.num_edges != self.topology.num_edges
-            ):
-                raise ValueError(
-                    "path_cache was built for an incompatible topology"
-                )
-            self.path_cache = path_cache
-        elif use_path_cache:
-            self.path_cache = path_cache_for(router)
-        else:
-            self.path_cache = SampledPathInterner(router)
+        self.path_cache = resolve_path_cache(
+            router, path_cache=path_cache, use_path_cache=use_path_cache
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -263,9 +271,6 @@ class NetworkSimulation:
             det_build = cache.ensure
             sample_offlen = None
 
-        heap: list = []
-        push = heapq.heappush
-        pop = heapq.heappop
         seq = 0
 
         # Block RNG: exponential(1) variates and uniform source/dest ids.
@@ -316,7 +321,7 @@ class NetworkSimulation:
         def start_service_heap(e: int, t: float, pkt: list) -> None:
             nonlocal seq
             s = service_sample(e)
-            push(heap, (t + s, seq, e, pkt))
+            pushe((t + s, seq, e, pkt))
             seq += 1
             if util is not None:
                 lo = t if t > warmup else warmup
@@ -687,15 +692,25 @@ class NetworkSimulation:
                     else:
                         busy[e] = 0
         else:
-            # --------------------- heap event loop ---------------------
+            # ------------------ event-queue loop ------------------
             # Exponential or per-edge deterministic service: departure
-            # times are not monotone, keep the binary heap with the
-            # arrival sentinel merged in.
-            push(heap, (first_gap, seq, -1, None))
+            # times are not monotone, so a priority queue orders them —
+            # the calendar queue by default, the binary heap on request
+            # (both pop the identical (time, seq) order), with the
+            # arrival sentinel merged in. The calendar bucket width is
+            # one mean arrival gap: the event rate is roughly the
+            # arrival rate times the mean hop count, so a bucket holds
+            # on the order of one route's worth of events — enough to
+            # amortise the day-heap traffic, small enough that the
+            # activation sort and same-bucket insorts stay cheap.
+            evq = make_event_queue(self.event_queue, width=gap_scale)
+            pushe = evq.push
+            pope = evq.pop
+            pushe((first_gap, seq, -1, None))
             seq += 1
             fast_service = not exponential and util is None
-            while heap:
-                t, _s, e, pkt = pop(heap)
+            while evq:
+                t, _s, e, pkt = pope()
                 if not maxima_seeded and t >= warmup:
                     maxima_seeded = True
                     for q in queues:
@@ -793,7 +808,7 @@ class NetworkSimulation:
                         else:
                             busy[f] = 1
                             if fast_service:
-                                push(heap, (t + st[f], seq, f, new_pkt))
+                                pushe((t + st[f], seq, f, new_pkt))
                                 seq += 1
                             else:
                                 start_service_heap(f, t, new_pkt)
@@ -801,7 +816,7 @@ class NetworkSimulation:
                     if exp_i >= BLK:
                         exp_block = rng.exponential(size=BLK)
                         exp_i = 0
-                    push(heap, (t + exp_block[exp_i] * gap_scale, seq, -1, None))
+                    pushe((t + exp_block[exp_i] * gap_scale, seq, -1, None))
                     exp_i += 1
                     seq += 1
                 else:
@@ -836,7 +851,7 @@ class NetworkSimulation:
                         else:
                             busy[f] = 1
                             if fast_service:
-                                push(heap, (t + st[f], seq, f, pkt))
+                                pushe((t + st[f], seq, f, pkt))
                                 seq += 1
                             else:
                                 start_service_heap(f, t, pkt)
@@ -844,7 +859,7 @@ class NetworkSimulation:
                     if q:
                         nxt = q.popleft()
                         if fast_service:
-                            push(heap, (t + st[e], seq, e, nxt))
+                            pushe((t + st[e], seq, e, nxt))
                             seq += 1
                         else:
                             start_service_heap(e, t, nxt)

@@ -17,7 +17,15 @@ version counter; arrival or departure at the queue re-linearises the drain
 and re-schedules the (single) next-completion event, bumping the version so
 stale heap entries are skipped on pop. Cost is O(k) per queue event, which
 is fine at the modest sizes the PS comparisons run at (its purpose is
-validation, not Table-scale statistics).
+validation, not Table-scale statistics). Because completions are
+re-planned (truly stochastic event times), this engine keeps its heap —
+the merge loop does not apply — but it shares the rest of the hot-path
+architecture: paths come from the shared :mod:`repro.routing.pathcache`
+arena, packet records store ``(arena_offset, length)`` views, and the
+source draw uses the pinned CDF with ``side='right'`` so a boundary draw
+can never select a zero-rate source. The per-packet RNG draw order is
+unchanged from the pre-cache engine, and the PS golden cells in
+``tests/golden/`` pin the outputs.
 """
 
 from __future__ import annotations
@@ -29,16 +37,18 @@ import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution
+from repro.routing.pathcache import resolve_path_cache
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_positive
+from repro.util.validation import check_node_rates, check_positive, pinned_cdf
 
 
 class PSNetworkSimulation:
     """Event-driven processor-sharing network simulation.
 
     Parameters mirror :class:`repro.sim.NetworkSimulation` (service is
-    always unit-work PS).
+    always unit-work PS; ``use_path_cache`` / ``path_cache`` control the
+    shared path-cache arena exactly as there).
     """
 
     def __init__(
@@ -50,6 +60,8 @@ class PSNetworkSimulation:
         service_rates: float | Sequence[float] = 1.0,
         source_nodes: Sequence[int] | None = None,
         seed: int = 0,
+        use_path_cache: bool = True,
+        path_cache=None,
     ) -> None:
         self.router = router
         self.topology = router.topology
@@ -70,17 +82,21 @@ class PSNetworkSimulation:
             if source_nodes is None
             else [int(s) for s in source_nodes]
         )
+        if not self.source_nodes:
+            raise ValueError("at least one source node is required")
         if np.isscalar(node_rate):
             check_positive(node_rate, "node_rate")
             self.node_rates = np.full(len(self.source_nodes), float(node_rate))
         else:
-            self.node_rates = np.asarray(node_rate, dtype=float)
-            if self.node_rates.shape != (len(self.source_nodes),):
-                raise ValueError("node_rate sequence must match source_nodes")
+            self.node_rates = check_node_rates(
+                node_rate, len(self.source_nodes), "node_rate"
+            )
         self.total_rate = float(self.node_rates.sum())
-        if self.total_rate <= 0:
-            raise ValueError("total arrival rate must be positive")
-        self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+        self._source_cdf = pinned_cdf(self.node_rates)
+
+        self.path_cache = resolve_path_cache(
+            router, path_cache=path_cache, use_path_cache=use_path_cache
+        )
 
     def run(
         self,
@@ -98,8 +114,21 @@ class PSNetworkSimulation:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
         rng = np.random.default_rng(self.seed)
         t_end = warmup + horizon
+        num_nodes = self.topology.num_nodes
         num_edges = self.topology.num_edges
         phi = self._phi
+
+        # Path cache bindings (see NetworkSimulation.run).
+        cache = self.path_cache
+        arena = cache.arena.edges  # extended in place; safe to bind once
+        if cache.consumes_rng:
+            det_get = None
+            det_build = None
+            sample_offlen = cache.sample_offlen
+        else:
+            det_get = cache.table.get
+            det_build = cache.ensure
+            sample_offlen = None
 
         # Per-queue PS state.
         works: list[list[float]] = [[] for _ in range(num_edges)]
@@ -111,6 +140,10 @@ class PSNetworkSimulation:
         seq = 0
         push = heapq.heappush
         pop = heapq.heappop
+        searchsorted = np.searchsorted
+        sources = self.source_nodes
+        source_cdf = self._source_cdf
+        dest_sample = self.destinations.sample
 
         in_system = 0
         remaining = 0
@@ -184,10 +217,13 @@ class PSNetworkSimulation:
                 # ----- external arrival -----
                 if draining:
                     continue
-                src = self.source_nodes[
-                    int(np.searchsorted(self._source_cdf, rng.random()))
+                # side="right" so a draw landing exactly on a CDF boundary
+                # (e.g. u = 0.0 with a leading zero-rate source) never
+                # selects a zero-rate source.
+                src = sources[
+                    int(searchsorted(source_cdf, rng.random(), side="right"))
                 ]
-                dst = self.destinations.sample(src, rng)
+                dst = dest_sample(src, rng)
                 measured = t >= warmup
                 if measured:
                     generated += 1
@@ -199,10 +235,18 @@ class PSNetworkSimulation:
                         if delays is not None:
                             delays.append(0.0)
                 else:
-                    path = self.router.sample_path(src, dst, rng)
+                    if det_get is not None:
+                        ol = det_get(src * num_nodes + dst)
+                        if ol is None:
+                            ol = det_build(src, dst)
+                        off, ln = ol
+                    else:
+                        off, ln = sample_offlen(src, dst, rng)
                     in_system += 1
-                    remaining += len(path)
-                    enqueue(path[0], t, [t, path, 0, measured])
+                    remaining += ln
+                    # packet record: [birth, arena offset, length, hops
+                    # done, measured]
+                    enqueue(arena[off], t, [t, off, ln, 0, measured])
                 push(heap, (t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))
                 seq += 1
             else:
@@ -216,18 +260,18 @@ class PSNetworkSimulation:
                 w.pop(idx)
                 pkt = pkts[e].pop(idx)
                 remaining -= 1
-                pkt[2] += 1
-                path = pkt[1]
-                if pkt[2] == len(path):
+                hop = pkt[3] + 1
+                pkt[3] = hop
+                if hop == pkt[2]:
                     in_system -= 1
-                    if pkt[3]:
+                    if pkt[4]:
                         completed += 1
                         d = t - pkt[0]
                         delay_acc.add(pkt[0], d)
                         if delays is not None:
                             delays.append(d)
                 else:
-                    enqueue(path[pkt[2]], t, pkt)
+                    enqueue(arena[pkt[1] + hop], t, pkt)
                 reschedule(e, t)
 
         if last_t < t_end:

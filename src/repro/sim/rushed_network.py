@@ -18,28 +18,42 @@ This simulator exists to verify those two analytic claims empirically:
 It also reports the "makespan" delay — the time until *all* copies of a
 packet are served — which lower-bounds the original packet's delay on
 matched sample paths (the rushed system is the faster one).
+
+The engine shares the hot-path architecture of
+:class:`repro.sim.NetworkSimulation` (see :mod:`repro.sim` docs): paths
+come from the shared :mod:`repro.routing.pathcache` arena and the packet
+record stores an ``(arena_offset, length)`` view; exponential gaps and
+uniform id pairs are drawn in 8192-size blocks; uniform deterministic
+service (the standard model) runs the monotone-merge event loop, and
+per-edge deterministic service runs on the pluggable event queue
+(calendar by default). The same-seed bit-identity contract applies: the
+rushed golden cells in ``tests/golden/`` pin this engine's outputs.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Sequence
 
 import numpy as np
 
 from repro.routing.base import Router
-from repro.routing.destinations import DestinationDistribution
+from repro.routing.destinations import DestinationDistribution, UniformDestinations
+from repro.routing.pathcache import resolve_path_cache
+from repro.sim.eventqueue import CALENDAR, HEAP, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_positive
+from repro.util.validation import check_node_rates, check_positive, pinned_cdf
+
+_BLOCK = 8192
 
 
 class RushedNetworkSimulation:
     """Simulate Q1: immediate copies at every queue on the route.
 
     Parameters mirror :class:`repro.sim.NetworkSimulation` (FIFO servers,
-    deterministic service ``1/phi_e``).
+    deterministic service ``1/phi_e``; ``use_path_cache`` / ``path_cache``
+    / ``event_queue`` control the hot path exactly as there).
 
     Notes
     -----
@@ -60,7 +74,15 @@ class RushedNetworkSimulation:
         service_rates: float | Sequence[float] = 1.0,
         source_nodes: Sequence[int] | None = None,
         seed: int = 0,
+        use_path_cache: bool = True,
+        path_cache=None,
+        event_queue: str = CALENDAR,
     ) -> None:
+        if event_queue not in (CALENDAR, HEAP):
+            raise ValueError(
+                f"event_queue must be '{CALENDAR}' or '{HEAP}', got {event_queue!r}"
+            )
+        self.event_queue = event_queue
         self.router = router
         self.topology = router.topology
         self.destinations = destinations
@@ -74,23 +96,48 @@ class RushedNetworkSimulation:
                 raise ValueError(f"service_rates must have {num_edges} entries")
         if np.any(phi <= 0):
             raise ValueError("service rates must be positive")
-        self._service_times = (1.0 / phi).tolist()
+        self._service_times: list[float] = (1.0 / phi).tolist()
+        # Uniform deterministic service enables the monotone-merge event
+        # loop (copies start service at the event time, so departures are
+        # pushed with nondecreasing times).
+        self._uniform_service = (
+            self._service_times.count(self._service_times[0])
+            == len(self._service_times)
+        )
         self.source_nodes = (
             list(range(self.topology.num_nodes))
             if source_nodes is None
             else [int(s) for s in source_nodes]
         )
+        if not self.source_nodes:
+            raise ValueError("at least one source node is required")
         if np.isscalar(node_rate):
             check_positive(node_rate, "node_rate")
             self.node_rates = np.full(len(self.source_nodes), float(node_rate))
         else:
-            self.node_rates = np.asarray(node_rate, dtype=float)
-            if self.node_rates.shape != (len(self.source_nodes),):
-                raise ValueError("node_rate sequence must match source_nodes")
+            self.node_rates = check_node_rates(
+                node_rate, len(self.source_nodes), "node_rate"
+            )
         self.total_rate = float(self.node_rates.sum())
-        if self.total_rate <= 0:
-            raise ValueError("total arrival rate must be positive")
-        self._source_cdf = np.cumsum(self.node_rates) / self.total_rate
+
+        # Uniform-source fast path / pinned CDF: same discipline as the
+        # event engine (side='right' draws can never pick a zero-rate
+        # source).
+        self._uniform_sources = bool(
+            np.allclose(self.node_rates, self.node_rates[0])
+        )
+        if not self._uniform_sources:
+            self._source_cdf = pinned_cdf(self.node_rates)
+        self._uniform_dests = isinstance(destinations, UniformDestinations)
+        self._fast_ids = (
+            self._uniform_sources
+            and self._uniform_dests
+            and sorted(self.source_nodes) == list(range(self.topology.num_nodes))
+        )
+
+        self.path_cache = resolve_path_cache(
+            router, path_cache=path_cache, use_path_cache=use_path_cache
+        )
 
     def run(
         self,
@@ -105,14 +152,45 @@ class RushedNetworkSimulation:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
         rng = np.random.default_rng(self.seed)
         t_end = warmup + horizon
-        num_edges = self.topology.num_edges
+        destinations = self.destinations
         st = self._service_times
+        num_nodes = self.topology.num_nodes
+        num_edges = self.topology.num_edges
         queues: list[deque] = [deque() for _ in range(num_edges)]
         busy = bytearray(num_edges)
-        heap: list = []
         seq = 0
-        push = heapq.heappush
-        pop = heapq.heappop
+
+        # Path cache bindings (see NetworkSimulation.run).
+        cache = self.path_cache
+        arena = cache.arena.edges  # extended in place; safe to bind once
+        if cache.consumes_rng:
+            det_get = None
+            det_build = None
+            sample_offlen = cache.sample_offlen
+        else:
+            det_get = cache.table.get
+            det_build = cache.ensure
+            sample_offlen = None
+
+        # Block RNG: exponential(1) variates and uniform source/dest ids.
+        exp_block = rng.exponential(size=_BLOCK)
+        exp_i = 0
+        sources = self.source_nodes
+        nsrc = len(sources)
+        uniform_fast = self._fast_ids
+        uniform_sources = self._uniform_sources
+        source_cdf = None if uniform_sources else self._source_cdf
+        if uniform_fast:
+            id_block = rng.integers(0, num_nodes, size=2 * _BLOCK).tolist()
+            id_i = 0
+        else:
+            id_block = None
+            id_i = 0
+        gap_scale = 1.0 / self.total_rate
+        searchsorted = np.searchsorted
+        dest_sample = destinations.sample
+        BLK = _BLOCK
+        TWO_BLOCK = 2 * _BLOCK
 
         copies_in_system = 0
         int_copies = 0.0
@@ -124,11 +202,6 @@ class RushedNetworkSimulation:
         in_flight_at_horizon = 0
         delay_acc = TimeBatchAccumulator(warmup, t_end, delay_batches)
 
-        def start_service(e: int, t: float, packet: list) -> None:
-            nonlocal seq
-            push(heap, (t + st[e], seq, e, packet))
-            seq += 1
-
         def bump_edge(e: int, t: float) -> None:
             """Accumulate edge e's occupancy integral up to time t."""
             lo = edge_last[e] if edge_last[e] > warmup else warmup
@@ -137,75 +210,235 @@ class RushedNetworkSimulation:
                 int_per_edge[e] += occupancy[e] * (hi - lo)
             edge_last[e] = t
 
-        push(heap, (rng.exponential(1.0 / self.total_rate), seq, -1, None))
-        seq += 1
-
+        first_gap = exp_block[exp_i] * gap_scale
+        exp_i += 1
         draining = False
-        while heap:
-            t, _s, e, packet = pop(heap)
-            if t >= t_end and not draining:
-                draining = True
-                in_flight_at_horizon = copies_in_system
-                lo = last_t if last_t > warmup else warmup
-                if t_end > lo:
-                    int_copies += copies_in_system * (t_end - lo)
-                last_t = t_end
-            if not draining and t > warmup:
-                lo = last_t if last_t > warmup else warmup
-                dt = t - lo
-                if dt > 0.0:
-                    int_copies += copies_in_system * dt
-                last_t = t
-            elif not draining:
-                last_t = t
 
-            if e < 0:
-                # ----- external packet generation: copies everywhere -----
-                if draining:
-                    continue
-                src = self.source_nodes[
-                    int(np.searchsorted(self._source_cdf, rng.random()))
-                ]
-                dst = self.destinations.sample(src, rng)
-                measured = t >= warmup
-                if measured:
-                    generated += 1
-                if src == dst:
-                    if measured:
-                        zero_hop += 1
-                        completed += 1
-                        delay_acc.add(t, 0.0)
-                else:
-                    path = self.router.sample_path(src, dst, rng)
-                    # packet record: [birth, copies_left, measured]
-                    parent = [t, len(path), measured]
-                    copies_in_system += len(path)
-                    for f in path:
-                        bump_edge(f, t)
-                        occupancy[f] += 1
-                        copy = (parent, f)
-                        if busy[f]:
-                            queues[f].append(copy)
+        if self._uniform_service:
+            # -------- monotone-merge event loop (standard model) --------
+            service_c = st[0]
+            dep_q: deque = deque()
+            dep_pop = dep_q.popleft
+            dep_append = dep_q.append
+            arr_t = first_gap
+            arr_seq = seq
+            seq += 1
+            have_arrival = True
+            while True:
+                if dep_q:
+                    head = dep_q[0]
+                    if have_arrival:
+                        ht = head[0]
+                        if arr_t < ht or (arr_t == ht and arr_seq < head[1]):
+                            is_arrival = True
+                            t = arr_t
                         else:
-                            busy[f] = 1
-                            start_service(f, t, copy)
-                push(heap, (t + rng.exponential(1.0 / self.total_rate), seq, -1, None))
-                seq += 1
-            else:
-                # ----- copy finished service at edge e -----
-                parent, _edge = packet
-                copies_in_system -= 1
-                bump_edge(e, t)
-                occupancy[e] -= 1
-                parent[1] -= 1
-                if parent[1] == 0 and parent[2]:
-                    completed += 1
-                    delay_acc.add(parent[0], t - parent[0])
-                q = queues[e]
-                if q:
-                    start_service(e, t, q.popleft())
+                            is_arrival = False
+                            t, _s, e, parent = dep_pop()
+                    else:
+                        is_arrival = False
+                        t, _s, e, parent = dep_pop()
+                elif have_arrival:
+                    is_arrival = True
+                    t = arr_t
                 else:
-                    busy[e] = 0
+                    break
+                if t >= t_end and not draining:
+                    draining = True
+                    in_flight_at_horizon = copies_in_system
+                    lo = last_t if last_t > warmup else warmup
+                    if t_end > lo:
+                        int_copies += copies_in_system * (t_end - lo)
+                    last_t = t_end
+                if not draining and t > warmup:
+                    lo = last_t if last_t > warmup else warmup
+                    dt = t - lo
+                    if dt > 0.0:
+                        int_copies += copies_in_system * dt
+                    last_t = t
+                elif not draining:
+                    last_t = t
+
+                if is_arrival:
+                    # ----- external packet generation: copies everywhere -----
+                    if draining:
+                        have_arrival = False
+                        continue
+                    if uniform_fast:
+                        if id_i >= TWO_BLOCK:
+                            id_block = rng.integers(
+                                0, num_nodes, size=TWO_BLOCK
+                            ).tolist()
+                            id_i = 0
+                        src = id_block[id_i]
+                        dst = id_block[id_i + 1]
+                        id_i += 2
+                    else:
+                        if uniform_sources:
+                            src = sources[int(rng.integers(nsrc))]
+                        else:
+                            src = sources[
+                                int(
+                                    searchsorted(
+                                        source_cdf, rng.random(), side="right"
+                                    )
+                                )
+                            ]
+                        dst = dest_sample(src, rng)
+                    measured = t >= warmup
+                    if measured:
+                        generated += 1
+                    if src == dst:
+                        if measured:
+                            zero_hop += 1
+                            completed += 1
+                            delay_acc.add(t, 0.0)
+                    else:
+                        if det_get is not None:
+                            ol = det_get(src * num_nodes + dst)
+                            if ol is None:
+                                ol = det_build(src, dst)
+                            off, ln = ol
+                        else:
+                            off, ln = sample_offlen(src, dst, rng)
+                        # parent record: [birth, copies_left, measured]
+                        parent = [t, ln, measured]
+                        copies_in_system += ln
+                        for k in range(off, off + ln):
+                            f = arena[k]
+                            bump_edge(f, t)
+                            occupancy[f] += 1
+                            if busy[f]:
+                                queues[f].append(parent)
+                            else:
+                                busy[f] = 1
+                                dep_append((t + service_c, seq, f, parent))
+                                seq += 1
+                    # Next arrival.
+                    if exp_i >= BLK:
+                        exp_block = rng.exponential(size=BLK)
+                        exp_i = 0
+                    arr_t = t + exp_block[exp_i] * gap_scale
+                    exp_i += 1
+                    arr_seq = seq
+                    seq += 1
+                else:
+                    # ----- copy finished service at edge e -----
+                    copies_in_system -= 1
+                    bump_edge(e, t)
+                    occupancy[e] -= 1
+                    parent[1] -= 1
+                    if parent[1] == 0 and parent[2]:
+                        completed += 1
+                        delay_acc.add(parent[0], t - parent[0])
+                    q = queues[e]
+                    if q:
+                        dep_append((t + service_c, seq, e, q.popleft()))
+                        seq += 1
+                    else:
+                        busy[e] = 0
+        else:
+            # ------------- event-queue loop (per-edge service) -------------
+            # Per-edge deterministic service times break the monotone push
+            # order; the pluggable event queue (calendar by default)
+            # orders departures exactly like a binary heap would.
+            evq = make_event_queue(self.event_queue, width=gap_scale)
+            pushe = evq.push
+            pope = evq.pop
+            pushe((first_gap, seq, -1, None))
+            seq += 1
+            while evq:
+                t, _s, e, parent = pope()
+                if t >= t_end and not draining:
+                    draining = True
+                    in_flight_at_horizon = copies_in_system
+                    lo = last_t if last_t > warmup else warmup
+                    if t_end > lo:
+                        int_copies += copies_in_system * (t_end - lo)
+                    last_t = t_end
+                if not draining and t > warmup:
+                    lo = last_t if last_t > warmup else warmup
+                    dt = t - lo
+                    if dt > 0.0:
+                        int_copies += copies_in_system * dt
+                    last_t = t
+                elif not draining:
+                    last_t = t
+
+                if e < 0:
+                    # ----- external packet generation: copies everywhere -----
+                    if draining:
+                        continue
+                    if uniform_fast:
+                        if id_i >= TWO_BLOCK:
+                            id_block = rng.integers(
+                                0, num_nodes, size=TWO_BLOCK
+                            ).tolist()
+                            id_i = 0
+                        src = id_block[id_i]
+                        dst = id_block[id_i + 1]
+                        id_i += 2
+                    else:
+                        if uniform_sources:
+                            src = sources[int(rng.integers(nsrc))]
+                        else:
+                            src = sources[
+                                int(
+                                    searchsorted(
+                                        source_cdf, rng.random(), side="right"
+                                    )
+                                )
+                            ]
+                        dst = dest_sample(src, rng)
+                    measured = t >= warmup
+                    if measured:
+                        generated += 1
+                    if src == dst:
+                        if measured:
+                            zero_hop += 1
+                            completed += 1
+                            delay_acc.add(t, 0.0)
+                    else:
+                        if det_get is not None:
+                            ol = det_get(src * num_nodes + dst)
+                            if ol is None:
+                                ol = det_build(src, dst)
+                            off, ln = ol
+                        else:
+                            off, ln = sample_offlen(src, dst, rng)
+                        parent = [t, ln, measured]
+                        copies_in_system += ln
+                        for k in range(off, off + ln):
+                            f = arena[k]
+                            bump_edge(f, t)
+                            occupancy[f] += 1
+                            if busy[f]:
+                                queues[f].append(parent)
+                            else:
+                                busy[f] = 1
+                                pushe((t + st[f], seq, f, parent))
+                                seq += 1
+                    if exp_i >= BLK:
+                        exp_block = rng.exponential(size=BLK)
+                        exp_i = 0
+                    pushe((t + exp_block[exp_i] * gap_scale, seq, -1, None))
+                    exp_i += 1
+                    seq += 1
+                else:
+                    # ----- copy finished service at edge e -----
+                    copies_in_system -= 1
+                    bump_edge(e, t)
+                    occupancy[e] -= 1
+                    parent[1] -= 1
+                    if parent[1] == 0 and parent[2]:
+                        completed += 1
+                        delay_acc.add(parent[0], t - parent[0])
+                    q = queues[e]
+                    if q:
+                        pushe((t + st[e], seq, e, q.popleft()))
+                        seq += 1
+                    else:
+                        busy[e] = 0
 
         if last_t < t_end:
             lo = last_t if last_t > warmup else warmup

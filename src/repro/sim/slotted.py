@@ -61,7 +61,7 @@ import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution, UniformDestinations
-from repro.routing.pathcache import SampledPathInterner, path_cache_for
+from repro.routing.pathcache import resolve_path_cache
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_node_rates, check_positive, pinned_cdf
@@ -134,19 +134,9 @@ class SlottedNetworkSimulation:
             and self.source_nodes == list(range(self.topology.num_nodes))
         )
 
-        if path_cache is not None:
-            if (
-                path_cache.topology.num_nodes != self.topology.num_nodes
-                or path_cache.topology.num_edges != self.topology.num_edges
-            ):
-                raise ValueError(
-                    "path_cache was built for an incompatible topology"
-                )
-            self.path_cache = path_cache
-        elif use_path_cache:
-            self.path_cache = path_cache_for(router)
-        else:
-            self.path_cache = SampledPathInterner(router)
+        self.path_cache = resolve_path_cache(
+            router, path_cache=path_cache, use_path_cache=use_path_cache
+        )
 
     def run(
         self,

@@ -32,6 +32,8 @@ from repro.routing.greedy import GreedyArrayRouter
 from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
 from repro.routing.torus_greedy import GreedyTorusRouter
 from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.ps_network import PSNetworkSimulation
+from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
 from repro.topology.array_mesh import ArrayMesh
 from repro.topology.torus import Torus
@@ -151,6 +153,34 @@ def build_cases() -> dict:
             GeometricStopDestinations(m4, stop=0.5), 0.15, 15)
     slotted("slotted_randomized", RandomizedGreedyArrayRouter(m5),
             UniformDestinations(25), 0.09, 17)
+
+    # The PR-3-ported engines: rushed (Theorem 10 copies) on both of its
+    # loops — monotone merge (uniform service) and the event queue
+    # (per-edge service) — and PS on uniform plus a data-dependent law.
+    def rushed(name, router, dests, rate, seed, *, warmup=15.0,
+               horizon=150.0, service_rates=1.0):
+        res = RushedNetworkSimulation(
+            router, dests, rate, seed=seed, service_rates=service_rates
+        ).run(warmup, horizon)
+        cases[name] = _encode(res)
+
+    def ps(name, router, dests, rate, seed, *, warmup=15.0, horizon=150.0):
+        res = PSNetworkSimulation(router, dests, rate, seed=seed).run(
+            warmup, horizon
+        )
+        cases[name] = _encode(res)
+
+    rushed("rushed_uniform", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.10, 23)
+    rushed("rushed_peredge_service", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.10, 24,
+           service_rates=per_edge_rates(m5.num_edges))
+    rushed("rushed_hotspot", GreedyArrayRouter(m5),
+           HotSpotDestinations(25, hot_node=12, h=0.3), 0.07, 25)
+    ps("ps_uniform", GreedyArrayRouter(m4),
+       UniformDestinations(16), 0.12, 26)
+    ps("ps_hotspot", GreedyArrayRouter(m4),
+       HotSpotDestinations(16, hot_node=5, h=0.3), 0.10, 27)
 
     # Bookkeeping branches the uniform cells never touch: saturated-mask
     # accounting, utilization accumulation (three inlined sites in the

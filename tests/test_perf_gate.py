@@ -1,0 +1,77 @@
+"""Tests for the warn-only perf gate (scripts/perf_gate.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, "scripts", "perf_gate.py"
+)
+
+
+@pytest.fixture(scope="module")
+def perf_gate():
+    spec = importlib.util.spec_from_file_location("perf_gate", _SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _bench_json(path, medians):
+    data = {
+        "benchmarks": [
+            {"name": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_within_threshold_passes_quietly(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.1, "b": 1.9})
+    assert perf_gate.main(["perf_gate", base, fresh]) == 0
+    out = capsys.readouterr().out
+    assert "WARNING" not in out
+    assert "2 benchmarks within" in out
+
+
+def test_regression_warns_but_never_fails(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 2.0})
+    assert perf_gate.main(["perf_gate", base, fresh]) == 0  # warn-only
+    assert "regressed" in capsys.readouterr().out
+
+
+def test_missing_baseline_benchmark_warns(perf_gate, tmp_path, capsys):
+    """A benchmark that stops running must not silently look like a pass."""
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0, "gone": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.0})
+    assert perf_gate.main(["perf_gate", base, fresh]) == 0
+    out = capsys.readouterr().out
+    assert "WARNING" in out and "gone" in out and "missing" in out
+    assert "1 baseline benchmark(s) missing" in out
+
+
+def test_new_benchmark_without_baseline_is_fine(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.0, "new": 5.0})
+    assert perf_gate.main(["perf_gate", base, fresh]) == 0
+    assert "WARNING" not in capsys.readouterr().out
+
+
+def test_no_common_benchmarks_warns_about_missing(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"b": 1.0})
+    assert perf_gate.main(["perf_gate", base, fresh]) == 0
+    out = capsys.readouterr().out
+    assert "missing" in out and "no common benchmarks" in out
+
+
+def test_unreadable_input_skips(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    assert perf_gate.main(["perf_gate", base, str(tmp_path / "nope.json")]) == 0
+    assert "cannot compare" in capsys.readouterr().out

@@ -5,20 +5,23 @@ import pytest
 
 from repro.routing.base import TabulatedRouter
 from repro.routing.butterfly_routing import ButterflyRouter
-from repro.routing.greedy import GreedyArrayRouter
+from repro.routing.greedy import GreedyArrayRouter, GreedyKDRouter
 from repro.routing.hypercube_greedy import GreedyHypercubeRouter
 from repro.routing.pathcache import (
     DENSE_NODE_LIMIT,
+    KDLegCache,
     MeshLegCache,
     PathArena,
     PathCache,
     RandomizedGreedyPathCache,
     SampledPathInterner,
+    TorusLegCache,
+    _deterministic_builder,
     path_cache_for,
 )
 from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
 from repro.routing.torus_greedy import GreedyTorusRouter
-from repro.topology.array_mesh import ArrayMesh
+from repro.topology.array_mesh import ArrayMesh, KDArray
 from repro.topology.butterfly import Butterfly
 from repro.topology.hypercube import Hypercube
 from repro.topology.linear import LinearArray
@@ -57,7 +60,12 @@ class TestPathArena:
         lambda: GreedyArrayRouter(ArrayMesh(4)),
         lambda: GreedyArrayRouter(ArrayMesh(3, 5), column_first=True),
         lambda: GreedyTorusRouter(Torus(4)),
+        lambda: GreedyTorusRouter(Torus(5), column_first=True),
+        lambda: GreedyTorusRouter(Torus(3, 6)),
         lambda: GreedyHypercubeRouter(Hypercube(3)),
+        lambda: GreedyHypercubeRouter(Hypercube(4)),
+        lambda: GreedyKDRouter(KDArray((3, 4, 2))),
+        lambda: GreedyKDRouter(KDArray((3, 4, 2)), dimension_order=(2, 0, 1)),
     ],
 )
 def test_cache_matches_router_on_all_pairs(router_factory):
@@ -67,6 +75,68 @@ def test_cache_matches_router_on_all_pairs(router_factory):
     for s in range(n):
         for d in range(n):
             assert cache.path(s, d) == router.path(s, d), (s, d)
+
+
+def test_butterfly_cache_matches_router_on_all_valid_pairs():
+    """Butterfly parity over every (input, output) pair — the only pairs
+    the unique-path scheme routes."""
+    b = Butterfly(3)
+    router = ButterflyRouter(b)
+    cache = path_cache_for(router)
+    for rs in range(b.rows):
+        for rd in range(b.rows):
+            src, dst = b.node_id(0, rs), b.node_id(b.d, rd)
+            assert cache.path(src, dst) == router.path(src, dst), (rs, rd)
+
+
+class TestSpecialisedBuilders:
+    """path_cache_for must resolve a real specialised miss-path builder —
+    not the generic router.path walk — for every shipped deterministic
+    topology."""
+
+    @pytest.mark.parametrize(
+        "router_factory",
+        [
+            lambda: GreedyTorusRouter(Torus(4)),
+            lambda: GreedyHypercubeRouter(Hypercube(3)),
+            lambda: ButterflyRouter(Butterfly(2)),
+            lambda: GreedyKDRouter(KDArray((3, 3, 3))),
+        ],
+    )
+    def test_specialised_builder_is_wired(self, router_factory):
+        router = router_factory()
+        assert _deterministic_builder(router) is not None
+        cache = path_cache_for(router)
+        assert isinstance(cache, PathCache)
+        assert cache._build_path != router.path  # not the generic walk
+
+    def test_mesh_router_keeps_its_grid_walk(self):
+        """The mesh routers' per-direction grid walk is already leg-shaped;
+        no specialised builder overrides it."""
+        router = GreedyArrayRouter(ArrayMesh(4))
+        assert _deterministic_builder(router) is None
+
+    def test_torus_leg_cache_memoizes(self):
+        router = GreedyTorusRouter(Torus(5))
+        legs = TorusLegCache(router)
+        leg = legs.row_leg(2, 0, 4)  # wraps the short way
+        assert leg == router._leg(2, 0, 4, horizontal=True)[0]
+        assert legs.row_leg(2, 0, 4) is leg  # memoized object
+        col = legs.col_leg(1, 4, 3)
+        assert col == router._leg(1, 3, 4, horizontal=False)[0]
+
+    def test_kd_leg_cache_memoizes_and_tracks_end_node(self):
+        arr = KDArray((3, 4, 2))
+        router = GreedyKDRouter(arr)
+        legs = KDLegCache(arr)
+        src = 0
+        coords = arr.node_coords(src)
+        edges, end = legs.leg(src, 1, coords[1], 3)
+        assert arr.node_coords(end)[1] == 3
+        assert legs.leg(src, 1, coords[1], 3) == (edges, end)  # memo hit
+        # Leg edges agree with the router walking only that axis.
+        dst = end
+        assert tuple(edges) == router.path(src, dst)
 
 
 class TestPathCache:
@@ -107,6 +177,18 @@ class TestPathCache:
         offs, lens = cache.offlen_batch(srcs, dsts)
         for s, d, off, ln in zip(srcs, dsts, offs, lens):
             assert cache.arena.view(int(off), int(ln)) == router.path(int(s), int(d))
+
+    def test_offlen_batch_duplicate_misses_intern_once(self):
+        """A batch repeating a missing pair must append the path to the
+        shared append-only arena exactly once, not once per occurrence."""
+        router = GreedyArrayRouter(ArrayMesh(4))
+        cache = PathCache(router)
+        srcs = np.array([0, 0, 0, 0])
+        dsts = np.array([15, 15, 15, 15])
+        offs, lens = cache.offlen_batch(srcs, dsts)
+        assert len(cache.arena) == len(router.path(0, 15))
+        assert set(offs.tolist()) == {0}
+        assert len(cache) == 1
 
     def test_offlen_batch_without_dense_tables(self):
         router = GreedyArrayRouter(ArrayMesh(4))

@@ -1,0 +1,118 @@
+"""Tests for the calendar queue (repro.sim.eventqueue).
+
+The only contract that matters is *heapq-identical pop order*: the
+simulators' golden fixtures pin outputs, so any ordering drift in the
+queue is a correctness bug, not a performance detail.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.eventqueue import (
+    CALENDAR,
+    HEAP,
+    CalendarQueue,
+    HeapEventQueue,
+    make_event_queue,
+)
+
+
+def _random_workload(rng, width, steps=400):
+    """Interleaved push/pop trace compared item-by-item against heapq."""
+    cq = CalendarQueue(width)
+    h = []
+    seq = 0
+    t = 0.0
+    while steps:
+        steps -= 1
+        if rng.random() < 0.55 or not h:
+            for _ in range(rng.randint(1, 3)):
+                item = (
+                    t + rng.expovariate(1.0) * rng.choice([0.01, 1.0, 40.0]),
+                    seq,
+                    rng.randint(-1, 5),
+                    None,
+                )
+                cq.push(item)
+                heapq.heappush(h, item)
+                seq += 1
+        else:
+            got, want = cq.pop(), heapq.heappop(h)
+            assert got == want
+            t = got[0]
+    while h:
+        assert cq.pop() == heapq.heappop(h)
+    assert len(cq) == 0 and not cq
+
+
+class TestCalendarQueue:
+    @pytest.mark.parametrize("width", [1e-3, 0.05, 1.0, 7.3])
+    def test_matches_heapq_order_exactly(self, width):
+        rng = random.Random(width)
+        for _ in range(20):
+            _random_workload(rng, width)
+
+    def test_simultaneous_events_pop_in_seq_order(self):
+        cq = CalendarQueue(0.5)
+        items = [(1.0, s, s % 3, None) for s in range(10)]
+        for item in reversed(items):
+            cq.push(item)
+        assert [cq.pop() for _ in items] == items
+
+    def test_same_bucket_push_during_processing(self):
+        """A push into the active bucket lands in exact order."""
+        cq = CalendarQueue(10.0)  # everything in one bucket
+        cq.push((1.0, 0, 0, None))
+        cq.push((5.0, 1, 0, None))
+        assert cq.pop() == (1.0, 0, 0, None)
+        cq.push((3.0, 2, 0, None))  # active-bucket insert
+        assert cq.pop() == (3.0, 2, 0, None)
+        assert cq.pop() == (5.0, 1, 0, None)
+
+    def test_defensive_early_push_stays_ordered(self):
+        """A push behind the active bucket (impossible in the engines,
+        guarded anyway) still pops in exact order."""
+        cq = CalendarQueue(1.0)
+        cq.push((5.5, 0, 0, None))
+        assert cq.pop() == (5.5, 0, 0, None)  # active bucket is now day 5
+        cq.push((0.5, 1, 0, None))  # behind the active day
+        cq.push((5.7, 2, 0, None))
+        assert cq.pop() == (0.5, 1, 0, None)
+        assert cq.pop() == (5.7, 2, 0, None)
+        assert len(cq) == 0
+
+    def test_pop_empty_raises(self):
+        cq = CalendarQueue(1.0)
+        with pytest.raises(IndexError):
+            cq.pop()
+        cq.push((1.0, 0, 0, None))
+        cq.pop()
+        with pytest.raises(IndexError):
+            cq.pop()
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(-1.0)
+
+
+class TestMakeEventQueue:
+    def test_dispatch(self):
+        assert isinstance(make_event_queue(CALENDAR, width=1.0), CalendarQueue)
+        assert isinstance(make_event_queue(HEAP, width=1.0), HeapEventQueue)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_event_queue("splay", width=1.0)
+
+    def test_heap_adapter_matches_heapq(self):
+        q = HeapEventQueue()
+        items = [(3.0, 0), (1.0, 1), (2.0, 2)]
+        for item in items:
+            q.push(item)
+        assert len(q) == 3 and q
+        assert [q.pop() for _ in items] == sorted(items)
+        assert not q

@@ -134,6 +134,120 @@ class TestRushedSimulator:
         assert res.generated == res.completed
 
 
+class TestEngineParityValidation:
+    """PR-3 engine-gap closure: rushed and PS validate inputs and draw
+    sources exactly like the fifo/slotted engines (util.validation)."""
+
+    @pytest.fixture(params=[RushedNetworkSimulation, PSNetworkSimulation])
+    def engine(self, request):
+        return request.param
+
+    def test_rejects_negative_node_rate_entries(self, engine):
+        """Mirrors test_sim_fifo / the slotted validation cases: a negative
+        entry must be rejected even when the total is positive."""
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        with pytest.raises(ValueError):
+            engine(router, dests, [-0.5, 1.0, 0.1] + [0.1] * 6)
+        with pytest.raises(ValueError):
+            engine(router, dests, [0.0] * 9)
+        with pytest.raises(ValueError):
+            engine(router, dests, [0.1, 0.2])  # wrong length
+        with pytest.raises(ValueError):
+            engine(router, dests, -0.2)  # negative scalar
+        with pytest.raises(ValueError):
+            engine(router, dests, 0.2, source_nodes=[])
+
+    def test_rejects_bad_service_rates_and_windows(self, engine):
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        with pytest.raises(ValueError):
+            engine(router, dests, 0.2, service_rates=np.zeros(3))
+        sim = engine(router, dests, 0.2)
+        with pytest.raises(ValueError):
+            sim.run(-1.0, 100)
+        with pytest.raises(ValueError):
+            sim.run(10, 0)
+
+    def test_zero_rate_source_never_generates(self, engine, monkeypatch):
+        """node_rate=[0.0, 1.0] regression for the side='left' source draw
+        (the bug PR 1 fixed in the fifo/slotted engines): a draw landing
+        exactly on the CDF boundary u = 0.0 must not pick the dead source."""
+        real = np.random.default_rng
+        monkeypatch.setattr(
+            np.random, "default_rng", lambda seed=None: BoundaryRNG(real(seed))
+        )
+        res = engine(
+            two_node_router(), AlwaysNodeZero(), [0.0, 1.0], seed=37
+        ).run(0, 400)
+        # Every packet goes to node 0, so one born at the (zero-rate)
+        # source 0 would be counted in zero_hop.
+        assert res.generated > 0
+        assert res.zero_hop == 0
+
+    def test_uncached_run_matches_cached_run(self, engine):
+        """use_path_cache=False (per-packet rebuild) is output-neutral."""
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        cached = engine(router, dests, 0.3, seed=41).run(20, 300)
+        uncached = engine(
+            router, dests, 0.3, seed=41, use_path_cache=False
+        ).run(20, 300)
+        assert cached.mean_number == uncached.mean_number
+        assert cached.mean_delay == uncached.mean_delay
+        assert cached.generated == uncached.generated
+
+    def test_shared_warm_cache_is_output_neutral(self, engine):
+        """The replication pattern: a warm shared arena changes nothing."""
+        from repro.routing.pathcache import path_cache_for
+
+        mesh = ArrayMesh(3)
+        router = GreedyArrayRouter(mesh)
+        dests = UniformDestinations(9)
+        shared = path_cache_for(router)
+        engine(router, dests, 0.3, seed=99, path_cache=shared).run(10, 200)
+        warm = engine(router, dests, 0.3, seed=5, path_cache=shared).run(10, 200)
+        cold = engine(router, dests, 0.3, seed=5).run(10, 200)
+        assert warm.mean_number == cold.mean_number
+        assert warm.mean_delay == cold.mean_delay
+
+    def test_rejects_incompatible_path_cache(self, engine):
+        from repro.routing.pathcache import path_cache_for
+
+        small = GreedyArrayRouter(ArrayMesh(3))
+        big = GreedyArrayRouter(ArrayMesh(4))
+        with pytest.raises(ValueError):
+            engine(big, UniformDestinations(16), 0.2, path_cache=path_cache_for(small))
+
+    def test_rejects_cache_for_different_scheme_on_same_topology(self, engine):
+        """An equal-sized topology is not enough: a cache built for the
+        column-first order would silently simulate the wrong routing."""
+        from repro.routing.pathcache import path_cache_for
+
+        mesh = ArrayMesh(3)
+        other = path_cache_for(GreedyArrayRouter(mesh, column_first=True))
+        with pytest.raises(ValueError):
+            engine(
+                GreedyArrayRouter(mesh),
+                UniformDestinations(9),
+                0.2,
+                path_cache=other,
+            )
+
+    def test_rushed_rejects_bad_event_queue(self):
+        mesh = ArrayMesh(3)
+        with pytest.raises(ValueError):
+            RushedNetworkSimulation(
+                GreedyArrayRouter(mesh),
+                UniformDestinations(9),
+                0.2,
+                event_queue="splay",
+            )
+
+
 class TestSlottedSimulator:
     def test_single_queue_near_md1(self):
         """Slotted delay within ~tau of the continuous M/D/1 value."""
