@@ -215,15 +215,18 @@ def test_ps_8x8(best_of, benchmark):
 
 
 def test_slotted_8x8(best_of, benchmark):
+    """The legacy-compatible kernel (batch_rng=False; the engine default
+    is the fully batched order since the registry redesign)."""
     sim = _slotted_cell(8)
-    res = best_of(sim.run, int(WARMUP), int(HORIZON))
+    res = best_of(sim.run, int(WARMUP), int(HORIZON), batch_rng=False)
     _record(benchmark, res, PRE_PR_SLOTTED[8])
     assert res.generated > 2000
 
 
 def test_slotted_32x32(best_of, benchmark):
+    """The legacy-compatible kernel (batch_rng=False)."""
     sim = _slotted_cell(32)
-    res = best_of(sim.run, int(WARMUP), int(HORIZON))
+    res = best_of(sim.run, int(WARMUP), int(HORIZON), batch_rng=False)
     _record(benchmark, res, PRE_PR_SLOTTED[32])
     assert res.generated > 10_000
 

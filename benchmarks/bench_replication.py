@@ -3,7 +3,10 @@ paths it leans on.
 
 ``scripts/check.sh`` runs this file with ``--benchmark-json`` so the
 fan-out's performance trajectory is recorded across PRs
-(``BENCH_replication.json``).
+(``BENCH_replication.json``). Since the engine-registry redesign the
+fan-out cells cover all four engines end-to-end through the declarative
+facade — fifo, slotted (batched draw default), rushed and PS — so the
+perf gate watches every ``CellSpec -> registry -> run_cell`` path.
 """
 
 import numpy as np
@@ -33,6 +36,40 @@ def test_replication_fanout_processes(once):
     )
     pooled = once(ReplicationEngine(processes=4).run, spec)
     assert len(pooled.replications) == 4
+
+
+def test_replication_slotted_cell(once):
+    """The slotted engine through the registry (batch_rng default True)."""
+    spec = CellSpec(
+        scenario="uniform", n=8, rho=0.8, engine="slotted",
+        warmup=100, horizon=1000, seeds=(0, 1, 2, 3),
+    )
+    pooled = once(ReplicationEngine(processes=1).run, spec)
+    assert len(pooled.replications) == 4
+    assert pooled.littles_law_gap < 0.15
+
+
+def test_replication_rushed_cell(once):
+    """The Theorem 10 copies system through the registry (four seeds)."""
+    spec = CellSpec(
+        scenario="uniform", n=8, rho=0.7, engine="rushed",
+        warmup=100, horizon=1000, seeds=(0, 1, 2, 3),
+    )
+    pooled = once(ReplicationEngine(processes=1).run, spec)
+    assert len(pooled.replications) == 4
+    assert all(r.completed == r.generated for r in pooled.replications)
+
+
+def test_replication_ps_cell(once):
+    """The Theorem 5 PS comparator through the registry (O(k) per queue
+    event, so a smaller cell than the FIFO fan-outs)."""
+    spec = CellSpec(
+        scenario="uniform", n=6, rho=0.7, engine="ps",
+        warmup=100, horizon=600, seeds=(0, 1),
+    )
+    pooled = once(ReplicationEngine(processes=1).run, spec)
+    assert len(pooled.replications) == 2
+    assert pooled.littles_law_gap < 0.15
 
 
 def test_scenario_calibration(benchmark):

@@ -6,6 +6,11 @@
 # performance trajectory is recorded PR over PR. Before overwriting a
 # committed baseline, the warn-only perf gate prints any benchmark whose
 # median regressed >25% against it.
+#
+# The replication stage fans cells for all four registered engines
+# (fifo, slotted, rushed, ps) through the declarative CellSpec facade,
+# so the gate covers every `engine registry -> run_cell` path
+# end-to-end; the engine_hotpath stage times the raw engine loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"

@@ -3,10 +3,13 @@
 Commands
 --------
 ``bounds``     print every bound of the paper at an (n, rho) point
-``simulate``   run a scenario through the replication engine (multi-seed,
-               pooled CIs) and — for the standard model — compare against
-               the bounds
+``simulate``   run a scenario on any registered engine through the
+               replication engine (multi-seed, pooled CIs) and — for the
+               standard model on a sandwich-comparable engine — compare
+               against the bounds
 ``scenarios``  list the registered traffic scenarios
+``engines``    list the registered simulation engines with their service
+               laws and engine-specific parameters
 ``tables``     regenerate the paper's tables/figures (QUICK preset)
 ``figure1`` / ``figure2``  print the layering / saturated-edge figures
 
@@ -18,7 +21,12 @@ Examples
     python -m repro simulate -n 8 --rho 0.8 --horizon 3000 --seed 7
     python -m repro simulate --scenario hotspot --replications 8 --processes 4
     python -m repro simulate --scenario transpose --engine slotted -n 6
+    python -m repro simulate --engine rushed -n 8 --rho 0.7
+    python -m repro simulate --engine ps -n 6 --rho 0.6 --replications 4
+    python -m repro simulate --engine slotted --engine-param batch_rng=false
+    python -m repro simulate --engine fifo --engine-param event_queue=heap
     python -m repro simulate --scenario hotspot --param h=0.4
+    python -m repro engines
     python -m repro figure2 -n 5
     python -m repro tables -o report.md
 """
@@ -59,30 +67,36 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
-def _parse_params(pairs: list[str]) -> tuple[tuple[str, object], ...]:
-    """Parse repeated ``--param key=value`` flags (int > float > string)."""
+def _parse_params(
+    pairs: list[str], flag: str = "--param"
+) -> tuple[tuple[str, object], ...]:
+    """Parse repeated ``key=value`` flags (bool > int > float > string)."""
     out: list[tuple[str, object]] = []
     for pair in pairs:
         key, sep, raw = pair.partition("=")
         if not sep or not key:
-            raise SystemExit(f"--param expects key=value, got {pair!r}")
+            raise SystemExit(f"{flag} expects key=value, got {pair!r}")
         value: object = raw
-        for cast in (int, float):
-            try:
-                value = cast(raw)
-                break
-            except ValueError:
-                continue
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    continue
         out.append((key, value))
     return tuple(out)
 
 
 def _cmd_simulate(args) -> int:
     from repro.scenarios import get_scenario
+    from repro.sim.registry import get_engine
     from repro.sim.replication import CellSpec, ReplicationEngine
 
     scenario = get_scenario(args.scenario)
-    event = args.engine == "event"
+    info = get_engine(args.engine)
     spec = CellSpec(
         scenario=scenario.name,
         n=args.n,
@@ -92,22 +106,25 @@ def _cmd_simulate(args) -> int:
         warmup=args.warmup,
         horizon=args.horizon,
         seeds=tuple(args.seed + k for k in range(args.replications)),
-        track_saturated=scenario.standard_mesh,
-        track_maxima=event,
+        track_saturated=scenario.standard_mesh and info.supports_saturated,
+        track_maxima=info.supports_maxima,
         params=_parse_params(args.param),
+        engine_params=_parse_params(args.engine_param, "--engine-param"),
     )
     res = ReplicationEngine(processes=args.processes).run(spec)
     print(res.render())
     print(res.summary_line())
-    if not scenario.bounds_apply:
-        # The Theorem 7 sandwich only covers the standard array model
-        # (not even the randomized mixture, which is not layered).
+    if not (scenario.bounds_apply and info.bound_sandwich):
+        # The Theorem 7 sandwich only covers the standard array model (not
+        # even the randomized mixture, which is not layered) on an engine
+        # whose mean_delay it brackets (not the rushed makespan, and not
+        # PS — PS *is* the upper bound's comparator system).
         return 0
     lam = lambda_for_load(args.n, args.rho, args.convention)
     b = bound_summary(args.n, lam)
     extremes = (
         f"  max delay {res.max_delay:.2f}  max queue {res.max_queue_length}"
-        if event
+        if info.supports_maxima
         else ""
     )
     print(
@@ -126,6 +143,31 @@ def _cmd_scenarios(args) -> int:
     for s in available_scenarios():
         t.add_row([s.name, s.description])
     print(t.render())
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    from repro.sim.registry import available_engines
+
+    t = Table(
+        title="Registered simulation engines",
+        headers=["name", "aliases", "services", "engine params", "description"],
+    )
+    for e in available_engines():
+        t.add_row(
+            [
+                e.name,
+                ", ".join(e.aliases) or "-",
+                "/".join(e.services),
+                ", ".join(p.describe() for p in e.params) or "-",
+                e.description,
+            ]
+        )
+    print(t.render())
+    print("engine param details (pass via --engine-param KEY=VALUE):")
+    for e in available_engines():
+        for p in e.params:
+            print(f"  {e.name}.{p.name}: {p.doc}")
     return 0
 
 
@@ -182,7 +224,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--scenario", default="uniform", help="name from the scenario registry"
     )
-    p.add_argument("--engine", choices=("event", "slotted"), default="event")
+    # No argparse choices: like --scenario, the name is validated lazily
+    # against the engine registry inside CellSpec (so building the parser
+    # never imports the simulation stack); unknown names raise a
+    # ValueError listing every registered engine and alias.
+    p.add_argument(
+        "--engine",
+        default="fifo",
+        help="simulation engine from the engine registry: fifo (alias "
+        "event), slotted, rushed, ps — see `python -m repro engines`",
+    )
     p.add_argument(
         "--replications", type=int, default=1, help="seeded replications to pool"
     )
@@ -196,10 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="scenario parameter (repeatable), e.g. --param h=0.4",
     )
+    p.add_argument(
+        "--engine-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="engine-specific knob (repeatable), validated against the "
+        "engine registry, e.g. --engine-param event_queue=heap or "
+        "--engine-param batch_rng=false; list them with "
+        "`python -m repro engines`",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("scenarios", help="list registered traffic scenarios")
     p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser(
+        "engines",
+        help="list registered simulation engines (services + engine params)",
+    )
+    p.set_defaults(func=_cmd_engines)
 
     p = sub.add_parser("tables", help="regenerate every table/figure")
     p.add_argument("--full", action="store_true")

@@ -35,7 +35,10 @@ Built-in scenarios
     (the Section 6 open-problem topology).
 
 Adding a scenario is one :func:`register` call; anything registered is
-immediately usable from ``python -m repro simulate --scenario <name>``.
+immediately usable from ``python -m repro simulate --scenario <name>``,
+on any simulator in the engine registry (:mod:`repro.sim.registry`) —
+the scenario names the *workload*, the engine names the *simulator*, and
+:class:`~repro.sim.replication.CellSpec` crosses the two declaratively.
 """
 
 from __future__ import annotations

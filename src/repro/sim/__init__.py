@@ -18,28 +18,55 @@ saturated services), so E[N], r = E[R]/E[N] and r_s = E[R_s]/E[N] — the
 quantities of Tables II and III — carry no sampling error beyond the
 trajectory itself.
 
-Multi-seed runs
----------------
+The declarative facade
+----------------------
 One run is one trajectory; every table in the paper is "the same cell,
-many seeds". :mod:`repro.sim.replication` provides that layer: declare a
-cell once as a :class:`CellSpec` (scenario name from
-:mod:`repro.scenarios`, load, engine, window, seeds) and hand it to a
-:class:`ReplicationEngine`, which fans the replications over a process
-pool and pools them into a :class:`ReplicatedResult` with
-across-replication means and ~95% confidence intervals. The same spec
-runs on the event-driven or the slotted engine, so cross-engine parity is
-one field away::
+many seeds". Two registries plus one spec type cover that whole space:
+
+* **scenarios** (:mod:`repro.scenarios`) name the workload — topology +
+  router + destination law + load calibration;
+* **engines** (:mod:`repro.sim.registry`) name the simulator — ``fifo``
+  (alias ``event``), ``slotted``, ``rushed``, ``ps`` — each entry
+  carrying its supported service laws, its typed engine-specific knobs
+  (:class:`~repro.sim.registry.EngineParam`: FIFO/rushed
+  ``event_queue``, slotted ``batch_rng``, per-edge ``service_rates``)
+  and the ``run_cell`` builder the replication layer dispatches to;
+* a :class:`CellSpec` is the declarative cross of the two — scenario
+  name, size, load, engine name, ``engine_params``, window, seeds —
+  validated against both registries at construction, hashable and
+  picklable. Hand it (or a whole batch) to a :class:`ReplicationEngine`,
+  which fans every (cell, seed) pair over a process pool and pools each
+  cell into a :class:`ReplicatedResult` with across-replication means
+  and ~95% confidence intervals.
+
+Any scenario x engine x service x event-queue combination is one spec::
 
     from repro.sim import CellSpec, ReplicationEngine
 
-    spec = CellSpec(scenario="hotspot", n=8, rho=0.8,
-                    warmup=200, horizon=2000, seeds=tuple(range(8)))
+    spec = CellSpec(scenario="hotspot", n=8, rho=0.8, engine="rushed",
+                    warmup=200, horizon=2000, seeds=tuple(range(8)),
+                    engine_params=(("event_queue", "heap"),))
     pooled = ReplicationEngine(processes=4).run(spec)
     print(pooled.render())  # per-seed rows + pooled row with CIs
 
-Scenarios (topology + router + destination law) are registered by name in
-:mod:`repro.scenarios`; built-ins cover the paper's standard model plus
-hot-spot, transpose, bit-reversal, distance-biased and torus workloads.
+The facade is a pure dispatch layer: a cell reached through it is
+bit-identical to the same simulator built by hand (pinned by the
+``api_*`` golden cells). Registering a new engine
+(:func:`repro.sim.registry.register_engine`) immediately makes it
+reachable from ``CellSpec``, ``python -m repro simulate --engine ...``,
+``python -m repro engines`` and the experiment sweeps.
+
+Shared constructor policy
+-------------------------
+All four engines resolve their constructor arguments through
+:class:`repro.sim.enginecommon.EngineCommon`: source-node list, per-node
+rate validation, the pinned source CDF behind the boundary-safe
+``side='right'`` draw, the uniform fast-id predicate and the shared path
+cache. The one deliberate asymmetry is the fast-id source-order mode:
+the event-driven engines accept any full source set (``SORTED_IDS``),
+the slotted compat kernel requires the identity order
+(``IDENTITY_IDS``), and PS opts out (``NO_FAST_IDS``) — a load-bearing
+difference the identity-vs-sorted regression tests pin.
 
 Hot-path architecture
 ---------------------
@@ -88,11 +115,14 @@ exactly when all ``2 * 8192`` are consumed); the slotted engine samples a
 whole slot's sources/destinations/path views with single vectorized calls
 whenever the legacy per-packet draw sequence was a run of same-kind draws
 (uniform id pairs; RNG-free destination laws), and otherwise keeps the
-scalar loop. ``SlottedNetworkSimulation.run(batch_rng=True)`` goes
-further and *redefines* the draw order — Poisson counts blocked like the
-event engine's exponentials, then per slot: source batch, destination
-``sample_batch``, router coin batch — trading bit-compatibility for full
-vectorization of data-dependent laws (hot-spot, geometric).
+scalar loop. ``batch_rng=True`` — the slotted default since the registry
+redesign closed the ROADMAP deprecation window (``batch_rng=False``
+keeps the legacy stream, pinned by the ``slotted_*_compat`` golden
+cells) — goes further and *redefines* the draw order: Poisson counts
+blocked like the event engine's exponentials, then per slot: source
+batch, destination ``sample_batch``, router coin batch — trading
+bit-compatibility for full vectorization of data-dependent laws
+(hot-spot, geometric).
 
 **Why same-seed bit-identity is the regression contract.** A stochastic
 simulation has no other cheap, exact oracle: statistical assertions pass
@@ -109,11 +139,20 @@ stream-compatible draw runs.
 """
 
 from repro.sim.result import SimResult
+from repro.sim.enginecommon import EngineCommon
 from repro.sim.fifo_network import NetworkSimulation
 from repro.sim.ps_network import PSNetworkSimulation
 from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
 from repro.sim.measurement import BatchMeans, TimeBatchAccumulator
+from repro.sim.registry import (
+    Engine,
+    EngineParam,
+    available_engines,
+    canonical_engine,
+    get_engine,
+    register_engine,
+)
 from repro.sim.replication import (
     CellSpec,
     ReplicatedResult,
@@ -123,12 +162,19 @@ from repro.sim.replication import (
 
 __all__ = [
     "SimResult",
+    "EngineCommon",
     "NetworkSimulation",
     "PSNetworkSimulation",
     "RushedNetworkSimulation",
     "SlottedNetworkSimulation",
     "BatchMeans",
     "TimeBatchAccumulator",
+    "Engine",
+    "EngineParam",
+    "available_engines",
+    "canonical_engine",
+    "get_engine",
+    "register_engine",
     "CellSpec",
     "ReplicatedResult",
     "ReplicationEngine",

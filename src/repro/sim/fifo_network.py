@@ -47,12 +47,17 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.base import Router
-from repro.routing.destinations import DestinationDistribution, UniformDestinations
-from repro.routing.pathcache import resolve_path_cache
+from repro.routing.destinations import DestinationDistribution
+from repro.sim.enginecommon import (
+    SORTED_IDS,
+    EngineCommon,
+    resolve_saturated_mask,
+    resolve_service_rates,
+)
 from repro.sim.eventqueue import CALENDAR, HEAP, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_node_rates, check_positive, pinned_cdf
+from repro.util.validation import check_positive
 
 _BLOCK = 8192
 
@@ -133,23 +138,11 @@ class NetworkSimulation:
                 f"event_queue must be '{CALENDAR}' or '{HEAP}', got {event_queue!r}"
             )
         self.event_queue = event_queue
-        self.router = router
-        self.topology = router.topology
-        self.destinations = destinations
         self.service = service
         self.seed = int(seed)
 
-        num_edges = self.topology.num_edges
-        if np.isscalar(service_rates):
-            phi = np.full(num_edges, float(service_rates))
-        else:
-            phi = np.asarray(service_rates, dtype=float)
-            if phi.shape != (num_edges,):
-                raise ValueError(
-                    f"service_rates must have {num_edges} entries, got {phi.shape}"
-                )
-        if np.any(phi <= 0):
-            raise ValueError("service rates must be positive")
+        num_edges = router.topology.num_edges
+        phi = resolve_service_rates(service_rates, num_edges)
         self._service_times: list[float] = (1.0 / phi).tolist()
         # Uniform deterministic service enables the monotone-merge event
         # loop (departure times are nondecreasing in push order).
@@ -159,51 +152,22 @@ class NetworkSimulation:
             == len(self._service_times)
         )
 
-        self.source_nodes = (
-            list(range(self.topology.num_nodes))
-            if source_nodes is None
-            else [int(s) for s in source_nodes]
-        )
-        if not self.source_nodes:
-            raise ValueError("at least one source node is required")
-        if np.isscalar(node_rate):
-            check_positive(node_rate, "node_rate")
-            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
-        else:
-            self.node_rates = check_node_rates(
-                node_rate, len(self.source_nodes), "node_rate"
-            )
-        self.total_rate = float(self.node_rates.sum())
-
-        if saturated_mask is None:
-            self._sat: list[bool] | None = None
-        else:
-            mask = np.asarray(saturated_mask, dtype=bool)
-            if mask.shape != (num_edges,):
-                raise ValueError(
-                    f"saturated_mask must have {num_edges} entries, got {mask.shape}"
-                )
-            self._sat = mask.tolist()
-
-        # Uniform-source fast path: equal rates over all listed sources.
-        self._uniform_sources = bool(
-            np.allclose(self.node_rates, self.node_rates[0])
-        )
-        if not self._uniform_sources:
-            self._source_cdf = pinned_cdf(self.node_rates)
-        # The batched id draw samples over *all* nodes, so it is only valid
-        # when every node generates (at equal rate) and destinations are
+        # Shared constructor policy (sources, rates, pinned source CDF,
+        # fast-id predicate, path cache). The batched id draw samples over
+        # *all* nodes, so it is only valid when every node generates (at
+        # equal rate) in any order — SORTED_IDS — and destinations are
         # uniform over all nodes.
-        self._uniform_dests = isinstance(destinations, UniformDestinations)
-        self._fast_ids = (
-            self._uniform_sources
-            and self._uniform_dests
-            and sorted(self.source_nodes) == list(range(self.topology.num_nodes))
-        )
+        EngineCommon(
+            router,
+            destinations,
+            node_rate,
+            source_nodes=source_nodes,
+            fast_id_order=SORTED_IDS,
+            path_cache=path_cache,
+            use_path_cache=use_path_cache,
+        ).install(self)
 
-        self.path_cache = resolve_path_cache(
-            router, path_cache=path_cache, use_path_cache=use_path_cache
-        )
+        self._sat = resolve_saturated_mask(saturated_mask, num_edges)
 
     # ------------------------------------------------------------------
     def run(

@@ -37,10 +37,14 @@ import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution
-from repro.routing.pathcache import resolve_path_cache
+from repro.sim.enginecommon import (
+    NO_FAST_IDS,
+    EngineCommon,
+    resolve_service_rates,
+)
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_node_rates, check_positive, pinned_cdf
+from repro.util.validation import check_positive
 
 
 class PSNetworkSimulation:
@@ -63,40 +67,21 @@ class PSNetworkSimulation:
         use_path_cache: bool = True,
         path_cache=None,
     ) -> None:
-        self.router = router
-        self.topology = router.topology
-        self.destinations = destinations
         self.seed = int(seed)
-        num_edges = self.topology.num_edges
-        if np.isscalar(service_rates):
-            phi = np.full(num_edges, float(service_rates))
-        else:
-            phi = np.asarray(service_rates, dtype=float)
-            if phi.shape != (num_edges,):
-                raise ValueError(f"service_rates must have {num_edges} entries")
-        if np.any(phi <= 0):
-            raise ValueError("service rates must be positive")
+        phi = resolve_service_rates(service_rates, router.topology.num_edges)
         self._phi = phi.tolist()
-        self.source_nodes = (
-            list(range(self.topology.num_nodes))
-            if source_nodes is None
-            else [int(s) for s in source_nodes]
-        )
-        if not self.source_nodes:
-            raise ValueError("at least one source node is required")
-        if np.isscalar(node_rate):
-            check_positive(node_rate, "node_rate")
-            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
-        else:
-            self.node_rates = check_node_rates(
-                node_rate, len(self.source_nodes), "node_rate"
-            )
-        self.total_rate = float(self.node_rates.sum())
-        self._source_cdf = pinned_cdf(self.node_rates)
-
-        self.path_cache = resolve_path_cache(
-            router, path_cache=path_cache, use_path_cache=use_path_cache
-        )
+        # Shared constructor policy. PS has no fast-id block draw
+        # (NO_FAST_IDS): every source is drawn through the pinned CDF
+        # with side='right', the boundary-safe discipline.
+        EngineCommon(
+            router,
+            destinations,
+            node_rate,
+            source_nodes=source_nodes,
+            fast_id_order=NO_FAST_IDS,
+            path_cache=path_cache,
+            use_path_cache=use_path_cache,
+        ).install(self)
 
     def run(
         self,

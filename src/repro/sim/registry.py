@@ -1,0 +1,348 @@
+"""Engine registry: one declarative front door for all four simulators.
+
+A registered :class:`Engine` bundles everything the facade layers
+(:class:`~repro.sim.replication.CellSpec` /
+:class:`~repro.sim.replication.ReplicationEngine`, the CLI, the
+experiment sweeps) need to know about a simulator:
+
+* its canonical name (``"fifo"``, ``"slotted"``, ``"rushed"``, ``"ps"``)
+  and accepted aliases (``"event"`` is the historical alias for the FIFO
+  event-driven engine);
+* the service laws it supports;
+* its **engine-specific knobs** as typed :class:`EngineParam` metadata —
+  e.g. the FIFO/rushed ``event_queue`` structure, the slotted
+  ``batch_rng`` draw order, per-edge ``service_rates`` — validated when a
+  :class:`CellSpec` is built, long before a worker process touches them;
+* capability flags (saturated-edge tracking, per-packet maxima, whether
+  Little's-Law and the Theorem 7 bound sandwich are meaningful for its
+  delay statistic);
+* a ``run_cell`` entry point that builds the simulator for one resolved
+  cell and runs one seeded replication.
+
+``ReplicationEngine`` dispatches every replication through
+:func:`get_engine`, so *any* registered engine — including new ones
+added by :func:`register_engine` — is immediately reachable from
+``CellSpec(engine=...)``, ``python -m repro simulate --engine ...`` and
+the experiment sweeps, with no per-engine kwargs sprawl.
+
+Engine-specific parameters
+--------------------------
+``fifo`` (alias ``event``)
+    ``event_queue``: ``"calendar"`` or ``"heap"`` — the stochastic-service
+    priority structure (outputs are bit-identical either way);
+    ``service_rates``: per-edge ``phi_e`` (scalar broadcasts; pass a tuple
+    to keep the spec hashable).
+``slotted``
+    ``batch_rng``: fully batched draw order (blocked Poisson counts plus
+    per-slot source/destination/coin batches). **Default True** since the
+    registry redesign — pass ``batch_rng=False`` for the legacy
+    per-packet-compatible stream (see the deprecation note in
+    :mod:`repro.sim.slotted`).
+``rushed``
+    ``event_queue`` and ``service_rates`` as for ``fifo``. The number of
+    copies per packet is not a free knob: Theorem 10's construction sends
+    exactly one copy to every queue on the route, so the copy count is
+    the path length by definition.
+``ps``
+    ``service_rates`` as for ``fifo`` (the PS discipline itself has no
+    further parameters: equal sharing of ``phi_e`` among the customers
+    present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+from typing import Callable, Mapping
+
+from repro.sim.eventqueue import CALENDAR, HEAP
+from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
+from repro.sim.ps_network import PSNetworkSimulation
+from repro.sim.result import SimResult
+from repro.sim.rushed_network import RushedNetworkSimulation
+from repro.sim.slotted import SlottedNetworkSimulation
+
+FIFO, SLOTTED, RUSHED, PS = "fifo", "slotted", "rushed", "ps"
+
+#: Value-kind tags for :class:`EngineParam` validation.
+BOOL, CHOICE, RATE_OR_RATES = "bool", "choice", "rate-or-rates"
+
+
+@dataclass(frozen=True)
+class EngineParam:
+    """Typed metadata for one engine-specific knob.
+
+    ``kind`` selects the validation rule: :data:`BOOL` (a real ``bool``),
+    :data:`CHOICE` (a string from ``choices``) or :data:`RATE_OR_RATES`
+    (a positive scalar, or a tuple of per-edge values — tuples, not
+    lists/arrays, so the owning spec stays hashable and picklable).
+    """
+
+    name: str
+    kind: str
+    default: object
+    doc: str
+    choices: tuple[str, ...] = ()
+
+    def validate(self, value: object) -> None:
+        """Raise ``ValueError`` unless ``value`` fits this parameter."""
+        if self.kind == BOOL:
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"engine param {self.name!r} expects a bool, got {value!r}"
+                )
+        elif self.kind == CHOICE:
+            if value not in self.choices:
+                raise ValueError(
+                    f"engine param {self.name!r} must be one of "
+                    f"{'/'.join(self.choices)}, got {value!r}"
+                )
+        elif self.kind == RATE_OR_RATES:
+            scalar = isinstance(value, Real) and not isinstance(value, bool)
+            seq = isinstance(value, tuple) and all(
+                isinstance(v, Real) and not isinstance(v, bool) for v in value
+            )
+            if not (scalar or seq):
+                raise ValueError(
+                    f"engine param {self.name!r} expects a number or a tuple "
+                    f"of numbers, got {value!r}"
+                )
+        else:  # pragma: no cover - registry authoring error
+            raise ValueError(f"unknown EngineParam kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """One-line ``name=default`` rendering for listings."""
+        opts = f" ({'/'.join(self.choices)})" if self.choices else ""
+        return f"{self.name}={self.default!r}{opts}"
+
+
+@dataclass(frozen=True)
+class Engine:
+    """A registry entry: metadata plus the cell-replication entry point.
+
+    ``run_cell(spec, seed, node_rate, mask, net, cache)`` builds the
+    simulator for one resolved cell (scenario network ``net``, calibrated
+    ``node_rate``, optional saturation ``mask``, shared path ``cache``)
+    and runs the single replication for ``seed``, returning a
+    :class:`~repro.sim.result.SimResult`. ``supports_saturated`` /
+    ``supports_maxima`` gate the :class:`CellSpec` tracking flags;
+    ``littles_law`` marks engines whose ``mean_delay`` satisfies Little's
+    Law against ``mean_number`` (the rushed makespan does not);
+    ``bound_sandwich`` marks engines whose standard-model delay the
+    Theorem 7 sandwich brackets.
+    """
+
+    name: str
+    description: str
+    services: tuple[str, ...]
+    params: tuple[EngineParam, ...]
+    run_cell: Callable[..., SimResult]
+    aliases: tuple[str, ...] = ()
+    supports_saturated: bool = False
+    supports_maxima: bool = False
+    littles_law: bool = True
+    bound_sandwich: bool = False
+
+    def param(self, name: str) -> EngineParam:
+        for p in self.params:
+            if p.name == name:
+                return p
+        known = ", ".join(p.name for p in self.params) or "none"
+        raise ValueError(
+            f"engine {self.name!r} has no param {name!r} (known: {known})"
+        )
+
+    def validate_params(self, params: Mapping[str, object]) -> None:
+        """Validate an ``engine_params`` mapping against the metadata."""
+        for key, value in params.items():
+            self.param(key).validate(value)
+
+
+_REGISTRY: dict[str, Engine] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_engine(engine: Engine) -> Engine:
+    """Add an engine to the registry (name and aliases must be unused)."""
+    for name in (engine.name, *engine.aliases):
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"engine name {name!r} already registered")
+    _REGISTRY[engine.name] = engine
+    for alias in engine.aliases:
+        _ALIASES[alias] = engine.name
+    return engine
+
+
+def engine_names(*, with_aliases: bool = False) -> list[str]:
+    """Registered canonical names (optionally plus aliases), sorted."""
+    names = list(_REGISTRY)
+    if with_aliases:
+        names += list(_ALIASES)
+    return sorted(names)
+
+
+def canonical_engine(name: str) -> str:
+    """Resolve an engine name or alias to its canonical registry name."""
+    if name in _REGISTRY:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    known = ", ".join(engine_names(with_aliases=True))
+    raise ValueError(f"unknown engine {name!r} (known: {known})")
+
+
+def get_engine(name: str) -> Engine:
+    """Look up an engine by canonical name or alias."""
+    return _REGISTRY[canonical_engine(name)]
+
+
+def available_engines() -> list[Engine]:
+    """All registered engines, sorted by canonical name."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Built-in engines.
+
+_EVENT_QUEUE_PARAM = EngineParam(
+    "event_queue",
+    CHOICE,
+    CALENDAR,
+    "priority structure for the stochastic-service loop (bit-identical "
+    "either way)",
+    choices=(CALENDAR, HEAP),
+)
+_SERVICE_RATES_PARAM = EngineParam(
+    "service_rates",
+    RATE_OR_RATES,
+    1.0,
+    "per-edge service rates phi_e (scalar broadcasts; tuple for per-edge)",
+)
+
+
+def _fifo_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+    sim = NetworkSimulation(
+        net.router,
+        net.destinations,
+        node_rate,
+        service=spec.service,
+        source_nodes=net.source_nodes,
+        saturated_mask=mask,
+        seed=seed,
+        path_cache=cache,
+        **spec.engine_params_dict,
+    )
+    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
+
+
+def _slotted_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+    sim = SlottedNetworkSimulation(
+        net.router,
+        net.destinations,
+        node_rate,
+        tau=spec.tau,
+        source_nodes=net.source_nodes,
+        saturated_mask=mask,
+        seed=seed,
+        path_cache=cache,
+    )
+    warmup_slots = int(round(spec.warmup / spec.tau))
+    horizon_slots = max(1, int(round(spec.horizon / spec.tau)))
+    return sim.run(
+        warmup_slots,
+        horizon_slots,
+        track_maxima=spec.track_maxima,
+        **spec.engine_params_dict,
+    )
+
+
+def _rushed_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+    sim = RushedNetworkSimulation(
+        net.router,
+        net.destinations,
+        node_rate,
+        source_nodes=net.source_nodes,
+        seed=seed,
+        path_cache=cache,
+        **spec.engine_params_dict,
+    )
+    return sim.run(spec.warmup, spec.horizon)
+
+
+def _ps_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+    sim = PSNetworkSimulation(
+        net.router,
+        net.destinations,
+        node_rate,
+        source_nodes=net.source_nodes,
+        seed=seed,
+        path_cache=cache,
+        **spec.engine_params_dict,
+    )
+    return sim.run(spec.warmup, spec.horizon)
+
+
+register_engine(
+    Engine(
+        name=FIFO,
+        aliases=("event",),
+        description=(
+            "event-driven FIFO servers: the paper's standard model "
+            "(deterministic service) and the Jackson model (exponential)"
+        ),
+        services=(DETERMINISTIC, EXPONENTIAL),
+        params=(_EVENT_QUEUE_PARAM, _SERVICE_RATES_PARAM),
+        run_cell=_fifo_cell,
+        supports_saturated=True,
+        supports_maxima=True,
+        bound_sandwich=True,
+    )
+)
+register_engine(
+    Engine(
+        name=SLOTTED,
+        description=(
+            "Section 5.2 slotted time: Poisson batch per slot, one "
+            "unit-slot transmission per non-empty edge"
+        ),
+        services=(DETERMINISTIC,),
+        params=(
+            EngineParam(
+                "batch_rng",
+                BOOL,
+                True,
+                "fully batched draw order (False replays the legacy "
+                "per-packet-compatible stream)",
+            ),
+        ),
+        run_cell=_slotted_cell,
+        supports_saturated=True,
+        supports_maxima=True,
+        bound_sandwich=True,
+    )
+)
+register_engine(
+    Engine(
+        name=RUSHED,
+        description=(
+            "Theorem 10 'rushed' copy system Q1: one copy per route queue "
+            "served immediately; mean_delay is the per-packet makespan"
+        ),
+        services=(DETERMINISTIC,),
+        params=(_EVENT_QUEUE_PARAM, _SERVICE_RATES_PARAM),
+        run_cell=_rushed_cell,
+        littles_law=False,  # makespan, not a Little's-Law sojourn time
+    )
+)
+register_engine(
+    Engine(
+        name=PS,
+        description=(
+            "processor sharing (the Theorem 5 comparator): equal split of "
+            "phi_e among the customers present; product-form equilibrium"
+        ),
+        services=(DETERMINISTIC,),
+        params=(_SERVICE_RATES_PARAM,),
+        run_cell=_ps_cell,
+    )
+)

@@ -6,11 +6,14 @@ single substrate for that pattern:
 
 * :class:`CellSpec` — a declarative description of one cell: scenario
   (topology + router + destination law, resolved by
-  :mod:`repro.scenarios`), load, engine, service law, measurement window
-  and the seed set;
+  :mod:`repro.scenarios`), load, engine (any name in
+  :mod:`repro.sim.registry` — ``fifo``/``event``, ``slotted``,
+  ``rushed``, ``ps``), service law, engine-specific knobs, measurement
+  window and the seed set;
 * :class:`ReplicationEngine` — fans the R seeded replications (of one cell
   or of a whole batch of cells at once) over
-  :func:`repro.util.parallel.pmap`;
+  :func:`repro.util.parallel.pmap`, dispatching each replication through
+  the engine registry;
 * :class:`ReplicatedResult` — the pooled outcome: across-replication means
   with ~95% confidence half-widths, computed by the same
   :func:`repro.sim.measurement.batch_means` machinery the within-run delay
@@ -19,8 +22,8 @@ single substrate for that pattern:
 Replications are embarrassingly parallel — a cell is a pure function of
 ``(spec, seed)`` — so the fan-out is a flat ordered ``pmap`` over every
 (cell, seed) pair, the same HPC idiom as the experiment grid. The engine
-works identically for the event-driven and the slotted simulators; the
-slotted engine interprets the window in units of ``tau``-slots.
+works identically for all four simulators; the slotted engine interprets
+the window in units of ``tau``-slots.
 """
 
 from __future__ import annotations
@@ -32,14 +35,18 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.pathcache import path_cache_for
-from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
+from repro.sim.fifo_network import DETERMINISTIC
 from repro.sim.measurement import BatchMeans, batch_means
+#: SLOTTED is re-exported here for backward compatibility: it was this
+#: module's public engine constant before the registry existed.
+from repro.sim.registry import FIFO, SLOTTED, canonical_engine, get_engine
 from repro.sim.result import SimResult
-from repro.sim.slotted import SlottedNetworkSimulation
 from repro.util.parallel import pmap
 from repro.util.tables import Table
 
-EVENT, SLOTTED = "event", "slotted"
+#: Historical alias for the FIFO event-driven engine (still accepted by
+#: ``CellSpec``; canonicalised to ``"fifo"`` on construction).
+EVENT = "event"
 
 
 @dataclass(frozen=True)
@@ -66,10 +73,15 @@ class CellSpec:
         Table I's ``"table1"``); non-standard scenarios always calibrate
         exactly via the generic traffic solver.
     engine:
-        ``"event"`` (the event-driven simulator) or ``"slotted"``.
+        Any name (or alias) in the engine registry
+        (:mod:`repro.sim.registry`): ``"fifo"`` (alias ``"event"``, the
+        event-driven FIFO simulator), ``"slotted"``, ``"rushed"``
+        (Theorem 10 copies) or ``"ps"`` (the Theorem 5 processor-sharing
+        comparator). Canonicalised on construction, so
+        ``CellSpec(engine="event").engine == "fifo"``.
     service:
-        Service law for the event engine (the slotted engine is always
-        unit-slot deterministic).
+        Service law; each engine declares the laws it supports in the
+        registry (only the FIFO engine supports ``"exponential"``).
     tau:
         Slot duration for the slotted engine.
     warmup, horizon:
@@ -78,13 +90,26 @@ class CellSpec:
     seeds:
         One replication per seed. Defaults to 4 replications.
     track_saturated:
-        Track R_s(t) against the scenario's saturated-edge mask (Table III).
+        Track R_s(t) against the scenario's saturated-edge mask
+        (Table III); only engines whose registry entry sets
+        ``supports_saturated`` accept this.
     track_maxima:
-        Track the worst per-packet delay / longest queue (event engine).
+        Track the worst per-packet delay / longest queue (FIFO and
+        slotted engines).
     params:
         Scenario parameters as a tuple of ``(name, value)`` pairs, e.g.
         ``(("h", 0.3),)`` for the hot-spot mass (kept as a tuple so the
         spec stays hashable and picklable).
+    engine_params:
+        Engine-specific knobs as a tuple of ``(name, value)`` pairs,
+        validated against the registry's typed :class:`EngineParam`
+        metadata — e.g. ``(("event_queue", "heap"),)`` for the FIFO or
+        rushed engines, ``(("batch_rng", False),)`` to opt the slotted
+        engine back into the legacy draw order, or
+        ``(("service_rates", 2.0),)`` wherever per-edge rates apply.
+        Unknown names or ill-typed values raise at spec construction,
+        not inside a worker process. Like ``params``, kept as a sorted
+        tuple so the spec stays hashable and picklable.
     """
 
     scenario: str = "uniform"
@@ -92,7 +117,7 @@ class CellSpec:
     rho: float | None = None
     node_rate: float | tuple[float, ...] | None = None
     convention: str = "exact"
-    engine: str = EVENT
+    engine: str = FIFO
     service: str = DETERMINISTIC
     tau: float = 1.0
     warmup: float = 300.0
@@ -101,16 +126,44 @@ class CellSpec:
     track_saturated: bool = False
     track_maxima: bool = False
     params: tuple[tuple[str, object], ...] = ()
+    engine_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.engine not in (EVENT, SLOTTED):
+        # Canonicalise the engine name through the registry ("event" is
+        # the historical alias for "fifo"); unknown names raise here.
+        object.__setattr__(self, "engine", canonical_engine(self.engine))
+        info = get_engine(self.engine)
+        if self.service not in info.services:
             raise ValueError(
-                f"engine must be '{EVENT}' or '{SLOTTED}', got {self.engine!r}"
+                f"the {info.name} engine only supports "
+                f"{'/'.join(info.services)} service, got {self.service!r}"
             )
-        if self.service not in (DETERMINISTIC, EXPONENTIAL):
-            raise ValueError(f"unknown service law {self.service!r}")
-        if self.engine == SLOTTED and self.service != DETERMINISTIC:
-            raise ValueError("the slotted engine only supports unit-slot service")
+        object.__setattr__(
+            self,
+            "engine_params",
+            tuple(sorted(self.engine_params, key=lambda kv: kv[0])),
+        )
+        ep = self.engine_params_dict
+        if len(ep) != len(self.engine_params):
+            raise ValueError("duplicate engine_params names")
+        info.validate_params(ep)
+        if self.rho is not None and ep.get("service_rates", 1.0) != 1.0:
+            # Both rho calibrations (the standard-model closed forms and
+            # the generic traffic solver) assume unit service rates, so a
+            # rescaled phi would silently make "rho" mean a different
+            # load. Force the caller to state the rate explicitly.
+            raise ValueError(
+                "rho load calibration assumes unit service rates; pass "
+                "node_rate explicitly when overriding service_rates"
+            )
+        if self.track_saturated and not info.supports_saturated:
+            raise ValueError(
+                f"the {info.name} engine does not track saturated edges"
+            )
+        if self.track_maxima and not info.supports_maxima:
+            raise ValueError(
+                f"the {info.name} engine does not track per-packet maxima"
+            )
         if self.rho is None and self.node_rate is None:
             raise ValueError("one of rho or node_rate is required")
         if not self.seeds:
@@ -128,10 +181,20 @@ class CellSpec:
         """Scenario parameters as a dict."""
         return dict(self.params)
 
+    @property
+    def engine_params_dict(self) -> dict:
+        """Engine-specific parameters as a dict."""
+        return dict(self.engine_params)
+
     def with_params(self, **params) -> "CellSpec":
         """Copy of this spec with the given scenario parameters merged in."""
         merged = {**self.params_dict, **params}
         return replace(self, params=tuple(sorted(merged.items())))
+
+    def with_engine_params(self, **params) -> "CellSpec":
+        """Copy of this spec with the given engine knobs merged in."""
+        merged = {**self.engine_params_dict, **params}
+        return replace(self, engine_params=tuple(sorted(merged.items())))
 
 
 def _pm(mean: float, half_width: float, digits: int) -> str:
@@ -267,8 +330,11 @@ class ReplicatedResult:
 #: scratch, multiplying the path-construction work by the seed count. A
 #: path cache only grows and never influences results (deterministic
 #: lookups are RNG-free, the randomized variant draws the same per-packet
-#: coin), so sharing it across same-cell replications is safe. Each pool
-#: worker process keeps its own memo.
+#: coin), so sharing it across same-cell replications is safe. The key
+#: includes the engine name and engine_params, not just the scenario
+#: identity, so mixed-engine ``run_many`` batches never hand one engine
+#: type a (network, cache) entry attuned to another. Each pool worker
+#: process keeps its own memo.
 _NETWORK_MEMO: OrderedDict = OrderedDict()
 _NETWORK_MEMO_MAX = 8
 
@@ -277,7 +343,7 @@ def _cell_network(spec: CellSpec):
     """The (network, path cache) for a cell, memoized per worker."""
     from repro.scenarios import build_network  # late: scenarios imports us
 
-    key = (spec.scenario, spec.n, spec.params)
+    key = (spec.engine, spec.engine_params, spec.scenario, spec.n, spec.params)
     ent = _NETWORK_MEMO.get(key)
     if ent is None:
         net = build_network(spec.scenario, spec.n, **spec.params_dict)
@@ -291,34 +357,14 @@ def _cell_network(spec: CellSpec):
 
 
 def _run_replication(job: tuple) -> SimResult:
-    """Run one seeded replication of a cell (top-level for pickling)."""
+    """Run one seeded replication of a cell (top-level for pickling).
+
+    Dispatches through the engine registry: any engine registered in
+    :mod:`repro.sim.registry` runs here with no per-engine code.
+    """
     spec, seed, node_rate, mask = job
     net, cache = _cell_network(spec)
-    if spec.engine == SLOTTED:
-        sim = SlottedNetworkSimulation(
-            net.router,
-            net.destinations,
-            node_rate,
-            tau=spec.tau,
-            source_nodes=net.source_nodes,
-            saturated_mask=mask,
-            seed=seed,
-            path_cache=cache,
-        )
-        warmup_slots = int(round(spec.warmup / spec.tau))
-        horizon_slots = max(1, int(round(spec.horizon / spec.tau)))
-        return sim.run(warmup_slots, horizon_slots)
-    sim = NetworkSimulation(
-        net.router,
-        net.destinations,
-        node_rate,
-        service=spec.service,
-        source_nodes=net.source_nodes,
-        saturated_mask=mask,
-        seed=seed,
-        path_cache=cache,
-    )
-    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
+    return get_engine(spec.engine).run_cell(spec, seed, node_rate, mask, net, cache)
 
 
 class ReplicationEngine:

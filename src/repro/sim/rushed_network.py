@@ -38,12 +38,16 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.base import Router
-from repro.routing.destinations import DestinationDistribution, UniformDestinations
-from repro.routing.pathcache import resolve_path_cache
+from repro.routing.destinations import DestinationDistribution
+from repro.sim.enginecommon import (
+    SORTED_IDS,
+    EngineCommon,
+    resolve_service_rates,
+)
 from repro.sim.eventqueue import CALENDAR, HEAP, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_node_rates, check_positive, pinned_cdf
+from repro.util.validation import check_positive
 
 _BLOCK = 8192
 
@@ -83,19 +87,8 @@ class RushedNetworkSimulation:
                 f"event_queue must be '{CALENDAR}' or '{HEAP}', got {event_queue!r}"
             )
         self.event_queue = event_queue
-        self.router = router
-        self.topology = router.topology
-        self.destinations = destinations
         self.seed = int(seed)
-        num_edges = self.topology.num_edges
-        if np.isscalar(service_rates):
-            phi = np.full(num_edges, float(service_rates))
-        else:
-            phi = np.asarray(service_rates, dtype=float)
-            if phi.shape != (num_edges,):
-                raise ValueError(f"service_rates must have {num_edges} entries")
-        if np.any(phi <= 0):
-            raise ValueError("service rates must be positive")
+        phi = resolve_service_rates(service_rates, router.topology.num_edges)
         self._service_times: list[float] = (1.0 / phi).tolist()
         # Uniform deterministic service enables the monotone-merge event
         # loop (copies start service at the event time, so departures are
@@ -104,40 +97,18 @@ class RushedNetworkSimulation:
             self._service_times.count(self._service_times[0])
             == len(self._service_times)
         )
-        self.source_nodes = (
-            list(range(self.topology.num_nodes))
-            if source_nodes is None
-            else [int(s) for s in source_nodes]
-        )
-        if not self.source_nodes:
-            raise ValueError("at least one source node is required")
-        if np.isscalar(node_rate):
-            check_positive(node_rate, "node_rate")
-            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
-        else:
-            self.node_rates = check_node_rates(
-                node_rate, len(self.source_nodes), "node_rate"
-            )
-        self.total_rate = float(self.node_rates.sum())
-
-        # Uniform-source fast path / pinned CDF: same discipline as the
-        # event engine (side='right' draws can never pick a zero-rate
-        # source).
-        self._uniform_sources = bool(
-            np.allclose(self.node_rates, self.node_rates[0])
-        )
-        if not self._uniform_sources:
-            self._source_cdf = pinned_cdf(self.node_rates)
-        self._uniform_dests = isinstance(destinations, UniformDestinations)
-        self._fast_ids = (
-            self._uniform_sources
-            and self._uniform_dests
-            and sorted(self.source_nodes) == list(range(self.topology.num_nodes))
-        )
-
-        self.path_cache = resolve_path_cache(
-            router, path_cache=path_cache, use_path_cache=use_path_cache
-        )
+        # Shared constructor policy: same discipline as the event engine
+        # (SORTED_IDS fast ids; side='right' pinned-CDF draws can never
+        # pick a zero-rate source).
+        EngineCommon(
+            router,
+            destinations,
+            node_rate,
+            source_nodes=source_nodes,
+            fast_id_order=SORTED_IDS,
+            path_cache=path_cache,
+            use_path_cache=use_path_cache,
+        ).install(self)
 
     def run(
         self,

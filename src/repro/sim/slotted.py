@@ -22,16 +22,18 @@ Implementation notes:
   packet record stores an ``(arena_offset, length)`` view;
 * the whole Poisson batch of a slot is sampled with vectorized kernels
   wherever that reproduces the legacy per-packet RNG draw order exactly
-  (see *RNG compatibility* below); ``run(batch_rng=True)`` lifts that
-  restriction and batches everything, including the per-slot Poisson
-  counts themselves (drawn in 8192-size blocks like the event engine's
-  exponential and id blocks).
+  (see *RNG compatibility* below); ``run(batch_rng=True)`` — the default
+  since the engine-registry redesign closed the ROADMAP deprecation
+  window — lifts that restriction and batches everything, including the
+  per-slot Poisson counts themselves (drawn in 8192-size blocks like the
+  event engine's exponential and id blocks). ``batch_rng=False`` keeps
+  the legacy-compatible stream.
 
 RNG compatibility
 -----------------
-The default kernel is bound by the same-seed bit-identity contract (see
-:mod:`repro.sim` docs): it must consume the RNG exactly like the original
-per-packet loop. NumPy ``Generator`` array draws are stream-identical to
+The compat kernel (``batch_rng=False``) is bound by the same-seed
+bit-identity contract (see :mod:`repro.sim` docs): it must consume the
+RNG exactly like the original per-packet loop. NumPy ``Generator`` array draws are stream-identical to
 the same number of consecutive scalar draws, so a slot *can* be batched
 whenever the legacy draw sequence was a run of same-kind draws:
 
@@ -60,11 +62,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.base import Router
-from repro.routing.destinations import DestinationDistribution, UniformDestinations
-from repro.routing.pathcache import resolve_path_cache
+from repro.routing.destinations import DestinationDistribution
+from repro.sim.enginecommon import (
+    IDENTITY_IDS,
+    EngineCommon,
+    resolve_saturated_mask,
+)
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
-from repro.util.validation import check_node_rates, check_positive, pinned_cdf
+from repro.util.validation import check_positive
 
 _BLOCK = 8192
 
@@ -93,49 +99,26 @@ class SlottedNetworkSimulation:
         use_path_cache: bool = True,
         path_cache=None,
     ) -> None:
-        self.router = router
-        self.topology = router.topology
-        self.destinations = destinations
         self.tau = check_positive(tau, "tau")
         self.seed = int(seed)
-        self.source_nodes = (
-            list(range(self.topology.num_nodes))
-            if source_nodes is None
-            else [int(s) for s in source_nodes]
-        )
-        if np.isscalar(node_rate):
-            check_positive(node_rate, "node_rate")
-            self.node_rates = np.full(len(self.source_nodes), float(node_rate))
-        else:
-            self.node_rates = check_node_rates(
-                node_rate, len(self.source_nodes), "node_rate"
-            )
-        self.total_rate = float(self.node_rates.sum())
-        self._source_cdf = pinned_cdf(self.node_rates)
-        num_edges = self.topology.num_edges
-        if saturated_mask is None:
-            self._sat: list[bool] | None = None
-        else:
-            mask = np.asarray(saturated_mask, dtype=bool)
-            if mask.shape != (num_edges,):
-                raise ValueError(f"saturated_mask must have {num_edges} entries")
-            self._sat = mask.tolist()
-
-        self._uniform_sources = bool(
-            np.allclose(self.node_rates, self.node_rates[0])
-        )
-        # Batched id pairs need every node generating at equal rate with
-        # the identity source order (so ids are node ids) and uniform
-        # destinations — then the legacy src/dst draws are one flat run of
-        # same-bound integer draws.
-        self._fast_ids = (
-            self._uniform_sources
-            and isinstance(destinations, UniformDestinations)
-            and self.source_nodes == list(range(self.topology.num_nodes))
-        )
-
-        self.path_cache = resolve_path_cache(
-            router, path_cache=path_cache, use_path_cache=use_path_cache
+        # Shared constructor policy (sources, rates, pinned source CDF,
+        # fast-id predicate, path cache). Batched id pairs need every node
+        # generating at equal rate with the *identity* source order (so
+        # drawn ids are node ids) and uniform destinations — then the
+        # legacy src/dst draws are one flat run of same-bound integer
+        # draws. The event engines only need sorted order; the difference
+        # is load-bearing (IDENTITY_IDS here).
+        EngineCommon(
+            router,
+            destinations,
+            node_rate,
+            source_nodes=source_nodes,
+            fast_id_order=IDENTITY_IDS,
+            path_cache=path_cache,
+            use_path_cache=use_path_cache,
+        ).install(self)
+        self._sat = resolve_saturated_mask(
+            saturated_mask, self.topology.num_edges
         )
 
     def run(
@@ -146,7 +129,7 @@ class SlottedNetworkSimulation:
         delay_batches: int = 32,
         track_maxima: bool = False,
         collect_delays: bool = False,
-        batch_rng: bool = False,
+        batch_rng: bool = True,
     ) -> SimResult:
         """Simulate ``warmup_slots + horizon_slots`` slots, then drain.
 
@@ -170,6 +153,10 @@ class SlottedNetworkSimulation:
             per-slot source/destination/coin batches). Deterministic per
             seed and statistically identical, but *not* bit-compatible
             with the legacy per-packet stream — see the module docstring.
+            **Default True** since the engine-registry redesign (the
+            documented behaviour change that re-pinned the slotted golden
+            cells); pass ``batch_rng=False`` for the legacy stream, which
+            stays pinned by its own ``*_compat`` golden cells.
         """
         if warmup_slots < 0 or horizon_slots <= 0:
             raise ValueError("need warmup_slots >= 0 and horizon_slots > 0")

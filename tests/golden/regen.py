@@ -115,12 +115,14 @@ def build_cases() -> dict:
         cases[name] = _encode(res)
 
     def slotted(name, router, dests, rate, seed, *, warmup_slots=10,
-                horizon_slots=150, tau=1.0, saturated_mask=None):
+                horizon_slots=150, tau=1.0, saturated_mask=None,
+                batch_rng=None):
         sim = SlottedNetworkSimulation(
             router, dests, rate, tau=tau, seed=seed,
             saturated_mask=saturated_mask,
         )
-        res = sim.run(warmup_slots, horizon_slots)
+        kw = {} if batch_rng is None else {"batch_rng": batch_rng}
+        res = sim.run(warmup_slots, horizon_slots, **kw)
         cases[name] = _encode(res)
 
     m5 = ArrayMesh(5)
@@ -143,6 +145,12 @@ def build_cases() -> dict:
     event("event_geometric", GreedyArrayRouter(m4),
           GeometricStopDestinations(m4, stop=0.5), 0.20, 16)
 
+    # The default slotted cells follow the engine default draw order —
+    # batch_rng=True since the registry redesign flipped it (the one
+    # documented re-pin in that PR). The *_compat cells pin the legacy
+    # per-packet-compatible stream (batch_rng=False) on the three kernel
+    # shapes: fast-id pairs, scalar data-dependent law, RNG-consuming
+    # randomized cache. Their values are the pre-flip fixtures verbatim.
     slotted("slotted_uniform", GreedyArrayRouter(m5),
             UniformDestinations(25), 0.10, 11)
     slotted("slotted_hotspot", GreedyArrayRouter(m5),
@@ -153,6 +161,13 @@ def build_cases() -> dict:
             GeometricStopDestinations(m4, stop=0.5), 0.15, 15)
     slotted("slotted_randomized", RandomizedGreedyArrayRouter(m5),
             UniformDestinations(25), 0.09, 17)
+    slotted("slotted_uniform_compat", GreedyArrayRouter(m5),
+            UniformDestinations(25), 0.10, 11, batch_rng=False)
+    slotted("slotted_hotspot_compat", GreedyArrayRouter(m5),
+            HotSpotDestinations(25, hot_node=12, h=0.3), 0.07, 12,
+            batch_rng=False)
+    slotted("slotted_randomized_compat", RandomizedGreedyArrayRouter(m5),
+            UniformDestinations(25), 0.09, 17, batch_rng=False)
 
     # The PR-3-ported engines: rushed (Theorem 10 copies) on both of its
     # loops — monotone merge (uniform service) and the event queue
@@ -181,6 +196,34 @@ def build_cases() -> dict:
        UniformDestinations(16), 0.12, 26)
     ps("ps_hotspot", GreedyArrayRouter(m4),
        HotSpotDestinations(16, hot_node=5, h=0.3), 0.10, 27)
+
+    # Cells reached through the declarative facade (CellSpec -> engine
+    # registry -> ReplicationEngine). api_rushed_uniform / api_ps_hotspot
+    # use the exact constructor arguments of rushed_uniform / ps_hotspot,
+    # so the facade path is pinned to be bit-identical to the direct
+    # path (asserted by test_api_cells_match_direct_cells); the slotted
+    # API cell additionally pins an engine_params knob flowing through
+    # the registry (the batch_rng opt-out).
+    from repro.sim.replication import CellSpec, ReplicationEngine
+
+    def api_cell(name, engine, *, scenario, n, node_rate, seed,
+                 params=(), engine_params=(), warmup=15.0, horizon=150.0):
+        spec = CellSpec(
+            scenario=scenario, n=n, node_rate=node_rate, engine=engine,
+            warmup=warmup, horizon=horizon, seeds=(seed,),
+            params=params, engine_params=engine_params,
+        )
+        res = ReplicationEngine(processes=1).run(spec).replications[0]
+        cases[name] = _encode(res)
+
+    api_cell("api_rushed_uniform", "rushed", scenario="uniform", n=5,
+             node_rate=0.10, seed=23)
+    api_cell("api_ps_hotspot", "ps", scenario="hotspot", n=4,
+             node_rate=0.10, seed=27,
+             params=(("h", 0.3), ("hot_node", 5)))
+    api_cell("api_slotted_uniform_compat", "slotted", scenario="uniform",
+             n=5, node_rate=0.10, seed=11, warmup=10.0,
+             engine_params=(("batch_rng", False),))
 
     # Bookkeeping branches the uniform cells never touch: saturated-mask
     # accounting, utilization accumulation (three inlined sites in the

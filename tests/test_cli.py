@@ -109,6 +109,103 @@ class TestCommands:
         assert rc == 0
         assert "engine=slotted" in capsys.readouterr().out
 
+    def test_engines_listing(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fifo", "slotted", "rushed", "ps"):
+            assert name in out
+        assert "event" in out  # the alias is listed
+        assert "batch_rng" in out and "event_queue" in out
+        assert "deterministic/exponential" in out
+
+    def test_simulate_rushed_engine(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--engine",
+                "rushed",
+                "-n",
+                "4",
+                "--rho",
+                "0.6",
+                "--replications",
+                "2",
+                "--processes",
+                "1",
+                "--warmup",
+                "30",
+                "--horizon",
+                "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine=rushed" in out
+        # The makespan is not sandwich-comparable: no bound check printed.
+        assert "sandwich" not in out
+
+    def test_simulate_ps_engine(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--engine",
+                "ps",
+                "-n",
+                "4",
+                "--rho",
+                "0.6",
+                "--processes",
+                "1",
+                "--warmup",
+                "30",
+                "--horizon",
+                "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine=ps" in out
+        assert "sandwich" not in out
+
+    def test_simulate_engine_param(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--engine",
+                "slotted",
+                "-n",
+                "4",
+                "--rho",
+                "0.5",
+                "--engine-param",
+                "batch_rng=false",
+                "--processes",
+                "1",
+                "--warmup",
+                "30",
+                "--horizon",
+                "200",
+            ]
+        )
+        assert rc == 0
+        assert "engine=slotted" in capsys.readouterr().out
+
+    def test_simulate_unknown_engine_param_raises(self):
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "simulate",
+                    "-n",
+                    "4",
+                    "--rho",
+                    "0.5",
+                    "--engine-param",
+                    "turbo=1",
+                    "--processes",
+                    "1",
+                ]
+            )
+
     def test_simulate_scenario_param(self, capsys):
         rc = main(
             [
@@ -138,6 +235,10 @@ class TestCommands:
     def test_simulate_unknown_scenario_raises(self):
         with pytest.raises(ValueError):
             main(["simulate", "--scenario", "frobnicate"])
+
+    def test_simulate_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="fifo"):
+            main(["simulate", "--engine", "quantum"])
 
     def test_figure1(self, capsys):
         assert main(["figure1", "-n", "3"]) == 0

@@ -54,19 +54,39 @@ def test_cell_bit_identical(name, golden, fresh):
 
 def test_fixture_covers_all_four_engines(golden):
     """The acceptance scenarios are pinned for every engine, including
-    the PR-3-ported rushed and PS simulators."""
+    the PR-3-ported rushed and PS simulators, the legacy slotted draw
+    order (batch_rng=False, the *_compat cells) and the declarative
+    facade path (the api_* cells)."""
     names = set(golden)
     for required in (
         "event_uniform_det",
         "event_hotspot",
         "slotted_uniform",
         "slotted_hotspot",
+        "slotted_uniform_compat",
+        "slotted_hotspot_compat",
+        "slotted_randomized_compat",
         "rushed_uniform",
         "rushed_peredge_service",
         "ps_uniform",
         "ps_hotspot",
+        "api_rushed_uniform",
+        "api_ps_hotspot",
+        "api_slotted_uniform_compat",
     ):
         assert required in names
+
+
+def test_api_cells_match_direct_cells(golden):
+    """The declarative facade (CellSpec -> registry -> ReplicationEngine)
+    is a pure dispatch layer: a cell reached through it is bit-identical
+    to the same cell built by hand (same constructor args, same seed)."""
+    for api, direct in (
+        ("api_rushed_uniform", "rushed_uniform"),
+        ("api_ps_hotspot", "ps_hotspot"),
+        ("api_slotted_uniform_compat", "slotted_uniform_compat"),
+    ):
+        assert golden[api] == golden[direct], (api, direct)
 
 
 def test_fixture_floats_are_exact_hex(golden):

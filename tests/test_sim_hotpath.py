@@ -166,7 +166,7 @@ class TestSlottedBatchRng:
         router = GreedyArrayRouter(mesh)
         compat = SlottedNetworkSimulation(
             router, dests_factory(), 0.2, seed=1
-        ).run(50, 1500)
+        ).run(50, 1500, batch_rng=False)
         batch = SlottedNetworkSimulation(
             router, dests_factory(), 0.2, seed=2
         ).run(50, 1500, batch_rng=True)
@@ -187,7 +187,7 @@ class TestSlottedBatchRng:
         """For the uniform fast path the id pairs are drawn identically in
         both modes; only the Poisson count blocking differs, so generated
         counts stay close but trajectories legitimately diverge."""
-        a = self._mk(UniformDestinations(16)).run(10, 500)
+        a = self._mk(UniformDestinations(16)).run(10, 500, batch_rng=False)
         b = self._mk(UniformDestinations(16)).run(10, 500, batch_rng=True)
         assert a.generated == pytest.approx(b.generated, rel=0.1)
 

@@ -325,9 +325,12 @@ class TestSlottedSimulator:
         monkeypatch.setattr(
             np.random, "default_rng", lambda seed=None: BoundaryRNG(real(seed))
         )
+        # batch_rng=False: the scalar per-packet draw is the path the old
+        # bug lived on (the batched draw's boundary safety is covered by
+        # the EngineCommon policy tests).
         res = SlottedNetworkSimulation(
             two_node_router(), AlwaysNodeZero(), [0.0, 1.0], seed=37
-        ).run(0, 400)
+        ).run(0, 400, batch_rng=False)
         # Every packet goes to node 0, so one born at the (zero-rate)
         # source 0 would be counted in zero_hop.
         assert res.generated > 0
