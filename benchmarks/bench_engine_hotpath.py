@@ -35,6 +35,12 @@ networks where heap depth grows), the ported rushed engine (16x16,
 draws) and the ported PS engine (8x8; PS keeps its O(k)-per-event
 re-linearisation, so the port is about shared architecture and
 validation parity, not throughput).
+
+The calendar queue has since grown Brown's-rule adaptive bucket widths
+(the engine default); the exponential cell now appears three ways —
+adaptive calendar, fixed-width calendar, heap — all bit-identical by
+the pop-order contract, so the trio isolates the pure data-structure
+cost.
 """
 
 import time
@@ -168,8 +174,21 @@ def test_event_32x32_cached_beats_uncached(once, benchmark):
 
 
 def test_event_32x32_exponential_calendar(best_of, benchmark):
-    """The stochastic-service loop on the calendar queue (the default)."""
+    """The stochastic-service loop on the calendar queue — since the
+    adaptive-width work this is Brown's-rule resampling (the engine
+    default)."""
     sim = _event_cell(32, service="exponential")
+    res = best_of(sim.run, WARMUP, HORIZON)
+    _record(benchmark, res, PRE_PR_EVENT_EXP_32)
+    assert res.generated > 10_000
+
+
+def test_event_32x32_exponential_calendar_fixed(best_of, benchmark):
+    """The same cell with adaptive widths disabled (the pre-Brown
+    fixed-width calendar), isolating what the resampling buys/costs.
+    Outputs are bit-identical to the adaptive cell by the pop-order
+    contract; only the timing differs."""
+    sim = _event_cell(32, service="exponential", event_queue="calendar-fixed")
     res = best_of(sim.run, WARMUP, HORIZON)
     _record(benchmark, res, PRE_PR_EVENT_EXP_32)
     assert res.generated > 10_000

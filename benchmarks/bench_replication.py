@@ -4,9 +4,10 @@ paths it leans on.
 ``scripts/check.sh`` runs this file with ``--benchmark-json`` so the
 fan-out's performance trajectory is recorded across PRs
 (``BENCH_replication.json``). Since the engine-registry redesign the
-fan-out cells cover all four engines end-to-end through the declarative
-facade — fifo, slotted (batched draw default), rushed and PS — so the
-perf gate watches every ``CellSpec -> registry -> run_cell`` path.
+fan-out cells cover every registered engine end-to-end through the
+declarative facade — fifo, finite (tail-drop loss), slotted (batched
+draw default), rushed and PS — so the perf gate watches every
+``CellSpec -> registry -> run_cell`` path.
 """
 
 import numpy as np
@@ -58,6 +59,26 @@ def test_replication_rushed_cell(once):
     pooled = once(ReplicationEngine(processes=1).run, spec)
     assert len(pooled.replications) == 4
     assert all(r.completed == r.generated for r in pooled.replications)
+
+
+def test_replication_finite_cell(once):
+    """The finite-buffer loss engine through the registry: same uniform
+    cell as the fifo fan-out at a loss-inducing K=2, so the gate times
+    the drop-accounting loop (admission tests + per-node counters) on a
+    realistic loss level rather than the delegated buffer_size=None
+    path."""
+    spec = CellSpec(
+        scenario="uniform", n=8, rho=0.8, engine="finite",
+        warmup=100, horizon=1000, seeds=(0, 1, 2, 3),
+        engine_params=(("buffer_size", 2),),
+    )
+    pooled = once(ReplicationEngine(processes=1).run, spec)
+    assert len(pooled.replications) == 4
+    assert pooled.dropped > 0
+    assert all(
+        r.completed + r.dropped == r.generated for r in pooled.replications
+    )
+    assert 0.0 < pooled.loss_probability < 0.5
 
 
 def test_replication_ps_cell(once):

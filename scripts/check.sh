@@ -5,15 +5,31 @@
 # BENCH_<stage>.json (pytest-benchmark format) at the repo root so the
 # performance trajectory is recorded PR over PR. Before overwriting a
 # committed baseline, the warn-only perf gate prints any benchmark whose
-# median regressed >25% against it.
+# median regressed >25% against it. (CI reuses the same pieces: the
+# tier-1 job runs the fast lane, the bench job re-runs these stages and
+# uploads the fresh BENCH_*.json as artifacts — see
+# .github/workflows/ci.yml; `scripts/perf_gate.py --strict --json-out`
+# gives CI a hard exit and a machine-readable summary, while this local
+# gate stays warn-only.)
 #
-# The replication stage fans cells for all four registered engines
-# (fifo, slotted, rushed, ps) through the declarative CellSpec facade,
-# so the gate covers every `engine registry -> run_cell` path
+# Fast lane: FAST=1 ./scripts/check.sh deselects the tests marked
+# `slow` (the heavy statistical/cross-engine cells; see pytest.ini) and
+# skips the benchmark stages — the same selection CI's tier-1 job runs
+# on every push/PR. The default full run still executes everything.
+#
+# The replication stage fans cells for all five registered engines
+# (fifo, finite, slotted, rushed, ps) through the declarative CellSpec
+# facade, so the gate covers every `engine registry -> run_cell` path
 # end-to-end; the engine_hotpath stage times the raw engine loops.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if [ "${FAST:-0}" = "1" ]; then
+    python -m pytest -x -q -m "not slow"
+    echo "check.sh: fast lane green (slow tests and benches skipped)"
+    exit 0
+fi
 
 python -m pytest -x -q
 

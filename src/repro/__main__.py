@@ -10,6 +10,8 @@ Commands
 ``scenarios``  list the registered traffic scenarios
 ``engines``    list the registered simulation engines with their service
                laws and engine-specific parameters
+``finite``     sweep loss probability vs buffer size on the
+               finite-buffer engine, against the infinite baseline
 ``tables``     regenerate the paper's tables/figures (QUICK preset)
 ``figure1`` / ``figure2``  print the layering / saturated-edge figures
 
@@ -25,8 +27,10 @@ Examples
     python -m repro simulate --engine ps -n 6 --rho 0.6 --replications 4
     python -m repro simulate --engine slotted --engine-param batch_rng=false
     python -m repro simulate --engine fifo --engine-param event_queue=heap
+    python -m repro simulate --engine finite --engine-param buffer_size=4
     python -m repro simulate --scenario hotspot --param h=0.4
     python -m repro engines
+    python -m repro finite -n 16 --rho 0.9
     python -m repro figure2 -n 5
     python -m repro tables -o report.md
 """
@@ -97,6 +101,22 @@ def _cmd_simulate(args) -> int:
 
     scenario = get_scenario(args.scenario)
     info = get_engine(args.engine)
+    engine_params = _parse_params(args.engine_param, "--engine-param")
+    try:
+        info.validate_params(dict(engine_params))
+    except ValueError as exc:
+        # A bad --engine-param should read like CLI usage help for the
+        # *chosen* engine, not a bare registry traceback: list every
+        # valid key with its default and doc line.
+        lines = [f"simulate: {exc}"]
+        if info.params:
+            lines.append(
+                f"valid --engine-param keys for engine {info.name!r}:"
+            )
+            lines += [f"  {p.describe()}  -- {p.doc}" for p in info.params]
+        else:
+            lines.append(f"engine {info.name!r} accepts no --engine-param")
+        raise SystemExit("\n".join(lines)) from None
     spec = CellSpec(
         scenario=scenario.name,
         n=args.n,
@@ -109,11 +129,18 @@ def _cmd_simulate(args) -> int:
         track_saturated=scenario.standard_mesh and info.supports_saturated,
         track_maxima=info.supports_maxima,
         params=_parse_params(args.param),
-        engine_params=_parse_params(args.engine_param, "--engine-param"),
+        engine_params=engine_params,
     )
     res = ReplicationEngine(processes=args.processes).run(spec)
     print(res.render())
     print(res.summary_line())
+    if spec.engine == "finite":
+        hw = res.loss_half_width
+        ci = f"+/-{hw:.4f}" if hw == hw else ""  # nan with one replication
+        print(
+            f"loss: {res.loss_probability:.4f}{ci}  dropped {res.dropped} "
+            f"of {res.generated}"
+        )
     if not (scenario.bounds_apply and info.bound_sandwich):
         # The Theorem 7 sandwich only covers the standard array model (not
         # even the randomized mixture, which is not layered) on an engine
@@ -169,6 +196,27 @@ def _cmd_engines(args) -> int:
         for p in e.params:
             print(f"  {e.name}.{p.name}: {p.doc}")
     return 0
+
+
+def _cmd_finite(args) -> int:
+    from dataclasses import replace
+
+    from repro.experiments import finite_buffer
+
+    cfg = finite_buffer.FULL_FINITE if args.full else finite_buffer.QUICK_FINITE
+    overrides = {}
+    if args.n is not None:
+        overrides["n"] = args.n
+    if args.rho is not None:
+        overrides["rho"] = args.rho
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    res = finite_buffer.run(cfg, processes=args.processes)
+    print(res.render())
+    problems = finite_buffer.shape_checks(res)
+    for p in problems:
+        print(f"CHECK FAILURE: {p}")
+    return 1 if problems else 0
 
 
 def _cmd_tables(args) -> int:
@@ -232,7 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="fifo",
         help="simulation engine from the engine registry: fifo (alias "
-        "event), slotted, rushed, ps — see `python -m repro engines`",
+        "event), finite, slotted, rushed, ps — see `python -m repro engines`",
     )
     p.add_argument(
         "--replications", type=int, default=1, help="seeded replications to pool"
@@ -267,6 +315,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered simulation engines (services + engine params)",
     )
     p.set_defaults(func=_cmd_engines)
+
+    p = sub.add_parser(
+        "finite",
+        help="sweep loss vs buffer size on the finite-buffer engine",
+    )
+    p.add_argument("-n", type=int, default=None, help="mesh side (default 16)")
+    p.add_argument("--rho", type=float, default=None, help="network load")
+    p.add_argument("--full", action="store_true", help="paper-scale preset")
+    p.add_argument("--processes", type=int, default=None)
+    p.set_defaults(func=_cmd_finite)
 
     p = sub.add_parser("tables", help="regenerate every table/figure")
     p.add_argument("--full", action="store_true")

@@ -3,13 +3,19 @@
 The engine reproduces the paper's model exactly: Poisson generation at each
 node, unit-time (or per-edge deterministic, or exponential for the Jackson
 comparison) transmission, one packet per edge at a time, infinite FIFO
-buffers. Four simulators share the measurement machinery:
+buffers. Five simulators share the measurement machinery:
 
 * :class:`NetworkSimulation` — FIFO servers, deterministic or exponential
   service (the standard model and the Jackson model);
+* :class:`FiniteBufferNetworkSimulation` — the same model with per-node
+  finite buffers and tail-drop loss (``buffer_size=None`` reproduces the
+  FIFO engine bit-for-bit; otherwise the result carries per-node drop
+  counts and a loss probability);
 * :class:`PSNetworkSimulation` — processor-sharing servers (the Theorem 5
   comparator);
-* :class:`RushedNetworkSimulation` — the Theorem 10 "copies" system Q1;
+* :class:`RushedNetworkSimulation` — the Theorem 10 "copies" system Q1
+  (with optional saturated-copy tracking and per-packet maxima since the
+  capability-parity work);
 * :class:`SlottedNetworkSimulation` — the Section 5.2 slotted-time variant.
 
 Statistics are *exact time integrals* of the piecewise-constant processes
@@ -26,11 +32,12 @@ many seeds". Two registries plus one spec type cover that whole space:
 * **scenarios** (:mod:`repro.scenarios`) name the workload — topology +
   router + destination law + load calibration;
 * **engines** (:mod:`repro.sim.registry`) name the simulator — ``fifo``
-  (alias ``event``), ``slotted``, ``rushed``, ``ps`` — each entry
-  carrying its supported service laws, its typed engine-specific knobs
-  (:class:`~repro.sim.registry.EngineParam`: FIFO/rushed
-  ``event_queue``, slotted ``batch_rng``, per-edge ``service_rates``)
-  and the ``run_cell`` builder the replication layer dispatches to;
+  (alias ``event``), ``finite``, ``slotted``, ``rushed``, ``ps`` — each
+  entry carrying its supported service laws, its typed engine-specific
+  knobs (:class:`~repro.sim.registry.EngineParam`: fifo/finite/rushed
+  ``event_queue``, slotted ``batch_rng``, per-edge ``service_rates``,
+  the finite engine's ``buffer_size``) and the ``run_cell`` builder the
+  replication layer dispatches to;
 * a :class:`CellSpec` is the declarative cross of the two — scenario
   name, size, load, engine name, ``engine_params``, window, seeds —
   validated against both registries at construction, hashable and
@@ -96,16 +103,19 @@ asked to (``use_path_cache=False``).
 **Monotone merge where service is uniform deterministic; a calendar
 queue where it is not.** With one deterministic service time everywhere
 (the standard model), departures are pushed in nondecreasing time
-order, so the event engine and the rushed engine replace the priority
-queue with an O(1) merge of a departure deque and the pending arrival.
-The stochastic-service cases (exponential service, per-edge rates)
-run on a pluggable event queue (:mod:`repro.sim.eventqueue`): a
-*calendar queue* — a bucketed event list whose buckets are sorted once
-on activation, with a small day-heap skipping empty buckets — or the
-classic binary heap. Both pop the exact ``(time, seq)`` order, so the
-choice is benchmarkable without touching the contract. PS keeps its
-versioned heap (completions are re-planned on every queue change; no
-monotone structure exists to exploit).
+order, so the event engine, the finite-buffer engine (drops never
+schedule events) and the rushed engine replace the priority queue with
+an O(1) merge of a departure deque and the pending arrival. The
+stochastic-service cases (exponential service, per-edge rates) run on
+a pluggable event queue (:mod:`repro.sim.eventqueue`): a *calendar
+queue* — a bucketed event list whose buckets are sorted once on
+activation, with a small day-heap skipping empty buckets, and whose
+bucket width is re-estimated from queue occupancy by Brown's rule
+(``"calendar"``, the default; ``"calendar-fixed"`` pins the initial
+width) — or the classic binary heap. All pop the exact ``(time, seq)``
+order, so the choice is benchmarkable without touching the contract.
+PS keeps its versioned heap (completions are re-planned on every queue
+change; no monotone structure exists to exploit).
 
 **Blocked and batched draws.** NumPy ``Generator`` array fills are
 stream-identical to the same number of consecutive scalar draws of the
@@ -141,6 +151,7 @@ stream-compatible draw runs.
 from repro.sim.result import SimResult
 from repro.sim.enginecommon import EngineCommon
 from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.finite_buffer import FiniteBufferNetworkSimulation
 from repro.sim.ps_network import PSNetworkSimulation
 from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
@@ -164,6 +175,7 @@ __all__ = [
     "SimResult",
     "EngineCommon",
     "NetworkSimulation",
+    "FiniteBufferNetworkSimulation",
     "PSNetworkSimulation",
     "RushedNetworkSimulation",
     "SlottedNetworkSimulation",

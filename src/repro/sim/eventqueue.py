@@ -26,12 +26,40 @@ per push into a future bucket, pays one C-speed sort per bucket on
 activation (timsort over a short, mostly-ordered run), and pops by index.
 A day heap (a small heap of active bucket indices) skips empty buckets,
 so sparse schedules cost nothing to traverse.
+
+Adaptive bucket widths (Brown's rule)
+-------------------------------------
+The engines seed the width with one mean arrival gap — a good static
+guess for the standard model, but the *event* population (not the
+arrival rate) is what sets the optimal bucket size, and it drifts with
+load and queue depth. ``CalendarQueue`` therefore re-estimates its width
+from its own occupancy, following R. Brown's classic calendar-queue
+resize rule (CACM 1988): when the pending population doubles past (or
+shrinks to a quarter of) the population at the last estimate, sample the
+earliest pending events, set the width to three times their average
+separation, and rebucket. Resampling happens only at a bucket-activation
+boundary (the sorted active run is empty), and rebucketing by *any*
+positive width preserves the global ``(time, seq)`` order — bucket
+ranges stay disjoint and within-bucket order is restored by the
+activation sort — so the adaptive queue pops the exact heap order and
+stays pinned by the same golden fixtures and parity tests. Pass
+``adaptive=False`` (engine vocabulary ``"calendar-fixed"``) for the
+fixed-width behaviour.
 """
 
 from __future__ import annotations
 
 import heapq
 from bisect import insort
+
+#: Adaptive resizing triggers (Brown's rule): re-estimate when the
+#: pending population leaves ``[last / 4, last * 2]``, never below a
+#: floor that keeps tiny runs on the engine-seeded width.
+_RESIZE_FLOOR = 512
+#: Number of earliest events sampled for the width estimate.
+_RESIZE_SAMPLE = 64
+#: Brown's multiplier on the sampled average event separation.
+_WIDTH_FACTOR = 3.0
 
 
 class HeapEventQueue:
@@ -61,10 +89,14 @@ class CalendarQueue:
     Parameters
     ----------
     width:
-        Bucket width in simulation time. The engines pass one mean
-        arrival gap (``1 / total arrival rate``), so a bucket holds
+        Initial bucket width in simulation time. The engines pass one
+        mean arrival gap (``1 / total arrival rate``), so a bucket holds
         roughly one route's worth of departure events. Correctness does
         not depend on the choice — only the append/sort balance does.
+    adaptive:
+        Re-estimate the width from queue occupancy by Brown's rule (the
+        default; see the module docstring). ``False`` keeps the initial
+        width for the whole run. Outputs are identical either way.
 
     Notes
     -----
@@ -75,9 +107,13 @@ class CalendarQueue:
     rather than silently misordered.
     """
 
-    __slots__ = ("_width", "_map", "_days", "_count", "_active_day", "_active", "_ai", "_early")
+    __slots__ = (
+        "_width", "_map", "_days", "_count", "_active_day", "_active",
+        "_ai", "_early", "_adaptive", "_resize_hi", "_resize_lo",
+        "resize_count",
+    )
 
-    def __init__(self, width: float) -> None:
+    def __init__(self, width: float, *, adaptive: bool = True) -> None:
         if not width > 0:
             raise ValueError(f"bucket width must be > 0, got {width}")
         self._width = float(width)
@@ -88,6 +124,15 @@ class CalendarQueue:
         self._active: list = []
         self._ai = 0  # pop cursor into the sorted active bucket
         self._early: list = []  # defensive: pushes behind the active day
+        self._adaptive = bool(adaptive)
+        self._resize_hi = _RESIZE_FLOOR
+        self._resize_lo = 0
+        self.resize_count = 0  # observability for tests/benchmarks
+
+    @property
+    def width(self) -> float:
+        """The current bucket width (varies over time when adaptive)."""
+        return self._width
 
     def push(self, item) -> None:
         day = int(item[0] / self._width)
@@ -109,6 +154,39 @@ class CalendarQueue:
                 lst.append(item)
         self._count += 1
 
+    def _rebucket(self) -> None:
+        """Re-estimate the width (Brown's rule) and rebucket all pending
+        events. Only called between active buckets, so the global pop
+        order is untouched: bucketing by any positive width keeps bucket
+        ranges disjoint, and the activation sort restores within-bucket
+        order."""
+        items: list = list(self._early)
+        for lst in self._map.values():
+            items.extend(lst)
+        n = len(items)
+        self._resize_hi = max(_RESIZE_FLOOR, 2 * n)
+        self._resize_lo = n // 4
+        if n >= 2:
+            sample = heapq.nsmallest(min(n, _RESIZE_SAMPLE), items)
+            gap = (sample[-1][0] - sample[0][0]) / (len(sample) - 1)
+            if gap > 0.0:
+                self._width = _WIDTH_FACTOR * gap
+        self._map = {}
+        for item in items:
+            day = int(item[0] / self._width)
+            lst = self._map.get(day)
+            if lst is None:
+                self._map[day] = [item]
+            else:
+                lst.append(item)
+        self._days = list(self._map)
+        heapq.heapify(self._days)
+        self._early = []
+        self._active = []
+        self._ai = 0
+        self._active_day = None
+        self.resize_count += 1
+
     def pop(self):
         if not self._count:
             raise IndexError("pop from an empty CalendarQueue")
@@ -117,6 +195,10 @@ class CalendarQueue:
                 # Only defensively-queued early items remain.
                 self._count -= 1
                 return heapq.heappop(self._early)
+            if self._adaptive and not (
+                self._resize_lo <= self._count <= self._resize_hi
+            ):
+                self._rebucket()
             # Activate the next non-empty bucket.
             day = heapq.heappop(self._days)
             bucket = self._map.pop(day)
@@ -145,14 +227,21 @@ class CalendarQueue:
 
 
 #: Engine constructor vocabulary for selecting the stochastic-service
-#: event queue (the uniform-deterministic merge loop bypasses both).
-CALENDAR, HEAP = "calendar", "heap"
+#: event queue (the uniform-deterministic merge loop bypasses all of
+#: them): the adaptive calendar (default), the fixed-width calendar, and
+#: the binary heap. All three pop the identical (time, seq) order.
+CALENDAR, CALENDAR_FIXED, HEAP = "calendar", "calendar-fixed", "heap"
+QUEUE_KINDS = (CALENDAR, CALENDAR_FIXED, HEAP)
 
 
 def make_event_queue(kind: str, *, width: float):
-    """Build the requested queue; ``width`` only matters for the calendar."""
+    """Build the requested queue; ``width`` only matters for the calendars."""
     if kind == CALENDAR:
         return CalendarQueue(width)
+    if kind == CALENDAR_FIXED:
+        return CalendarQueue(width, adaptive=False)
     if kind == HEAP:
         return HeapEventQueue()
-    raise ValueError(f"event_queue must be '{CALENDAR}' or '{HEAP}', got {kind!r}")
+    raise ValueError(
+        f"event_queue must be one of {'/'.join(QUEUE_KINDS)}, got {kind!r}"
+    )

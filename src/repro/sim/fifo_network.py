@@ -54,7 +54,7 @@ from repro.sim.enginecommon import (
     resolve_saturated_mask,
     resolve_service_rates,
 )
-from repro.sim.eventqueue import CALENDAR, HEAP, make_event_queue
+from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_positive
@@ -106,12 +106,13 @@ class NetworkSimulation:
         topology under a different scheme would silently route wrong).
     event_queue:
         Event-queue structure for the stochastic-service loop
-        (exponential or per-edge deterministic service):
-        ``"calendar"`` (bucketed event list, the default) or ``"heap"``
-        (binary heap). Both pop the identical ``(time, seq)`` order, so
-        outputs are bit-identical either way — this exists for
-        benchmarking the calendar queue. The uniform-deterministic
-        merge loop bypasses both.
+        (exponential or per-edge deterministic service): ``"calendar"``
+        (bucketed event list with Brown's-rule adaptive widths, the
+        default), ``"calendar-fixed"`` (the same structure pinned to its
+        initial width) or ``"heap"`` (binary heap). All three pop the
+        identical ``(time, seq)`` order, so outputs are bit-identical
+        either way — this exists for benchmarking the calendar queue.
+        The uniform-deterministic merge loop bypasses them all.
     """
 
     def __init__(
@@ -133,9 +134,10 @@ class NetworkSimulation:
             raise ValueError(
                 f"service must be '{DETERMINISTIC}' or '{EXPONENTIAL}', got {service!r}"
             )
-        if event_queue not in (CALENDAR, HEAP):
+        if event_queue not in QUEUE_KINDS:
             raise ValueError(
-                f"event_queue must be '{CALENDAR}' or '{HEAP}', got {event_queue!r}"
+                f"event_queue must be one of {'/'.join(QUEUE_KINDS)}, "
+                f"got {event_queue!r}"
             )
         self.event_queue = event_queue
         self.service = service

@@ -47,25 +47,33 @@ Engine-specific parameters
     ``service_rates`` as for ``fifo`` (the PS discipline itself has no
     further parameters: equal sharing of ``phi_e`` among the customers
     present).
+``finite``
+    ``event_queue`` and ``service_rates`` as for ``fifo``, plus
+    ``buffer_size``: per-node waiting room (a non-negative int broadcasts
+    over all nodes, a tuple gives one value per node, ``None`` — the
+    default — reproduces the infinite-buffer ``fifo`` engine
+    bit-for-bit).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from numbers import Real
+from numbers import Integral, Real
 from typing import Callable, Mapping
 
-from repro.sim.eventqueue import CALENDAR, HEAP
+from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS
 from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
+from repro.sim.finite_buffer import FiniteBufferNetworkSimulation
 from repro.sim.ps_network import PSNetworkSimulation
 from repro.sim.result import SimResult
 from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
 
-FIFO, SLOTTED, RUSHED, PS = "fifo", "slotted", "rushed", "ps"
+FIFO, SLOTTED, RUSHED, PS, FINITE = "fifo", "slotted", "rushed", "ps", "finite"
 
 #: Value-kind tags for :class:`EngineParam` validation.
 BOOL, CHOICE, RATE_OR_RATES = "bool", "choice", "rate-or-rates"
+SIZE_OR_SIZES = "size-or-sizes"
 
 
 @dataclass(frozen=True)
@@ -73,9 +81,11 @@ class EngineParam:
     """Typed metadata for one engine-specific knob.
 
     ``kind`` selects the validation rule: :data:`BOOL` (a real ``bool``),
-    :data:`CHOICE` (a string from ``choices``) or :data:`RATE_OR_RATES`
+    :data:`CHOICE` (a string from ``choices``), :data:`RATE_OR_RATES`
     (a positive scalar, or a tuple of per-edge values — tuples, not
-    lists/arrays, so the owning spec stays hashable and picklable).
+    lists/arrays, so the owning spec stays hashable and picklable) or
+    :data:`SIZE_OR_SIZES` (``None``, a non-negative int, or a tuple of
+    non-negative per-node ints — the finite-buffer vocabulary).
     """
 
     name: str
@@ -106,6 +116,21 @@ class EngineParam:
                 raise ValueError(
                     f"engine param {self.name!r} expects a number or a tuple "
                     f"of numbers, got {value!r}"
+                )
+        elif self.kind == SIZE_OR_SIZES:
+            def _size(v: object) -> bool:
+                return (
+                    isinstance(v, Integral)
+                    and not isinstance(v, bool)
+                    and int(v) >= 0
+                )
+
+            scalar = value is None or _size(value)
+            seq = isinstance(value, tuple) and all(_size(v) for v in value)
+            if not (scalar or seq):
+                raise ValueError(
+                    f"engine param {self.name!r} expects None, a non-negative "
+                    f"int, or a tuple of non-negative ints, got {value!r}"
                 )
         else:  # pragma: no cover - registry authoring error
             raise ValueError(f"unknown EngineParam kind {self.kind!r}")
@@ -147,9 +172,13 @@ class Engine:
         for p in self.params:
             if p.name == name:
                 return p
-        known = ", ".join(p.name for p in self.params) or "none"
+        known = (
+            "; ".join(p.describe() for p in self.params)
+            or "it accepts no engine params"
+        )
         raise ValueError(
-            f"engine {self.name!r} has no param {name!r} (known: {known})"
+            f"engine {self.name!r} has no param {name!r} — valid params: "
+            f"{known} (see `python -m repro engines`)"
         )
 
     def validate_params(self, params: Mapping[str, object]) -> None:
@@ -209,8 +238,9 @@ _EVENT_QUEUE_PARAM = EngineParam(
     CHOICE,
     CALENDAR,
     "priority structure for the stochastic-service loop (bit-identical "
-    "either way)",
-    choices=(CALENDAR, HEAP),
+    "either way; calendar adapts its bucket width by Brown's rule, "
+    "calendar-fixed pins the initial width)",
+    choices=QUEUE_KINDS,
 )
 _SERVICE_RATES_PARAM = EngineParam(
     "service_rates",
@@ -262,11 +292,27 @@ def _rushed_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
         net.destinations,
         node_rate,
         source_nodes=net.source_nodes,
+        saturated_mask=mask,
         seed=seed,
         path_cache=cache,
         **spec.engine_params_dict,
     )
-    return sim.run(spec.warmup, spec.horizon)
+    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
+
+
+def _finite_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+    sim = FiniteBufferNetworkSimulation(
+        net.router,
+        net.destinations,
+        node_rate,
+        service=spec.service,
+        source_nodes=net.source_nodes,
+        saturated_mask=mask,
+        seed=seed,
+        path_cache=cache,
+        **spec.engine_params_dict,
+    )
+    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
 
 
 def _ps_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
@@ -331,7 +377,40 @@ register_engine(
         services=(DETERMINISTIC,),
         params=(_EVENT_QUEUE_PARAM, _SERVICE_RATES_PARAM),
         run_cell=_rushed_cell,
+        supports_saturated=True,
+        supports_maxima=True,
         littles_law=False,  # makespan, not a Little's-Law sojourn time
+    )
+)
+register_engine(
+    Engine(
+        name=FINITE,
+        description=(
+            "finite-buffer FIFO loss engine: the fifo model with per-node "
+            "waiting room K and tail-drop loss (buffer_size=None is "
+            "bit-identical to fifo)"
+        ),
+        services=(DETERMINISTIC, EXPONENTIAL),
+        params=(
+            _EVENT_QUEUE_PARAM,
+            _SERVICE_RATES_PARAM,
+            EngineParam(
+                "buffer_size",
+                SIZE_OR_SIZES,
+                None,
+                "per-node waiting room, excluding the packet in service "
+                "(int broadcasts; tuple is per-node; None = infinite "
+                "buffers, bit-identical to the fifo engine)",
+            ),
+        ),
+        run_cell=_finite_cell,
+        supports_saturated=True,
+        supports_maxima=True,
+        # Loss breaks both identities: mean_delay averages survivors
+        # only, so neither Little's Law against the *offered* rate nor
+        # the Theorem 7 sandwich brackets it once drops occur.
+        littles_law=False,
+        bound_sandwich=False,
     )
 )
 register_engine(

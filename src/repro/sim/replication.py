@@ -75,9 +75,10 @@ class CellSpec:
     engine:
         Any name (or alias) in the engine registry
         (:mod:`repro.sim.registry`): ``"fifo"`` (alias ``"event"``, the
-        event-driven FIFO simulator), ``"slotted"``, ``"rushed"``
-        (Theorem 10 copies) or ``"ps"`` (the Theorem 5 processor-sharing
-        comparator). Canonicalised on construction, so
+        event-driven FIFO simulator), ``"finite"`` (the finite-buffer
+        loss variant), ``"slotted"``, ``"rushed"`` (Theorem 10 copies)
+        or ``"ps"`` (the Theorem 5 processor-sharing comparator).
+        Canonicalised on construction, so
         ``CellSpec(engine="event").engine == "fifo"``.
     service:
         Service law; each engine declares the laws it supports in the
@@ -262,6 +263,24 @@ class ReplicatedResult:
     def littles_law_gap(self) -> float:
         """Worst across-replication Little's-Law disagreement."""
         return max(r.littles_law_gap for r in self.replications)
+
+    # -- loss (the finite-buffer engine) -------------------------------
+    @property
+    def dropped(self) -> int:
+        """Total measured packets lost across replications (0 for the
+        infinite-buffer engines)."""
+        return sum(r.dropped for r in self.replications)
+
+    @property
+    def loss_probability(self) -> float:
+        """Across-replication mean loss probability."""
+        return self.pooled("loss_probability").mean
+
+    @property
+    def loss_half_width(self) -> float:
+        """~95% across-replication half-width on the loss probability
+        (``nan`` with a single replication)."""
+        return self.pooled("loss_probability").half_width
 
     # -- counts and extremes -------------------------------------------
     @property

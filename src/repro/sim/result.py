@@ -58,6 +58,15 @@ class SimResult:
         maxima tracking was requested; ``nan`` / ``-1`` otherwise) — the
         worst-case quantities of Leighton's analyses, for contrast with
         this paper's averages.
+    dropped:
+        Measured packets lost to a full finite buffer (the finite-buffer
+        engine only; always 0 for the infinite-buffer engines). A dropped
+        packet leaves the system at the drop instant and never completes,
+        so ``completed + dropped == generated`` after the drain.
+    node_drops:
+        Per-node drop counts (drops are attributed to the node holding
+        the full buffer, i.e. the tail of the refused edge); ``None``
+        unless the run enforced finite buffers.
     """
 
     warmup: float
@@ -79,6 +88,19 @@ class SimResult:
     number_distribution: dict[int, float] | None = field(default=None)
     max_delay: float = float("nan")
     max_queue_length: int = -1
+    dropped: int = 0
+    node_drops: np.ndarray | None = None
+
+    @property
+    def loss_probability(self) -> float:
+        """Fraction of measured packets lost to full buffers.
+
+        ``dropped / generated`` — exactly 0 for the infinite-buffer
+        engines, ``nan`` when no packet was generated in the window.
+        """
+        if self.generated <= 0:
+            return float("nan")
+        return self.dropped / self.generated
 
     @property
     def r(self) -> float:

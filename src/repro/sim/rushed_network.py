@@ -42,9 +42,10 @@ from repro.routing.destinations import DestinationDistribution
 from repro.sim.enginecommon import (
     SORTED_IDS,
     EngineCommon,
+    resolve_saturated_mask,
     resolve_service_rates,
 )
-from repro.sim.eventqueue import CALENDAR, HEAP, make_event_queue
+from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_positive
@@ -57,7 +58,8 @@ class RushedNetworkSimulation:
 
     Parameters mirror :class:`repro.sim.NetworkSimulation` (FIFO servers,
     deterministic service ``1/phi_e``; ``use_path_cache`` / ``path_cache``
-    / ``event_queue`` control the hot path exactly as there).
+    / ``event_queue`` / ``saturated_mask`` control the hot path and the
+    optional R_s(t) tracking exactly as there).
 
     Notes
     -----
@@ -65,8 +67,13 @@ class RushedNetworkSimulation:
     number of *copies* in the system (the paper's ``N1``); ``mean_delay``
     is the per-packet makespan (all copies served); ``mean_remaining``
     equals ``mean_number`` by construction (each copy needs exactly one
-    service). ``utilization`` reports per-edge mean copy occupancy (not
-    busy fraction) so tests can compare queue-by-queue against M/D/1.
+    service), so with a ``saturated_mask`` the tracked
+    ``mean_remaining_saturated`` is simply the time-averaged number of
+    copies sitting at saturated edges. ``utilization`` reports per-edge
+    mean copy occupancy (not busy fraction) so tests can compare
+    queue-by-queue against M/D/1. ``run(track_maxima=True)`` records the
+    worst per-packet makespan and the longest copy queue inside the
+    measurement window, mirroring the FIFO engine's option.
     """
 
     def __init__(
@@ -77,17 +84,22 @@ class RushedNetworkSimulation:
         *,
         service_rates: float | Sequence[float] = 1.0,
         source_nodes: Sequence[int] | None = None,
+        saturated_mask: Sequence[bool] | None = None,
         seed: int = 0,
         use_path_cache: bool = True,
         path_cache=None,
         event_queue: str = CALENDAR,
     ) -> None:
-        if event_queue not in (CALENDAR, HEAP):
+        if event_queue not in QUEUE_KINDS:
             raise ValueError(
-                f"event_queue must be '{CALENDAR}' or '{HEAP}', got {event_queue!r}"
+                f"event_queue must be one of {'/'.join(QUEUE_KINDS)}, "
+                f"got {event_queue!r}"
             )
         self.event_queue = event_queue
         self.seed = int(seed)
+        self._sat = resolve_saturated_mask(
+            saturated_mask, router.topology.num_edges
+        )
         phi = resolve_service_rates(service_rates, router.topology.num_edges)
         self._service_times: list[float] = (1.0 / phi).tolist()
         # Uniform deterministic service enables the monotone-merge event
@@ -115,9 +127,16 @@ class RushedNetworkSimulation:
         warmup: float,
         horizon: float,
         *,
+        track_maxima: bool = False,
         delay_batches: int = 32,
     ) -> SimResult:
-        """Simulate ``warmup + horizon`` time units and drain."""
+        """Simulate ``warmup + horizon`` time units and drain.
+
+        ``track_maxima`` additionally records the worst per-packet
+        makespan and the longest copy queue observed in the measurement
+        window (the FIFO engine's option, for the same Leighton-contrast
+        purpose).
+        """
         check_positive(horizon, "horizon")
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
@@ -125,6 +144,7 @@ class RushedNetworkSimulation:
         t_end = warmup + horizon
         destinations = self.destinations
         st = self._service_times
+        sat = self._sat
         num_nodes = self.topology.num_nodes
         num_edges = self.topology.num_edges
         queues: list[deque] = [deque() for _ in range(num_edges)]
@@ -165,6 +185,8 @@ class RushedNetworkSimulation:
 
         copies_in_system = 0
         int_copies = 0.0
+        int_rs = 0.0
+        remaining_sat = 0  # copies currently at saturated edges
         int_per_edge = np.zeros(num_edges)
         occupancy = [0] * num_edges  # current copies at each edge
         edge_last = [0.0] * num_edges  # lazy per-edge integration cursor
@@ -172,6 +194,11 @@ class RushedNetworkSimulation:
         generated = completed = zero_hop = 0
         in_flight_at_horizon = 0
         delay_acc = TimeBatchAccumulator(warmup, t_end, delay_batches)
+        max_delay = 0.0
+        max_queue = 0
+        # Queues standing when the warmup ends are part of the measurement
+        # window (same convention as the FIFO engine).
+        maxima_seeded = not track_maxima or warmup == 0.0
 
         def bump_edge(e: int, t: float) -> None:
             """Accumulate edge e's occupancy integral up to time t."""
@@ -214,18 +241,26 @@ class RushedNetworkSimulation:
                     t = arr_t
                 else:
                     break
+                if not maxima_seeded and t >= warmup:
+                    maxima_seeded = True
+                    for q in queues:
+                        if len(q) > max_queue:
+                            max_queue = len(q)
                 if t >= t_end and not draining:
                     draining = True
                     in_flight_at_horizon = copies_in_system
                     lo = last_t if last_t > warmup else warmup
                     if t_end > lo:
-                        int_copies += copies_in_system * (t_end - lo)
+                        dt = t_end - lo
+                        int_copies += copies_in_system * dt
+                        int_rs += remaining_sat * dt
                     last_t = t_end
                 if not draining and t > warmup:
                     lo = last_t if last_t > warmup else warmup
                     dt = t - lo
                     if dt > 0.0:
                         int_copies += copies_in_system * dt
+                        int_rs += remaining_sat * dt
                     last_t = t
                 elif not draining:
                     last_t = t
@@ -279,8 +314,18 @@ class RushedNetworkSimulation:
                             f = arena[k]
                             bump_edge(f, t)
                             occupancy[f] += 1
+                            if sat is not None and sat[f]:
+                                remaining_sat += 1
                             if busy[f]:
-                                queues[f].append(parent)
+                                q = queues[f]
+                                q.append(parent)
+                                if (
+                                    track_maxima
+                                    and measured
+                                    and not draining
+                                    and len(q) > max_queue
+                                ):
+                                    max_queue = len(q)
                             else:
                                 busy[f] = 1
                                 dep_append((t + service_c, seq, f, parent))
@@ -298,10 +343,15 @@ class RushedNetworkSimulation:
                     copies_in_system -= 1
                     bump_edge(e, t)
                     occupancy[e] -= 1
+                    if sat is not None and sat[e]:
+                        remaining_sat -= 1
                     parent[1] -= 1
                     if parent[1] == 0 and parent[2]:
                         completed += 1
-                        delay_acc.add(parent[0], t - parent[0])
+                        d = t - parent[0]
+                        delay_acc.add(parent[0], d)
+                        if track_maxima and d > max_delay:
+                            max_delay = d
                     q = queues[e]
                     if q:
                         dep_append((t + service_c, seq, e, q.popleft()))
@@ -320,18 +370,26 @@ class RushedNetworkSimulation:
             seq += 1
             while evq:
                 t, _s, e, parent = pope()
+                if not maxima_seeded and t >= warmup:
+                    maxima_seeded = True
+                    for q in queues:
+                        if len(q) > max_queue:
+                            max_queue = len(q)
                 if t >= t_end and not draining:
                     draining = True
                     in_flight_at_horizon = copies_in_system
                     lo = last_t if last_t > warmup else warmup
                     if t_end > lo:
-                        int_copies += copies_in_system * (t_end - lo)
+                        dt = t_end - lo
+                        int_copies += copies_in_system * dt
+                        int_rs += remaining_sat * dt
                     last_t = t_end
                 if not draining and t > warmup:
                     lo = last_t if last_t > warmup else warmup
                     dt = t - lo
                     if dt > 0.0:
                         int_copies += copies_in_system * dt
+                        int_rs += remaining_sat * dt
                     last_t = t
                 elif not draining:
                     last_t = t
@@ -383,8 +441,18 @@ class RushedNetworkSimulation:
                             f = arena[k]
                             bump_edge(f, t)
                             occupancy[f] += 1
+                            if sat is not None and sat[f]:
+                                remaining_sat += 1
                             if busy[f]:
-                                queues[f].append(parent)
+                                q = queues[f]
+                                q.append(parent)
+                                if (
+                                    track_maxima
+                                    and measured
+                                    and not draining
+                                    and len(q) > max_queue
+                                ):
+                                    max_queue = len(q)
                             else:
                                 busy[f] = 1
                                 pushe((t + st[f], seq, f, parent))
@@ -400,10 +468,15 @@ class RushedNetworkSimulation:
                     copies_in_system -= 1
                     bump_edge(e, t)
                     occupancy[e] -= 1
+                    if sat is not None and sat[e]:
+                        remaining_sat -= 1
                     parent[1] -= 1
                     if parent[1] == 0 and parent[2]:
                         completed += 1
-                        delay_acc.add(parent[0], t - parent[0])
+                        d = t - parent[0]
+                        delay_acc.add(parent[0], d)
+                        if track_maxima and d > max_delay:
+                            max_delay = d
                     q = queues[e]
                     if q:
                         pushe((t + st[e], seq, e, q.popleft()))
@@ -413,7 +486,9 @@ class RushedNetworkSimulation:
 
         if last_t < t_end:
             lo = last_t if last_t > warmup else warmup
-            int_copies += copies_in_system * (t_end - lo)
+            dt = t_end - lo
+            int_copies += copies_in_system * dt
+            int_rs += remaining_sat * dt
             last_t = t_end
         for eid in range(num_edges):
             bump_edge(eid, t_end)
@@ -430,10 +505,14 @@ class RushedNetworkSimulation:
             in_flight_at_end=in_flight_at_horizon,
             mean_number=mean_copies,
             mean_remaining=mean_copies,
-            mean_remaining_saturated=float("nan"),
+            mean_remaining_saturated=(
+                int_rs / horizon if sat is not None else float("nan")
+            ),
             mean_delay=summary.mean,
             delay_half_width=summary.half_width,
             mean_delay_littles=mean_copies / self.total_rate,
             total_rate=self.total_rate,
             utilization=int_per_edge / horizon,
+            max_delay=max_delay if track_maxima else float("nan"),
+            max_queue_length=max_queue if track_maxima else -1,
         )

@@ -32,6 +32,7 @@ from repro.routing.greedy import GreedyArrayRouter
 from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
 from repro.routing.torus_greedy import GreedyTorusRouter
 from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.finite_buffer import FiniteBufferNetworkSimulation
 from repro.sim.ps_network import PSNetworkSimulation
 from repro.sim.rushed_network import RushedNetworkSimulation
 from repro.sim.slotted import SlottedNetworkSimulation
@@ -74,6 +75,15 @@ def _encode(res) -> dict:
         # (same accumulation order as np.sum every run) plus the peak.
         out["utilization_sum"] = _hex(float(res.utilization.sum()))
         out["utilization_max"] = _hex(float(res.utilization.max()))
+    if res.node_drops is not None:
+        # Finite-buffer cells: pin the total drop count and the per-node
+        # vector through exact integer checksums. node_drops is None for
+        # every infinite-buffer engine (including finite with
+        # buffer_size=None), so these keys never appear on — and never
+        # perturb — the other cells.
+        out["dropped"] = int(res.dropped)
+        out["node_drops_sum"] = int(res.node_drops.sum())
+        out["node_drops_max"] = int(res.node_drops.max())
     return out
 
 
@@ -173,10 +183,12 @@ def build_cases() -> dict:
     # loops — monotone merge (uniform service) and the event queue
     # (per-edge service) — and PS on uniform plus a data-dependent law.
     def rushed(name, router, dests, rate, seed, *, warmup=15.0,
-               horizon=150.0, service_rates=1.0):
+               horizon=150.0, service_rates=1.0, saturated_mask=None,
+               track_maxima=False):
         res = RushedNetworkSimulation(
-            router, dests, rate, seed=seed, service_rates=service_rates
-        ).run(warmup, horizon)
+            router, dests, rate, seed=seed, service_rates=service_rates,
+            saturated_mask=saturated_mask,
+        ).run(warmup, horizon, track_maxima=track_maxima)
         cases[name] = _encode(res)
 
     def ps(name, router, dests, rate, seed, *, warmup=15.0, horizon=150.0):
@@ -192,10 +204,53 @@ def build_cases() -> dict:
            service_rates=per_edge_rates(m5.num_edges))
     rushed("rushed_hotspot", GreedyArrayRouter(m5),
            HotSpotDestinations(25, hot_node=12, h=0.3), 0.07, 25)
+    # The capability-parity options the registry flags now advertise:
+    # saturated-copy tracking and per-packet maxima. Same constructor
+    # args as rushed_uniform, so the option-off fields must match it
+    # (asserted by test_rushed_options_leave_base_stats_unchanged).
+    rushed("rushed_sat_maxima", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.10, 23,
+           saturated_mask=sat_mask(m5.num_edges), track_maxima=True)
     ps("ps_uniform", GreedyArrayRouter(m4),
        UniformDestinations(16), 0.12, 26)
     ps("ps_hotspot", GreedyArrayRouter(m4),
        HotSpotDestinations(16, hot_node=5, h=0.3), 0.10, 27)
+
+    # The finite-buffer loss engine. The finite_none_* cells use the
+    # exact constructor args of their event_* twins, pinning the
+    # buffer_size=None contract: bit-identical to the FIFO engine
+    # (asserted by test_finite_none_cells_match_fifo_cells). The K cells
+    # pin nonzero drop counts on both loops (merge + event queue) and
+    # both uniform and data-dependent laws.
+    def finite(name, router, dests, rate, seed, *, buffer_size,
+               service="deterministic", service_rates=1.0, warmup=15.0,
+               horizon=150.0, track_maxima=False, saturated_mask=None):
+        res = FiniteBufferNetworkSimulation(
+            router, dests, rate, seed=seed, buffer_size=buffer_size,
+            service=service, service_rates=service_rates,
+            saturated_mask=saturated_mask,
+        ).run(warmup, horizon, track_maxima=track_maxima)
+        cases[name] = _encode(res)
+
+    e5 = m5.num_edges
+    finite("finite_none_uniform", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.12, 7, buffer_size=None,
+           track_maxima=True)
+    finite("finite_none_exp", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.10, 8, buffer_size=None,
+           service="exponential")
+    finite("finite_uniform_k0", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.12, 7, buffer_size=0,
+           track_maxima=True)
+    finite("finite_hotspot_k1", GreedyArrayRouter(m5),
+           HotSpotDestinations(25, hot_node=12, h=0.3), 0.15, 9,
+           buffer_size=1)
+    finite("finite_peredge_k1", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.12, 19, buffer_size=1,
+           service_rates=per_edge_rates(e5))
+    finite("finite_sat_k1", GreedyArrayRouter(m5),
+           UniformDestinations(25), 0.12, 18, buffer_size=1,
+           saturated_mask=sat_mask(e5))
 
     # Cells reached through the declarative facade (CellSpec -> engine
     # registry -> ReplicationEngine). api_rushed_uniform / api_ps_hotspot
@@ -224,6 +279,12 @@ def build_cases() -> dict:
     api_cell("api_slotted_uniform_compat", "slotted", scenario="uniform",
              n=5, node_rate=0.10, seed=11, warmup=10.0,
              engine_params=(("batch_rng", False),))
+    # The finite engine reached through the facade, pinned bit-identical
+    # to the hand-built finite_hotspot_k1 cell (same constructor args).
+    api_cell("api_finite_hotspot_k1", "finite", scenario="hotspot", n=5,
+             node_rate=0.15, seed=9,
+             params=(("h", 0.3), ("hot_node", 12)),
+             engine_params=(("buffer_size", 1),))
 
     # Bookkeeping branches the uniform cells never touch: saturated-mask
     # accounting, utilization accumulation (three inlined sites in the

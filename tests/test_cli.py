@@ -112,10 +112,12 @@ class TestCommands:
     def test_engines_listing(self, capsys):
         assert main(["engines"]) == 0
         out = capsys.readouterr().out
-        for name in ("fifo", "slotted", "rushed", "ps"):
+        for name in ("fifo", "finite", "slotted", "rushed", "ps"):
             assert name in out
         assert "event" in out  # the alias is listed
         assert "batch_rng" in out and "event_queue" in out
+        assert "buffer_size" in out  # the finite engine's knob
+        assert "finite.buffer_size" in out  # per-engine param details
         assert "deterministic/exponential" in out
 
     def test_simulate_rushed_engine(self, capsys):
@@ -190,8 +192,11 @@ class TestCommands:
         assert rc == 0
         assert "engine=slotted" in capsys.readouterr().out
 
-    def test_simulate_unknown_engine_param_raises(self):
-        with pytest.raises(ValueError):
+    def test_simulate_unknown_engine_param_lists_valid_params(self):
+        """A bad --engine-param key exits with usage-style help listing
+        every valid key for the *chosen* engine (not a bare registry
+        traceback)."""
+        with pytest.raises(SystemExit) as exc_info:
             main(
                 [
                     "simulate",
@@ -205,6 +210,85 @@ class TestCommands:
                     "1",
                 ]
             )
+        msg = str(exc_info.value)
+        assert "turbo" in msg
+        assert "'fifo'" in msg
+        assert "event_queue" in msg and "service_rates" in msg
+        # fifo has no buffer_size: the listing is engine-specific.
+        assert "buffer_size" not in msg
+
+    def test_simulate_engine_param_listing_is_per_engine(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(
+                [
+                    "simulate",
+                    "--engine",
+                    "finite",
+                    "-n",
+                    "4",
+                    "--rho",
+                    "0.5",
+                    "--engine-param",
+                    "turbo=1",
+                ]
+            )
+        msg = str(exc_info.value)
+        assert "'finite'" in msg and "buffer_size" in msg
+
+    def test_simulate_ill_typed_engine_param_lists_valid_params(self):
+        with pytest.raises(SystemExit) as exc_info:
+            main(
+                [
+                    "simulate",
+                    "--engine",
+                    "finite",
+                    "-n",
+                    "4",
+                    "--rho",
+                    "0.5",
+                    "--engine-param",
+                    "buffer_size=-3",
+                ]
+            )
+        msg = str(exc_info.value)
+        assert "buffer_size" in msg and "non-negative" in msg
+
+    def test_simulate_finite_engine_prints_loss(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--engine",
+                "finite",
+                "-n",
+                "4",
+                "--rho",
+                "0.9",
+                "--engine-param",
+                "buffer_size=1",
+                "--replications",
+                "2",
+                "--processes",
+                "1",
+                "--warmup",
+                "30",
+                "--horizon",
+                "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine=finite" in out
+        assert "loss:" in out and "dropped" in out
+        # Loss-engine delay is survivors-only: no sandwich claim printed.
+        assert "sandwich" not in out
+
+    def test_finite_sweep_command(self, capsys):
+        rc = main(["finite", "-n", "4", "--processes", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Loss vs buffer size" in out
+        assert "inf" in out  # the infinite-buffer baseline row
+        assert "CHECK FAILURE" not in out
 
     def test_simulate_scenario_param(self, capsys):
         rc = main(

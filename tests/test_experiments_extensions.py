@@ -1,7 +1,11 @@
-"""Tests for the extension experiments: higher dimensions and the torus."""
+"""Tests for the extension experiments: higher dimensions, the torus,
+and the finite-buffer loss sweep."""
 
 import pytest
 
+from repro.experiments.finite_buffer import FiniteBufferConfig
+from repro.experiments.finite_buffer import run as run_finite
+from repro.experiments.finite_buffer import shape_checks as finite_checks
 from repro.experiments.higher_dims import HigherDimsConfig
 from repro.experiments.higher_dims import run as run_kd
 from repro.experiments.higher_dims import shape_checks as kd_checks
@@ -63,3 +67,40 @@ class TestTorus:
     def test_render(self, result):
         out = result.render()
         assert "none (not layered)" in out
+
+
+class TestFiniteBufferSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = FiniteBufferConfig(
+            n=4,
+            rho=0.9,
+            buffer_sizes=(0, 1, 4),
+            warmup=40.0,
+            horizon=400.0,
+            seeds=(1, 2),
+        )
+        return run_finite(cfg, processes=1)
+
+    def test_shape_checks_pass(self, result):
+        assert finite_checks(result) == []
+
+    def test_baseline_is_lossless(self, result):
+        base = result.baseline
+        assert base.spec.engine_params_dict["buffer_size"] is None
+        assert base.dropped == 0 and base.loss_probability == 0.0
+
+    def test_loss_monotone_in_buffer_size(self, result):
+        losses = [p.loss_probability for p in result.pooled[:-1]]
+        assert losses == sorted(losses, reverse=True)
+        assert losses[0] > 0
+
+    def test_survivor_delay_below_baseline(self, result):
+        base = result.baseline
+        for p in result.pooled[:-1]:
+            assert p.mean_delay <= base.mean_delay * 1.02
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Loss vs buffer size" in out
+        assert "inf" in out and "dropped" in out

@@ -52,11 +52,12 @@ def test_cell_bit_identical(name, golden, fresh):
         )
 
 
-def test_fixture_covers_all_four_engines(golden):
+def test_fixture_covers_all_five_engines(golden):
     """The acceptance scenarios are pinned for every engine, including
-    the PR-3-ported rushed and PS simulators, the legacy slotted draw
-    order (batch_rng=False, the *_compat cells) and the declarative
-    facade path (the api_* cells)."""
+    the PR-3-ported rushed and PS simulators, the finite-buffer loss
+    engine (both the buffer_size=None fifo-identity cells and nonzero
+    drop cells), the legacy slotted draw order (batch_rng=False, the
+    *_compat cells) and the declarative facade path (the api_* cells)."""
     names = set(golden)
     for required in (
         "event_uniform_det",
@@ -68,11 +69,19 @@ def test_fixture_covers_all_four_engines(golden):
         "slotted_randomized_compat",
         "rushed_uniform",
         "rushed_peredge_service",
+        "rushed_sat_maxima",
         "ps_uniform",
         "ps_hotspot",
+        "finite_none_uniform",
+        "finite_none_exp",
+        "finite_uniform_k0",
+        "finite_hotspot_k1",
+        "finite_peredge_k1",
+        "finite_sat_k1",
         "api_rushed_uniform",
         "api_ps_hotspot",
         "api_slotted_uniform_compat",
+        "api_finite_hotspot_k1",
     ):
         assert required in names
 
@@ -85,8 +94,54 @@ def test_api_cells_match_direct_cells(golden):
         ("api_rushed_uniform", "rushed_uniform"),
         ("api_ps_hotspot", "ps_hotspot"),
         ("api_slotted_uniform_compat", "slotted_uniform_compat"),
+        ("api_finite_hotspot_k1", "finite_hotspot_k1"),
     ):
         assert golden[api] == golden[direct], (api, direct)
+
+
+def test_finite_none_cells_match_fifo_cells(golden):
+    """The finite engine with buffer_size=None is the FIFO engine,
+    bit-for-bit: the finite_none_* cells use the exact constructor args
+    of their event_* twins and must encode identically (in particular,
+    no drop fields appear — node_drops is None on the delegated path)."""
+    for fin, fifo in (
+        ("finite_none_uniform", "event_uniform_det"),
+        ("finite_none_exp", "event_uniform_exp"),
+    ):
+        assert "dropped" not in golden[fin], fin
+        assert golden[fin] == golden[fifo], (fin, fifo)
+
+
+def test_finite_cells_pin_nonzero_drops(golden):
+    """At least two scenarios (uniform and hotspot) pin nonzero drop
+    counts, and every finite cell conserves packets:
+    completed + dropped == generated."""
+    droppers = ("finite_uniform_k0", "finite_hotspot_k1",
+                "finite_peredge_k1", "finite_sat_k1")
+    for name in droppers:
+        cell = golden[name]
+        assert cell["dropped"] > 0, name
+        assert cell["dropped"] == cell["node_drops_sum"], name
+        assert cell["completed"] + cell["dropped"] == cell["generated"], name
+
+
+def test_rushed_options_leave_base_stats_unchanged(golden):
+    """rushed_sat_maxima runs the exact workload of rushed_uniform with
+    the new tracking options on: every base statistic must match
+    bit-for-bit (the options add observers, not behaviour), while the
+    tracked fields become real values."""
+    base, tracked = golden["rushed_uniform"], golden["rushed_sat_maxima"]
+    option_fields = {"mean_remaining_saturated", "max_delay",
+                     "max_queue_length"}
+    for field, value in base.items():
+        if field in option_fields:
+            continue
+        assert tracked[field] == value, field
+    assert base["mean_remaining_saturated"] == "nan"
+    assert tracked["mean_remaining_saturated"] != "nan"
+    assert base["max_queue_length"] == -1
+    assert tracked["max_queue_length"] >= 0
+    assert tracked["max_delay"] != "nan"
 
 
 def test_fixture_floats_are_exact_hex(golden):

@@ -75,3 +75,99 @@ def test_unreadable_input_skips(perf_gate, tmp_path, capsys):
     base = _bench_json(tmp_path / "base.json", {"a": 1.0})
     assert perf_gate.main(["perf_gate", base, str(tmp_path / "nope.json")]) == 0
     assert "cannot compare" in capsys.readouterr().out
+
+
+def test_strict_fails_on_regression(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 2.0})
+    assert perf_gate.main(["perf_gate", base, fresh, "--strict"]) == 1
+    out = capsys.readouterr().out
+    assert "regressed" in out and "FAILING (--strict)" in out
+
+
+def test_strict_fails_on_missing_benchmark(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0, "gone": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.0})
+    assert perf_gate.main(["perf_gate", base, fresh, "--strict"]) == 1
+
+
+def test_strict_passes_when_clean(perf_gate, tmp_path, capsys):
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.05})
+    assert perf_gate.main(["perf_gate", base, fresh, "--strict"]) == 0
+
+
+def test_strict_with_positional_threshold(perf_gate, tmp_path):
+    """The positional threshold arg (check.sh style) composes with
+    --strict: a 30% slip passes a 0.5 threshold and fails a 0.1 one."""
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.3})
+    assert perf_gate.main(["perf_gate", base, fresh, "0.5", "--strict"]) == 0
+    assert perf_gate.main(["perf_gate", base, fresh, "0.1", "--strict"]) == 1
+
+
+def test_json_out_summary(perf_gate, tmp_path):
+    import json as _json
+
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0, "b": 1.0, "gone": 2.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 3.0, "b": 1.0})
+    out_path = tmp_path / "summary.json"
+    rc = perf_gate.main(
+        ["perf_gate", base, fresh, "--json-out", str(out_path)]
+    )
+    assert rc == 0  # warn-only without --strict
+    summary = _json.loads(out_path.read_text())
+    assert summary["ok"] is False
+    assert summary["compared"] == 2
+    assert summary["missing"] == ["gone"]
+    assert [r["name"] for r in summary["regressions"]] == ["a"]
+    assert summary["regressions"][0]["regression_pct"] == 200.0
+
+
+def test_json_out_clean_run(perf_gate, tmp_path):
+    import json as _json
+
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.0})
+    out_path = tmp_path / "summary.json"
+    assert perf_gate.main(
+        ["perf_gate", base, fresh, "--strict", "--json-out", str(out_path)]
+    ) == 0
+    summary = _json.loads(out_path.read_text())
+    assert summary["ok"] is True and summary["regressions"] == []
+
+
+def test_strict_fails_on_unreadable_input(perf_gate, tmp_path, capsys):
+    """--strict must not let a vanished fresh run look like a pass."""
+    import json as _json
+
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    out_path = tmp_path / "summary.json"
+    rc = perf_gate.main(
+        ["perf_gate", base, str(tmp_path / "nope.json"), "--strict",
+         "--json-out", str(out_path)]
+    )
+    assert rc == 1
+    assert "cannot compare" in capsys.readouterr().out
+    summary = _json.loads(out_path.read_text())
+    assert summary["ok"] is False and "skipped" in summary
+    # Warn-only mode still skips quietly (local check.sh behaviour).
+    assert perf_gate.main(
+        ["perf_gate", base, str(tmp_path / "nope.json")]
+    ) == 0
+
+
+def test_no_common_benchmarks_summary_not_ok(perf_gate, tmp_path):
+    """The disjoint-names early return must not report ok:true while
+    strict mode exits 1 on the missing baseline benchmarks."""
+    import json as _json
+
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"b": 1.0})
+    out_path = tmp_path / "summary.json"
+    assert perf_gate.main(
+        ["perf_gate", base, fresh, "--strict", "--json-out", str(out_path)]
+    ) == 1
+    summary = _json.loads(out_path.read_text())
+    assert summary["ok"] is False
+    assert summary["missing"] == ["a"]

@@ -12,6 +12,7 @@ import pytest
 
 from repro.sim.eventqueue import (
     CALENDAR,
+    CALENDAR_FIXED,
     HEAP,
     CalendarQueue,
     HeapEventQueue,
@@ -99,9 +100,82 @@ class TestCalendarQueue:
             CalendarQueue(-1.0)
 
 
+class TestAdaptiveWidths:
+    """Brown's-rule resizing: the width tracks the event population, and
+    rebucketing never perturbs the heapq pop order."""
+
+    def _backlog(self, queue, n, scale, seed=5):
+        rng = random.Random(seed)
+        items = []
+        for s in range(n):
+            items.append((rng.expovariate(1.0) * scale + 1.0, s, 0, None))
+        for item in items:
+            queue.push(item)
+        return sorted(items)
+
+    def test_resize_triggers_and_adapts_width(self):
+        """A backlog far above the resize floor with a wildly wrong
+        initial width gets re-estimated to the event spacing scale."""
+        cq = CalendarQueue(1e6)  # absurd initial width
+        want = self._backlog(cq, 2000, 10.0)
+        got = [cq.pop() for _ in want]
+        assert got == want
+        assert cq.resize_count >= 1
+        # Brown's estimate: ~3x the average separation of the sampled
+        # earliest events — orders of magnitude below the initial guess.
+        assert cq.width < 1e3
+
+    def test_fixed_mode_never_resizes(self):
+        cq = CalendarQueue(1e6, adaptive=False)
+        want = self._backlog(cq, 2000, 10.0)
+        assert [cq.pop() for _ in want] == want
+        assert cq.resize_count == 0
+        assert cq.width == 1e6
+
+    def test_adaptive_matches_heapq_with_interleaved_pushes(self):
+        """The full DES pattern — pops interleaved with pushes at and
+        after the current time — across multiple resizes."""
+        rng = random.Random(99)
+        cq = CalendarQueue(1e5)
+        h = []
+        seq = 0
+        for _ in range(1500):
+            item = (rng.expovariate(1.0) * 25.0, seq, 0, None)
+            cq.push(item)
+            heapq.heappush(h, item)
+            seq += 1
+        while h:
+            got, want = cq.pop(), heapq.heappop(h)
+            assert got == want
+            if rng.random() < 0.5:
+                item = (got[0] + rng.expovariate(2.0), seq, 1, None)
+                cq.push(item)
+                heapq.heappush(h, item)
+                seq += 1
+        assert not cq
+        assert cq.resize_count >= 1
+
+    def test_early_items_survive_a_resize(self):
+        """Defensively-queued early items are folded into the rebucketed
+        map without losing their place in the total order."""
+        cq = CalendarQueue(1.0)
+        cq.push((5.5, 0, 0, None))
+        assert cq.pop() == (5.5, 0, 0, None)
+        cq.push((0.5, 1, 0, None))  # behind the active day -> early heap
+        # Pile on enough future work to cross the resize floor.
+        want = self._backlog(cq, 1500, 3.0, seed=7)
+        assert cq.pop() == (0.5, 1, 0, None)
+        rest = [cq.pop() for _ in want]
+        assert rest == want
+        assert len(cq) == 0
+
+
 class TestMakeEventQueue:
     def test_dispatch(self):
-        assert isinstance(make_event_queue(CALENDAR, width=1.0), CalendarQueue)
+        cal = make_event_queue(CALENDAR, width=1.0)
+        assert isinstance(cal, CalendarQueue) and cal._adaptive
+        fixed = make_event_queue(CALENDAR_FIXED, width=1.0)
+        assert isinstance(fixed, CalendarQueue) and not fixed._adaptive
         assert isinstance(make_event_queue(HEAP, width=1.0), HeapEventQueue)
 
     def test_unknown_kind_raises(self):

@@ -49,6 +49,7 @@ class TestPSSimulator:
         ).run(200, 8000)
         assert res.mean_delay == pytest.approx(MM1Queue(lam).mean_delay(), rel=0.08)
 
+    @pytest.mark.slow
     def test_array_matches_product_form(self):
         n, rho = 3, 0.6
         lam = lambda_for_load(n, rho)
@@ -60,6 +61,7 @@ class TestPSSimulator:
             number_upper_bound(n, lam), rel=0.12
         )
 
+    @pytest.mark.slow
     def test_dominates_fifo(self):
         """Theorem 5: E[N_FIFO] <= E[N_PS] on the same workload."""
         n, rho = 3, 0.7
@@ -89,6 +91,7 @@ class TestPSSimulator:
 
 
 class TestRushedSimulator:
+    @pytest.mark.slow
     def test_total_copies_match_independent_md1_sum(self):
         """The pivot of Theorem 10: E[N1] = sum over edges of the M/D/1
         mean, despite the copies being correlated."""
@@ -101,6 +104,7 @@ class TestRushedSimulator:
         expected = md1_network_number(array_edge_rates(mesh, lam), variant="pk")
         assert res.mean_number == pytest.approx(expected, rel=0.06)
 
+    @pytest.mark.slow
     def test_per_edge_occupancy_is_md1(self):
         """Marginally, each queue is an M/D/1 queue."""
         n, rho = 3, 0.6
@@ -114,6 +118,7 @@ class TestRushedSimulator:
         expected = MD1Queue(rates[busiest]).mean_number()
         assert res.utilization[busiest] == pytest.approx(expected, rel=0.12)
 
+    @pytest.mark.slow
     def test_makespan_below_fifo_delay(self):
         """The rushed system is faster: per-packet makespan (all copies
         served) is below the FIFO network delay on average."""
@@ -132,6 +137,80 @@ class TestRushedSimulator:
             GreedyArrayRouter(mesh), UniformDestinations(9), 0.3, seed=25
         ).run(50, 800)
         assert res.generated == res.completed
+
+
+class TestRushedCapabilities:
+    """The capability-parity options (saturated-copy tracking and
+    per-packet maxima) added when the registry flags flipped."""
+
+    def _net(self, n=4):
+        mesh = ArrayMesh(n)
+        return mesh, GreedyArrayRouter(mesh), UniformDestinations(n * n)
+
+    def test_options_do_not_change_base_statistics(self):
+        """The new observers add no RNG draws and no float operations to
+        the tracked quantities: base fields stay bit-identical."""
+        mesh, router, dests = self._net()
+        mask = np.arange(mesh.num_edges) % 3 == 0
+        plain = RushedNetworkSimulation(router, dests, 0.25, seed=31).run(
+            20, 300
+        )
+        tracked = RushedNetworkSimulation(
+            router, dests, 0.25, seed=31, saturated_mask=mask
+        ).run(20, 300, track_maxima=True)
+        assert plain.mean_number == tracked.mean_number
+        assert plain.mean_delay == tracked.mean_delay
+        assert plain.delay_half_width == tracked.delay_half_width
+        assert plain.utilization.tolist() == tracked.utilization.tolist()
+        assert np.isnan(plain.mean_remaining_saturated)
+        assert plain.max_queue_length == -1
+
+    def test_saturated_copies_bounded_by_total(self):
+        mesh, router, dests = self._net()
+        mask = np.arange(mesh.num_edges) % 2 == 0
+        res = RushedNetworkSimulation(
+            router, dests, 0.25, seed=32, saturated_mask=mask
+        ).run(20, 400)
+        assert 0.0 < res.mean_remaining_saturated < res.mean_remaining
+        # All-edges mask: every copy is a saturated copy.
+        res_all = RushedNetworkSimulation(
+            router, dests, 0.25, seed=32,
+            saturated_mask=np.ones(mesh.num_edges, dtype=bool),
+        ).run(20, 400)
+        assert res_all.mean_remaining_saturated == res_all.mean_remaining
+
+    def test_maxima_bound_the_averages(self):
+        mesh, router, dests = self._net()
+        res = RushedNetworkSimulation(router, dests, 0.3, seed=33).run(
+            30, 500, track_maxima=True
+        )
+        assert res.max_delay >= res.mean_delay
+        assert res.max_queue_length >= 0
+
+    def test_mask_length_validated(self):
+        mesh, router, dests = self._net()
+        with pytest.raises(ValueError):
+            RushedNetworkSimulation(
+                router, dests, 0.2, saturated_mask=[True, False]
+            )
+
+    def test_registry_flags_flipped(self):
+        from repro.sim.registry import get_engine
+
+        info = get_engine("rushed")
+        assert info.supports_saturated and info.supports_maxima
+
+    def test_tracking_through_cellspec(self):
+        from repro.sim.replication import CellSpec, ReplicationEngine
+
+        spec = CellSpec(
+            scenario="uniform", n=4, rho=0.6, engine="rushed",
+            warmup=20, horizon=300, seeds=(3,),
+            track_saturated=True, track_maxima=True,
+        )
+        res = ReplicationEngine(processes=1).run(spec).replications[0]
+        assert res.mean_remaining_saturated > 0
+        assert res.max_delay > 0 and res.max_queue_length >= 0
 
 
 class TestEngineParityValidation:
@@ -257,6 +336,7 @@ class TestSlottedSimulator:
         ).run(200, 10000)
         assert abs(res.mean_delay - MD1Queue(lam).mean_delay()) <= 1.0 + 0.1
 
+    @pytest.mark.slow
     def test_array_within_tau_of_continuous(self):
         """Section 5.2: slotted T within tau of the event-driven T."""
         n, rho = 4, 0.6

@@ -177,8 +177,8 @@ class TestCommonValidation:
 
 
 class TestRegistryLookup:
-    def test_four_engines_registered(self):
-        assert engine_names() == ["fifo", "ps", "rushed", "slotted"]
+    def test_five_engines_registered(self):
+        assert engine_names() == ["fifo", "finite", "ps", "rushed", "slotted"]
 
     def test_event_alias_resolves_to_fifo(self):
         assert canonical_engine("event") == "fifo"
@@ -234,11 +234,15 @@ class TestSpecEngineParams:
                 CellSpec(rho=0.5, engine=engine, service="exponential")
 
     def test_unsupported_tracking_rejected(self):
-        for engine in ("rushed", "ps"):
-            with pytest.raises(ValueError):
-                CellSpec(rho=0.5, engine=engine, track_saturated=True)
-            with pytest.raises(ValueError):
-                CellSpec(rho=0.5, engine=engine, track_maxima=True)
+        # Only PS still lacks the tracking options: the rushed engine
+        # gained saturated_mask/track_maxima with the capability-parity
+        # work, so its flags now accept both.
+        with pytest.raises(ValueError):
+            CellSpec(rho=0.5, engine="ps", track_saturated=True)
+        with pytest.raises(ValueError):
+            CellSpec(rho=0.5, engine="ps", track_maxima=True)
+        CellSpec(rho=0.5, engine="rushed", track_saturated=True,
+                 track_maxima=True)
 
     def test_rho_with_rescaled_service_rates_rejected(self):
         """Both rho calibrations assume unit service rates; a rescaled

@@ -171,6 +171,7 @@ class TestReplicationEngine:
 
 
 class TestCrossEngineParity:
+    @pytest.mark.slow
     def test_slotted_matches_event_on_torus(self):
         """Section 5.2: slotted delay differs from continuous by <= tau."""
         base = dict(
