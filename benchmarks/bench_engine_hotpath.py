@@ -41,6 +41,16 @@ The calendar queue has since grown Brown's-rule adaptive bucket widths
 adaptive calendar, fixed-width calendar, heap — all bit-identical by
 the pop-order contract, so the trio isolates the pure data-structure
 cost.
+
+PR 6 extracted the hot loops into the kernels layer and added the
+vectorized ``backend="numpy"`` whole-trajectory solver; the two
+``*_numpy_warm`` cells time it on the 32x32 acceptance configurations
+and record *two* ratios: ``speedup_vs_pre_pr`` (the frozen baselines
+above — ~8-14x measured on this container) and
+``speedup_vs_python_backend`` (an interleaved same-process timing of the
+reference kernel on the identical warm cell — ~4-6x measured). Soft
+floors sit well under the measured ratios, same discipline as the 1.5x
+floor on the python cells.
 """
 
 import time
@@ -231,6 +241,79 @@ def test_ps_8x8(best_of, benchmark):
     _record(benchmark, res, PRE_PR_PS_8)
     assert res.generated > 2000
     assert res.generated == res.completed
+
+
+def _best_seconds(fn, *args, rounds=3, **kwargs):
+    """min-of-``rounds`` wall time for the in-test reference timings."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_event_32x32_numpy_warm(best_of, benchmark):
+    """The PR-6 vectorized kernel on the acceptance cell (32x32 uniform
+    deterministic, warm shared cache — the same configuration as
+    ``test_event_32x32_cached_warm``). The interleaved reference timing
+    pins the backend-vs-backend ratio within one process, immune to
+    cross-run machine drift."""
+    mesh_router = GreedyArrayRouter(ArrayMesh(32))
+    cache = path_cache_for(mesh_router)
+    dests = UniformDestinations(1024)
+    lam = lambda_for_load(32, RHO, "table1")
+    NetworkSimulation(
+        mesh_router, dests, lam, seed=3, path_cache=cache, backend="numpy"
+    ).run(WARMUP, HORIZON)  # warm the arena + kernel level cache
+    t_python = _best_seconds(
+        NetworkSimulation(mesh_router, dests, lam, seed=3, path_cache=cache).run,
+        WARMUP,
+        HORIZON,
+    )
+    sim = NetworkSimulation(
+        mesh_router, dests, lam, seed=3, path_cache=cache, backend="numpy"
+    )
+    res = best_of(sim.run, WARMUP, HORIZON)
+    pps = _record(benchmark, res, PRE_PR_EVENT[32])
+    ratio = t_python / benchmark.stats.stats.min
+    benchmark.extra_info["speedup_vs_python_backend"] = round(ratio, 3)
+    assert res.generated > 10_000
+    assert res.littles_law_gap < 0.1
+    # Soft floors (see module docstring): measured ~14x / ~5-6x.
+    assert pps > 4.0 * PRE_PR_EVENT[32]
+    assert ratio > 2.5
+
+
+def test_slotted_32x32_numpy_warm(best_of, benchmark):
+    """The vectorized slot kernel on the 32x32 acceptance cell, against
+    the batched python kernel (``batch_rng=True``, its fastest mode) on
+    the identical warm cell."""
+    mesh_router = GreedyArrayRouter(ArrayMesh(32))
+    cache = path_cache_for(mesh_router)
+    dests = UniformDestinations(1024)
+    lam = lambda_for_load(32, RHO, "table1")
+    SlottedNetworkSimulation(
+        mesh_router, dests, lam, seed=4, path_cache=cache, backend="numpy"
+    ).run(int(WARMUP), int(HORIZON))  # warm the arena + kernel level cache
+    t_python = _best_seconds(
+        SlottedNetworkSimulation(
+            mesh_router, dests, lam, seed=4, path_cache=cache
+        ).run,
+        int(WARMUP),
+        int(HORIZON),
+    )
+    sim = SlottedNetworkSimulation(
+        mesh_router, dests, lam, seed=4, path_cache=cache, backend="numpy"
+    )
+    res = best_of(sim.run, int(WARMUP), int(HORIZON))
+    pps = _record(benchmark, res, PRE_PR_SLOTTED[32])
+    ratio = t_python / benchmark.stats.stats.min
+    benchmark.extra_info["speedup_vs_python_backend"] = round(ratio, 3)
+    assert res.generated > 10_000
+    # Soft floors (see module docstring): measured ~8x / ~4x.
+    assert pps > 4.0 * PRE_PR_SLOTTED[32]
+    assert ratio > 2.0
 
 
 def test_slotted_8x8(best_of, benchmark):

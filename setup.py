@@ -2,7 +2,14 @@
 
 The offline environment lacks the ``wheel`` package, so PEP 660 editable
 installs fail; this file lets ``pip install -e .`` take the legacy
-``setup.py develop`` route. All real metadata lives in pyproject.toml.
+``setup.py develop`` route.
+
+The ``fast`` extra names the vectorized-kernel dependency boundary
+(see :mod:`repro.sim.kernels`): numpy is already in ``install_requires``
+— the reference engines use it too — but ``backend="numpy"`` is the one
+feature whose *kernel module* demands it, so the extra documents the
+pairing for installers and mirrors the error message
+``check_backend("numpy")`` raises when numpy is absent.
 """
 
 from setuptools import find_packages, setup
@@ -14,4 +21,10 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+    extras_require={
+        # The vectorized kernels (repro.sim.kernels.numpy_backend,
+        # selected with backend="numpy") — numpy-only today; future
+        # accelerated backends would widen this list.
+        "fast": ["numpy>=1.23"],
+    },
 )

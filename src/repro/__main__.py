@@ -117,6 +117,13 @@ def _cmd_simulate(args) -> int:
         else:
             lines.append(f"engine {info.name!r} accepts no --engine-param")
         raise SystemExit("\n".join(lines)) from None
+    # The vectorized kernels cannot track per-packet maxima, so the CLI
+    # drops that (display-only) statistic rather than making the numpy
+    # backend unreachable from `simulate`.
+    track_maxima = (
+        info.supports_maxima
+        and dict(engine_params).get("backend") != "numpy"
+    )
     spec = CellSpec(
         scenario=scenario.name,
         n=args.n,
@@ -127,7 +134,7 @@ def _cmd_simulate(args) -> int:
         horizon=args.horizon,
         seeds=tuple(args.seed + k for k in range(args.replications)),
         track_saturated=scenario.standard_mesh and info.supports_saturated,
-        track_maxima=info.supports_maxima,
+        track_maxima=track_maxima,
         params=_parse_params(args.param),
         engine_params=engine_params,
     )
@@ -151,7 +158,7 @@ def _cmd_simulate(args) -> int:
     b = bound_summary(args.n, lam)
     extremes = (
         f"  max delay {res.max_delay:.2f}  max queue {res.max_queue_length}"
-        if info.supports_maxima
+        if spec.track_maxima
         else ""
     )
     print(
@@ -178,7 +185,10 @@ def _cmd_engines(args) -> int:
 
     t = Table(
         title="Registered simulation engines",
-        headers=["name", "aliases", "services", "engine params", "description"],
+        headers=[
+            "name", "aliases", "services", "backends", "engine params",
+            "description",
+        ],
     )
     for e in available_engines():
         t.add_row(
@@ -186,6 +196,7 @@ def _cmd_engines(args) -> int:
                 e.name,
                 ", ".join(e.aliases) or "-",
                 "/".join(e.services),
+                "/".join(e.backends),
                 ", ".join(p.describe() for p in e.params) or "-",
                 e.description,
             ]

@@ -71,6 +71,12 @@ from repro.routing.torus_greedy import GreedyTorusRouter
 #: the pairs actually routed.
 DENSE_NODE_LIMIT = 256
 
+#: Ceiling on ``n*n`` for *on-demand* dense promotion
+#: (:meth:`PathCache.promote_dense`) — the vectorized kernels ask for
+#: dense tables explicitly and 4M pairs caps the two ``int64`` arrays at
+#: 64 MiB; beyond it batch lookups keep the dict fallback.
+DENSE_PAIR_LIMIT = 4_194_304
+
 
 class PathArena:
     """Append-only flat store of path edge ids with ``(offset, length)`` views.
@@ -104,6 +110,35 @@ class PathArena:
             self._array = np.asarray(self.edges, dtype=np.int32)
             self._array_len = len(self.edges)
         return self._array
+
+    def gather(self, offs: np.ndarray, lens: np.ndarray) -> np.ndarray:
+        """Flat per-visit edge ids for parallel ``(offset, length)`` views.
+
+        Returns one ``int32`` array concatenating the paths in order —
+        the canonical hot-loop input of the vectorized kernels (visit
+        ``k`` of packet ``i`` sits at ``cumsum(lens)[i-1] + k``). Call
+        *after* all lookups: :meth:`as_array` snapshots the arena as it
+        is now, and lookups may still grow it.
+        """
+        offs = np.asarray(offs, dtype=np.int64)
+        lens = np.asarray(lens, dtype=np.int64)
+        arr = self.as_array()
+        if offs.size == 0:
+            return np.empty(0, dtype=np.int32)
+        cum = np.cumsum(lens)
+        total = int(cum[-1])
+        if bool(np.all(lens > 0)):
+            # Pointer walk: +1 inside a path, jump at each boundary —
+            # one cumsum instead of two repeats (needs non-empty paths).
+            step = np.ones(total, dtype=np.int64)
+            step[0] = offs[0]
+            step[cum[:-1]] = offs[1:] - offs[:-1] - lens[:-1] + 1
+            return arr[np.cumsum(step)]
+        seg = np.repeat(np.arange(offs.size, dtype=np.int64), lens)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            cum - lens, lens
+        )
+        return arr[offs[seg] + within]
 
     def view(self, offset: int, length: int) -> tuple[int, ...]:
         """Materialise one ``(offset, length)`` slice as an edge tuple."""
@@ -225,6 +260,31 @@ class PathCache:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Uniform batch interface; deterministic caches ignore ``rng``."""
         return self.offlen_batch(srcs, dsts)
+
+    def promote_dense(self) -> bool:
+        """Adopt dense ``n*n`` tables on demand (vectorized-kernel path).
+
+        Networks above :data:`DENSE_NODE_LIMIT` are dict-only by default;
+        the numpy kernels, whose batch lookups would otherwise loop a
+        dict probe per pair, request promotion explicitly. Existing
+        entries are backfilled, after which :meth:`offlen_batch` is a
+        single gather. Returns whether dense tables are (now) active;
+        above :data:`DENSE_PAIR_LIMIT` promotion is declined and batch
+        lookups keep the fallback loop.
+        """
+        if self._dense_off is not None:
+            return True
+        n = self.num_nodes
+        if n * n > DENSE_PAIR_LIMIT:
+            return False
+        self._dense_off = np.full(n * n, -1, dtype=np.int64)
+        self._dense_len = np.zeros(n * n, dtype=np.int64)
+        if self.table:
+            keys = np.fromiter(self.table, dtype=np.int64, count=len(self.table))
+            ols = np.array(list(self.table.values()), dtype=np.int64)
+            self._dense_off[keys] = ols[:, 0]
+            self._dense_len[keys] = ols[:, 1]
+        return True
 
     def precompute_all(self) -> None:
         """Materialise every ``(src, dst)`` pair (small networks only)."""
@@ -361,6 +421,12 @@ class RandomizedGreedyPathCache:
             if mask.any():
                 offs[mask], lens[mask] = table.offlen_batch(srcs[mask], dsts[mask])
         return offs, lens
+
+    def promote_dense(self) -> bool:
+        """Promote both order tables (see :meth:`PathCache.promote_dense`)."""
+        row = self.row_first.promote_dense()
+        col = self.col_first.promote_dense()
+        return row and col
 
     def path(self, src: int, dst: int) -> tuple[int, ...]:
         """Canonical (row-first) cached path."""

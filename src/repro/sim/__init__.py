@@ -34,10 +34,12 @@ many seeds". Two registries plus one spec type cover that whole space:
 * **engines** (:mod:`repro.sim.registry`) name the simulator — ``fifo``
   (alias ``event``), ``finite``, ``slotted``, ``rushed``, ``ps`` — each
   entry carrying its supported service laws, its typed engine-specific
-  knobs (:class:`~repro.sim.registry.EngineParam`: fifo/finite/rushed
+  knobs (:class:`~repro.sim.registry.EngineParam`: fifo/finite/rushed/ps
   ``event_queue``, slotted ``batch_rng``, per-edge ``service_rates``,
-  the finite engine's ``buffer_size``) and the ``run_cell`` builder the
-  replication layer dispatches to;
+  the finite engine's ``buffer_size``, the kernel-layer engines'
+  ``backend``), its supported kernel backends
+  (:attr:`~repro.sim.registry.Engine.backends`) and the ``run_cell``
+  builder the replication layer dispatches to;
 * a :class:`CellSpec` is the declarative cross of the two — scenario
   name, size, load, engine name, ``engine_params``, window, seeds —
   validated against both registries at construction, hashable and
@@ -74,6 +76,44 @@ the event-driven engines accept any full source set (``SORTED_IDS``),
 the slotted compat kernel requires the identity order
 (``IDENTITY_IDS``), and PS opts out (``NO_FAST_IDS``) — a load-bearing
 difference the identity-vs-sorted regression tests pin.
+
+The kernels layer and the two-backend contract
+----------------------------------------------
+The FIFO, finite-buffer and slotted engines route their hot loops
+through :mod:`repro.sim.kernels`, selected by the ``backend``
+constructor knob (and the matching ``backend`` engine param on the
+facade):
+
+========== ============================ ==============================
+engine     ``backend="python"``         ``backend="numpy"``
+========== ============================ ==============================
+``fifo``   reference loop (default)     max-plus level sweep; uniform
+                                        deterministic service only
+``finite`` reference loop (default)     ``buffer_size=None`` only
+                                        (delegates to the fifo kernel)
+``slotted``reference loop (default)     batched slot kernel;
+                                        ``batch_rng=True`` only
+``rushed`` reference loop               —
+``ps``     reference loop               —
+========== ============================ ==============================
+
+The contract has two tiers. ``backend="python"`` is the extracted
+reference: *bit-identical* to the pre-extraction engines, bound by the
+same-seed golden fixtures, and it never imports the vectorized module
+(the optional-dependency boundary the ``fast`` extra documents).
+``backend="numpy"`` solves whole trajectories over the path arena's
+``int32`` snapshot — blocked draws first, then a feedforward max-plus
+sweep over edge-precedence levels — and is *seed-stable* (same seed,
+same result) and *statistically equivalent*, but not
+draw-order-identical: blocked draws interleave differently once a run
+crosses an RNG block boundary, and equal-eligibility slot ties may
+swap. Distribution-level parity tests (``tests/test_sim_kernels.py``)
+pin that tier, the same discipline as the slotted ``batch_rng``
+redefinition. Options the vectorized kernels cannot honour
+(``track_maxima``, ``track_utilization``, finite buffers, exponential
+service, routes whose edge-precedence graph has cycles — e.g. torus
+wrap-around) raise ``ValueError`` pointing back to ``backend="python"``
+rather than degrading silently.
 
 Hot-path architecture
 ---------------------
@@ -114,8 +154,10 @@ bucket width is re-estimated from queue occupancy by Brown's rule
 (``"calendar"``, the default; ``"calendar-fixed"`` pins the initial
 width) — or the classic binary heap. All pop the exact ``(time, seq)``
 order, so the choice is benchmarkable without touching the contract.
-PS keeps its versioned heap (completions are re-planned on every queue
-change; no monotone structure exists to exploit).
+PS has no monotone structure to exploit (completions are re-planned on
+every queue change), so its versioned-event loop rides the same
+pluggable queue — ``event_queue="calendar"`` by default, bit-identical
+across all kinds.
 
 **Blocked and batched draws.** NumPy ``Generator`` array fills are
 stream-identical to the same number of consecutive scalar draws of the

@@ -29,10 +29,16 @@ large-mesh statistics" as the risk):
 * per-edge state is plain Python (lists, ``deque``, ``bytearray``) — no
   attribute lookups or NumPy scalar indexing inside the loop.
 
-Any restructuring here is bound by the *same-seed bit-identity contract*
-(see :mod:`repro.sim` docs): the RNG draw order, the event pop order and
-the floating-point accumulation order are all observable through the
-golden-result tests, and none of the optimisations above may change them.
+The loops themselves live in the kernels layer
+(:mod:`repro.sim.kernels`): this class owns configuration and validation
+and dispatches ``run`` to the kernel selected by the ``backend`` knob.
+The default ``backend="python"`` kernel is the extracted reference loop,
+bound by the *same-seed bit-identity contract* (see :mod:`repro.sim`
+docs): the RNG draw order, the event pop order and the floating-point
+accumulation order are all observable through the golden-result tests,
+and no optimisation may change them. ``backend="numpy"`` trades that
+contract for vectorization and is pinned by distribution-level parity
+tests instead.
 
 Statistics are exact time integrals (see :mod:`repro.sim` docs). After the
 horizon the run *drains* (no further arrivals, events keep processing) so
@@ -41,10 +47,7 @@ per-packet delays are never censored.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Sequence
-
-import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution
@@ -54,12 +57,16 @@ from repro.sim.enginecommon import (
     resolve_saturated_mask,
     resolve_service_rates,
 )
-from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS, make_event_queue
-from repro.sim.measurement import TimeBatchAccumulator
+from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS
+from repro.sim.kernels import (
+    FIFO_KERNEL,
+    NUMPY_BACKEND,
+    PYTHON_BACKEND,
+    check_backend,
+    get_kernel,
+)
 from repro.sim.result import SimResult
 from repro.util.validation import check_positive
-
-_BLOCK = 8192
 
 DETERMINISTIC, EXPONENTIAL = "deterministic", "exponential"
 
@@ -113,6 +120,13 @@ class NetworkSimulation:
         identical ``(time, seq)`` order, so outputs are bit-identical
         either way — this exists for benchmarking the calendar queue.
         The uniform-deterministic merge loop bypasses them all.
+    backend:
+        Kernel backend for the hot loop (see :mod:`repro.sim.kernels`):
+        ``"python"`` (the default) runs the extracted reference loops
+        under the same-seed bit-identity contract; ``"numpy"`` runs the
+        vectorized max-plus kernel — distribution-identical, not
+        draw-order-identical, and only for uniform deterministic
+        service (the monotone-merge regime).
     """
 
     def __init__(
@@ -129,6 +143,7 @@ class NetworkSimulation:
         use_path_cache: bool = True,
         path_cache=None,
         event_queue: str = CALENDAR,
+        backend: str = PYTHON_BACKEND,
     ) -> None:
         if service not in (DETERMINISTIC, EXPONENTIAL):
             raise ValueError(
@@ -153,6 +168,13 @@ class NetworkSimulation:
             and self._service_times.count(self._service_times[0])
             == len(self._service_times)
         )
+        self.backend = check_backend(backend)
+        if self.backend == NUMPY_BACKEND and not self._uniform_service:
+            raise ValueError(
+                "backend='numpy' vectorizes only the uniform-deterministic "
+                "(monotone-merge) regime; exponential or per-edge service "
+                "rates need backend='python'"
+            )
 
         # Shared constructor policy (sources, rates, pinned source CDF,
         # fast-id predicate, path cache). The batched id draw samples over
@@ -210,664 +232,13 @@ class NetworkSimulation:
         check_positive(horizon, "horizon")
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
-        rng = np.random.default_rng(self.seed)
-        t_end = warmup + horizon
-
-        destinations = self.destinations
-        exponential = self.service == EXPONENTIAL
-        st = self._service_times
-        sat = self._sat
-        num_nodes = self.topology.num_nodes
-        num_edges = self.topology.num_edges
-        queues: list[deque] = [deque() for _ in range(num_edges)]
-        busy = bytearray(num_edges)
-
-        # Path cache bindings. Deterministic caches get the dict probe
-        # inlined in the loop; RNG-consuming caches (randomized greedy,
-        # the uncached interner) go through sample_offlen, preserving the
-        # per-packet draw order of the pre-cache engine.
-        cache = self.path_cache
-        arena = cache.arena.edges  # extended in place; safe to bind once
-        if cache.consumes_rng:
-            det_get = None
-            det_build = None
-            sample_offlen = cache.sample_offlen
-        else:
-            det_get = cache.table.get
-            det_build = cache.ensure
-            sample_offlen = None
-
-        seq = 0
-
-        # Block RNG: exponential(1) variates and uniform source/dest ids.
-        exp_block = rng.exponential(size=_BLOCK)
-        exp_i = 0
-        sources = self.source_nodes
-        nsrc = len(sources)
-        uniform_fast = self._fast_ids
-        uniform_sources = self._uniform_sources
-        source_cdf = None if uniform_sources else self._source_cdf
-        if uniform_fast:
-            id_block = rng.integers(0, num_nodes, size=2 * _BLOCK).tolist()
-            id_i = 0
-        else:
-            id_block = None
-            id_i = 0
-        gap_scale = 1.0 / self.total_rate
-
-        # Statistics.
-        in_system = 0
-        remaining = 0
-        remaining_sat = 0
-        int_n = 0.0
-        int_r = 0.0
-        int_rs = 0.0
-        last_t = 0.0
-        generated = completed = zero_hop = 0
-        delay_acc = TimeBatchAccumulator(warmup, t_end, delay_batches)
-        delays: list[float] | None = [] if collect_delays else None
-        util = np.zeros(num_edges) if track_utilization else None
-        ndist: dict[int, float] | None = {} if track_number_distribution else None
-        max_delay = 0.0
-        max_queue = 0
-        searchsorted = np.searchsorted
-        dest_sample = destinations.sample
-
-        def service_sample(e: int) -> float:
-            nonlocal exp_i, exp_block
-            if not exponential:
-                return st[e]
-            if exp_i >= _BLOCK:
-                exp_block = rng.exponential(size=_BLOCK)
-                exp_i = 0
-            v = exp_block[exp_i] * st[e]
-            exp_i += 1
-            return v
-
-        def start_service_heap(e: int, t: float, pkt: list) -> None:
-            nonlocal seq
-            s = service_sample(e)
-            pushe((t + s, seq, e, pkt))
-            seq += 1
-            if util is not None:
-                lo = t if t > warmup else warmup
-                hi = t + s if t + s < t_end else t_end
-                if hi > lo:
-                    util[e] += hi - lo
-
-        # First arrival (the merged-Poisson sentinel).
-        first_gap = exp_block[exp_i] * gap_scale
-        exp_i += 1
-
-        draining = False
-        in_flight_at_horizon = 0
-        # Queues standing when the warmup ends are part of the measurement
-        # window: seed max_queue with them at the crossing, so the gate on
-        # later updates only excludes growth that ended before the window.
-        maxima_seeded = not track_maxima or warmup == 0.0
-        BLK = _BLOCK
-        TWO_BLOCK = 2 * _BLOCK
-        # The common standard-model configuration (no saturation mask, no
-        # N-distribution, no maxima, no utilization) gets a lean loop with
-        # every untracked branch removed; the arithmetic that remains is
-        # identical, so results are bit-identical across loop variants.
-        plain_stats = (
-            sat is None and ndist is None and not track_maxima and util is None
-        )
-
-        if self._uniform_service and plain_stats:
-            # -------- monotone-merge event loop, plain statistics --------
-            service_c = st[0]
-            dep_q: deque = deque()
-            dep_pop = dep_q.popleft
-            dep_append = dep_q.append
-            arr_t = first_gap
-            arr_seq = seq
-            seq += 1
-            have_arrival = True
-            while True:
-                if dep_q:
-                    head = dep_q[0]
-                    if have_arrival:
-                        ht = head[0]
-                        if arr_t < ht or (arr_t == ht and arr_seq < head[1]):
-                            is_arrival = True
-                            t = arr_t
-                        else:
-                            is_arrival = False
-                            t, _s, e, pkt = dep_pop()
-                    else:
-                        is_arrival = False
-                        t, _s, e, pkt = dep_pop()
-                elif have_arrival:
-                    is_arrival = True
-                    t = arr_t
-                else:
-                    break
-                if t >= t_end and not draining:
-                    draining = True
-                    in_flight_at_horizon = in_system
-                    # Close the integrals exactly at the horizon boundary.
-                    lo = last_t if last_t > warmup else warmup
-                    if t_end > lo:
-                        dt = t_end - lo
-                        int_n += in_system * dt
-                        int_r += remaining * dt
-                    last_t = t_end
-                if not draining and t > warmup:
-                    lo = last_t if last_t > warmup else warmup
-                    dt = t - lo
-                    if dt > 0.0:
-                        int_n += in_system * dt
-                        int_r += remaining * dt
-                    last_t = t
-                elif not draining:
-                    last_t = t
-
-                if is_arrival:
-                    # ----- external arrival -----
-                    if draining:
-                        have_arrival = False  # no arrivals past the horizon
-                        continue
-                    if uniform_fast:
-                        if id_i >= TWO_BLOCK:
-                            id_block = rng.integers(
-                                0, num_nodes, size=TWO_BLOCK
-                            ).tolist()
-                            id_i = 0
-                        src = id_block[id_i]
-                        dst = id_block[id_i + 1]
-                        id_i += 2
-                    else:
-                        if uniform_sources:
-                            src = sources[int(rng.integers(nsrc))]
-                        else:
-                            src = sources[
-                                int(
-                                    searchsorted(
-                                        source_cdf, rng.random(), side="right"
-                                    )
-                                )
-                            ]
-                        dst = dest_sample(src, rng)
-                    measured = t >= warmup
-                    if measured:
-                        generated += 1
-                    if src == dst:
-                        if measured:
-                            zero_hop += 1
-                            completed += 1
-                            delay_acc.add(t, 0.0)
-                            if delays is not None:
-                                delays.append(0.0)
-                    else:
-                        if det_get is not None:
-                            ol = det_get(src * num_nodes + dst)
-                            if ol is None:
-                                ol = det_build(src, dst)
-                            off, ln = ol
-                        else:
-                            off, ln = sample_offlen(src, dst, rng)
-                        in_system += 1
-                        remaining += ln
-                        new_pkt = [t, off, ln, 0, measured]
-                        f = arena[off]
-                        if busy[f]:
-                            queues[f].append(new_pkt)
-                        else:
-                            busy[f] = 1
-                            dep_append((t + service_c, seq, f, new_pkt))
-                            seq += 1
-                    # Next arrival.
-                    if exp_i >= BLK:
-                        exp_block = rng.exponential(size=BLK)
-                        exp_i = 0
-                    arr_t = t + exp_block[exp_i] * gap_scale
-                    exp_i += 1
-                    arr_seq = seq
-                    seq += 1
-                else:
-                    # ----- departure: pkt finished service at edge e -----
-                    remaining -= 1
-                    hop = pkt[3] + 1
-                    if hop == pkt[2]:
-                        in_system -= 1
-                        if pkt[4]:
-                            completed += 1
-                            d = t - pkt[0]
-                            delay_acc.add(pkt[0], d)
-                            if delays is not None:
-                                delays.append(d)
-                    else:
-                        pkt[3] = hop
-                        f = arena[pkt[1] + hop]
-                        if busy[f]:
-                            queues[f].append(pkt)
-                        else:
-                            busy[f] = 1
-                            dep_append((t + service_c, seq, f, pkt))
-                            seq += 1
-                    q = queues[e]
-                    if q:
-                        dep_append((t + service_c, seq, e, q.popleft()))
-                        seq += 1
-                    else:
-                        busy[e] = 0
-        elif self._uniform_service:
-            # ---------------- monotone-merge event loop ----------------
-            # All service times equal => departures are pushed with
-            # nondecreasing times, so a FIFO deque plus the single pending
-            # arrival replays the heap's (time, seq) pop order exactly.
-            service_c = st[0]
-            dep_q: deque = deque()
-            dep_pop = dep_q.popleft
-            dep_append = dep_q.append
-            arr_t = first_gap
-            arr_seq = seq
-            seq += 1
-            have_arrival = True
-            while True:
-                if dep_q:
-                    head = dep_q[0]
-                    if have_arrival:
-                        ht = head[0]
-                        if arr_t < ht or (arr_t == ht and arr_seq < head[1]):
-                            is_arrival = True
-                            t = arr_t
-                        else:
-                            is_arrival = False
-                            t, _s, e, pkt = dep_pop()
-                    else:
-                        is_arrival = False
-                        t, _s, e, pkt = dep_pop()
-                elif have_arrival:
-                    is_arrival = True
-                    t = arr_t
-                else:
-                    break
-                if not maxima_seeded and t >= warmup:
-                    maxima_seeded = True
-                    for q in queues:
-                        if len(q) > max_queue:
-                            max_queue = len(q)
-                if t >= t_end and not draining:
-                    draining = True
-                    in_flight_at_horizon = in_system
-                    # Close the integrals exactly at the horizon boundary.
-                    lo = last_t if last_t > warmup else warmup
-                    if t_end > lo:
-                        dt = t_end - lo
-                        int_n += in_system * dt
-                        int_r += remaining * dt
-                        int_rs += remaining_sat * dt
-                        if ndist is not None:
-                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
-                    last_t = t_end
-                if not draining and t > warmup:
-                    lo = last_t if last_t > warmup else warmup
-                    dt = t - lo
-                    if dt > 0.0:
-                        int_n += in_system * dt
-                        int_r += remaining * dt
-                        int_rs += remaining_sat * dt
-                        if ndist is not None:
-                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
-                    last_t = t
-                elif not draining:
-                    last_t = t
-
-                if is_arrival:
-                    # ----- external arrival -----
-                    if draining:
-                        have_arrival = False  # no arrivals past the horizon
-                        continue
-                    if uniform_fast:
-                        if id_i >= TWO_BLOCK:
-                            id_block = rng.integers(
-                                0, num_nodes, size=TWO_BLOCK
-                            ).tolist()
-                            id_i = 0
-                        src = id_block[id_i]
-                        dst = id_block[id_i + 1]
-                        id_i += 2
-                    else:
-                        if uniform_sources:
-                            src = sources[int(rng.integers(nsrc))]
-                        else:
-                            # side="right" so a draw that lands exactly on
-                            # a CDF boundary (e.g. u = 0.0 with a leading
-                            # zero-rate source) never selects a zero-rate
-                            # source.
-                            src = sources[
-                                int(
-                                    searchsorted(
-                                        source_cdf, rng.random(), side="right"
-                                    )
-                                )
-                            ]
-                        dst = dest_sample(src, rng)
-                    measured = t >= warmup
-                    if measured:
-                        generated += 1
-                    if src == dst:
-                        if measured:
-                            zero_hop += 1
-                            completed += 1
-                            delay_acc.add(t, 0.0)
-                            if delays is not None:
-                                delays.append(0.0)
-                    else:
-                        if det_get is not None:
-                            ol = det_get(src * num_nodes + dst)
-                            if ol is None:
-                                ol = det_build(src, dst)
-                            off, ln = ol
-                        else:
-                            off, ln = sample_offlen(src, dst, rng)
-                        in_system += 1
-                        remaining += ln
-                        if sat is not None:
-                            nsat = 0
-                            for k in range(off, off + ln):
-                                if sat[arena[k]]:
-                                    nsat += 1
-                            remaining_sat += nsat
-                        new_pkt = [t, off, ln, 0, measured]
-                        f = arena[off]
-                        if busy[f]:
-                            q = queues[f]
-                            q.append(new_pkt)
-                            if (
-                                track_maxima
-                                and measured
-                                and not draining
-                                and len(q) > max_queue
-                            ):
-                                max_queue = len(q)
-                        else:
-                            busy[f] = 1
-                            dep_append((t + service_c, seq, f, new_pkt))
-                            seq += 1
-                            if util is not None:
-                                lo = t if t > warmup else warmup
-                                hi = t + service_c
-                                if hi > t_end:
-                                    hi = t_end
-                                if hi > lo:
-                                    util[f] += hi - lo
-                    # Next arrival.
-                    if exp_i >= BLK:
-                        exp_block = rng.exponential(size=BLK)
-                        exp_i = 0
-                    arr_t = t + exp_block[exp_i] * gap_scale
-                    exp_i += 1
-                    arr_seq = seq
-                    seq += 1
-                else:
-                    # ----- departure: pkt finished service at edge e -----
-                    remaining -= 1
-                    if sat is not None and sat[e]:
-                        remaining_sat -= 1
-                    hop = pkt[3] + 1
-                    if hop == pkt[2]:
-                        in_system -= 1
-                        if pkt[4]:
-                            completed += 1
-                            d = t - pkt[0]
-                            delay_acc.add(pkt[0], d)
-                            if track_maxima and d > max_delay:
-                                max_delay = d
-                            if delays is not None:
-                                delays.append(d)
-                    else:
-                        pkt[3] = hop
-                        f = arena[pkt[1] + hop]
-                        if busy[f]:
-                            qf = queues[f]
-                            qf.append(pkt)
-                            if (
-                                track_maxima
-                                and not draining
-                                and t >= warmup
-                                and len(qf) > max_queue
-                            ):
-                                max_queue = len(qf)
-                        else:
-                            busy[f] = 1
-                            dep_append((t + service_c, seq, f, pkt))
-                            seq += 1
-                            if util is not None:
-                                lo = t if t > warmup else warmup
-                                hi = t + service_c
-                                if hi > t_end:
-                                    hi = t_end
-                                if hi > lo:
-                                    util[f] += hi - lo
-                    q = queues[e]
-                    if q:
-                        nxt = q.popleft()
-                        dep_append((t + service_c, seq, e, nxt))
-                        seq += 1
-                        if util is not None:
-                            lo = t if t > warmup else warmup
-                            hi = t + service_c
-                            if hi > t_end:
-                                hi = t_end
-                            if hi > lo:
-                                util[e] += hi - lo
-                    else:
-                        busy[e] = 0
-        else:
-            # ------------------ event-queue loop ------------------
-            # Exponential or per-edge deterministic service: departure
-            # times are not monotone, so a priority queue orders them —
-            # the calendar queue by default, the binary heap on request
-            # (both pop the identical (time, seq) order), with the
-            # arrival sentinel merged in. The calendar bucket width is
-            # one mean arrival gap: the event rate is roughly the
-            # arrival rate times the mean hop count, so a bucket holds
-            # on the order of one route's worth of events — enough to
-            # amortise the day-heap traffic, small enough that the
-            # activation sort and same-bucket insorts stay cheap.
-            evq = make_event_queue(self.event_queue, width=gap_scale)
-            pushe = evq.push
-            pope = evq.pop
-            pushe((first_gap, seq, -1, None))
-            seq += 1
-            fast_service = not exponential and util is None
-            while evq:
-                t, _s, e, pkt = pope()
-                if not maxima_seeded and t >= warmup:
-                    maxima_seeded = True
-                    for q in queues:
-                        if len(q) > max_queue:
-                            max_queue = len(q)
-                if t >= t_end and not draining:
-                    draining = True
-                    in_flight_at_horizon = in_system
-                    # Close the integrals exactly at the horizon boundary.
-                    lo = last_t if last_t > warmup else warmup
-                    if t_end > lo:
-                        dt = t_end - lo
-                        int_n += in_system * dt
-                        int_r += remaining * dt
-                        int_rs += remaining_sat * dt
-                        if ndist is not None:
-                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
-                    last_t = t_end
-                if not draining and t > warmup:
-                    lo = last_t if last_t > warmup else warmup
-                    dt = t - lo
-                    if dt > 0.0:
-                        int_n += in_system * dt
-                        int_r += remaining * dt
-                        int_rs += remaining_sat * dt
-                        if ndist is not None:
-                            ndist[in_system] = ndist.get(in_system, 0.0) + dt
-                    last_t = t
-                elif not draining:
-                    last_t = t
-
-                if e < 0:
-                    # ----- external arrival -----
-                    if draining:
-                        continue  # no arrivals past the horizon
-                    if uniform_fast:
-                        if id_i >= TWO_BLOCK:
-                            id_block = rng.integers(
-                                0, num_nodes, size=TWO_BLOCK
-                            ).tolist()
-                            id_i = 0
-                        src = id_block[id_i]
-                        dst = id_block[id_i + 1]
-                        id_i += 2
-                    else:
-                        if uniform_sources:
-                            src = sources[int(rng.integers(nsrc))]
-                        else:
-                            src = sources[
-                                int(
-                                    searchsorted(
-                                        source_cdf, rng.random(), side="right"
-                                    )
-                                )
-                            ]
-                        dst = dest_sample(src, rng)
-                    measured = t >= warmup
-                    if measured:
-                        generated += 1
-                    if src == dst:
-                        if measured:
-                            zero_hop += 1
-                            completed += 1
-                            delay_acc.add(t, 0.0)
-                            if delays is not None:
-                                delays.append(0.0)
-                    else:
-                        if det_get is not None:
-                            ol = det_get(src * num_nodes + dst)
-                            if ol is None:
-                                ol = det_build(src, dst)
-                            off, ln = ol
-                        else:
-                            off, ln = sample_offlen(src, dst, rng)
-                        in_system += 1
-                        remaining += ln
-                        if sat is not None:
-                            nsat = 0
-                            for k in range(off, off + ln):
-                                if sat[arena[k]]:
-                                    nsat += 1
-                            remaining_sat += nsat
-                        new_pkt = [t, off, ln, 0, measured]
-                        f = arena[off]
-                        if busy[f]:
-                            q = queues[f]
-                            q.append(new_pkt)
-                            if (
-                                track_maxima
-                                and measured
-                                and not draining
-                                and len(q) > max_queue
-                            ):
-                                max_queue = len(q)
-                        else:
-                            busy[f] = 1
-                            if fast_service:
-                                pushe((t + st[f], seq, f, new_pkt))
-                                seq += 1
-                            else:
-                                start_service_heap(f, t, new_pkt)
-                    # Next arrival.
-                    if exp_i >= BLK:
-                        exp_block = rng.exponential(size=BLK)
-                        exp_i = 0
-                    pushe((t + exp_block[exp_i] * gap_scale, seq, -1, None))
-                    exp_i += 1
-                    seq += 1
-                else:
-                    # ----- departure: pkt finished service at edge e -----
-                    remaining -= 1
-                    if sat is not None and sat[e]:
-                        remaining_sat -= 1
-                    hop = pkt[3] + 1
-                    if hop == pkt[2]:
-                        in_system -= 1
-                        if pkt[4]:
-                            completed += 1
-                            d = t - pkt[0]
-                            delay_acc.add(pkt[0], d)
-                            if track_maxima and d > max_delay:
-                                max_delay = d
-                            if delays is not None:
-                                delays.append(d)
-                    else:
-                        pkt[3] = hop
-                        f = arena[pkt[1] + hop]
-                        if busy[f]:
-                            qf = queues[f]
-                            qf.append(pkt)
-                            if (
-                                track_maxima
-                                and not draining
-                                and t >= warmup
-                                and len(qf) > max_queue
-                            ):
-                                max_queue = len(qf)
-                        else:
-                            busy[f] = 1
-                            if fast_service:
-                                pushe((t + st[f], seq, f, pkt))
-                                seq += 1
-                            else:
-                                start_service_heap(f, t, pkt)
-                    q = queues[e]
-                    if q:
-                        nxt = q.popleft()
-                        if fast_service:
-                            pushe((t + st[e], seq, e, nxt))
-                            seq += 1
-                        else:
-                            start_service_heap(e, t, nxt)
-                    else:
-                        busy[e] = 0
-
-        # If the run never reached the horizon (cannot happen: the arrival
-        # sentinel always carries the clock forward), close integrals.
-        if last_t < t_end:
-            lo = last_t if last_t > warmup else warmup
-            dt = t_end - lo
-            int_n += in_system * dt
-            int_r += remaining * dt
-            int_rs += remaining_sat * dt
-            if ndist is not None:
-                ndist[in_system] = ndist.get(in_system, 0.0) + dt
-
-        mean_number = int_n / horizon
-        summary = delay_acc.summary()
-        if ndist is not None:
-            total_dt = sum(ndist.values())
-            ndist = {k: v / total_dt for k, v in sorted(ndist.items())}
-        return SimResult(
-            warmup=warmup,
-            horizon=horizon,
-            seed=self.seed,
-            generated=generated,
-            completed=completed,
-            zero_hop=zero_hop,
-            in_flight_at_end=in_flight_at_horizon,
-            mean_number=mean_number,
-            mean_remaining=int_r / horizon,
-            mean_remaining_saturated=(
-                int_rs / horizon if sat is not None else float("nan")
-            ),
-            mean_delay=summary.mean,
-            delay_half_width=summary.half_width,
-            mean_delay_littles=mean_number / self.total_rate,
-            total_rate=self.total_rate,
-            utilization=util / horizon if util is not None else None,
-            delays=np.asarray(delays) if delays is not None else None,
-            number_distribution=ndist,
-            max_delay=max_delay if track_maxima else float("nan"),
-            max_queue_length=max_queue if track_maxima else -1,
+        return get_kernel(FIFO_KERNEL, self.backend)(
+            self,
+            warmup,
+            horizon,
+            track_utilization=track_utilization,
+            collect_delays=collect_delays,
+            track_number_distribution=track_number_distribution,
+            track_maxima=track_maxima,
+            delay_batches=delay_batches,
         )

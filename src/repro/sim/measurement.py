@@ -95,6 +95,25 @@ class TimeBatchAccumulator:
         self.sums[idx] += value
         self.weights[idx] += weight
 
+    def add_batch(
+        self, ts: np.ndarray, values: np.ndarray, weight: float = 1.0
+    ) -> None:
+        """Vectorized :meth:`add`: record ``values[i]`` at ``ts[i]``.
+
+        Same semantics per element — out-of-window times are ignored and
+        every kept element carries ``weight`` — in two scatter-adds
+        (the numpy kernels' bulk path).
+        """
+        ts = np.asarray(ts, dtype=float)
+        values = np.asarray(values, dtype=float)
+        inside = (ts >= self.start) & (ts < self.end)
+        if not inside.any():
+            return
+        idx = ((ts[inside] - self.start) / self._width).astype(np.int64)
+        np.clip(idx, 0, self.num_batches - 1, out=idx)
+        np.add.at(self.sums, idx, values[inside])
+        np.add.at(self.weights, idx, weight)
+
     def summary(self) -> BatchMeans:
         """Batch-means estimate over the accumulated batches."""
         return batch_means(self.sums, self.weights)

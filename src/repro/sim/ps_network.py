@@ -15,11 +15,16 @@ Implementation: the classic virtual-completion-event scheme. Each queue
 keeps its customers' remaining work, a ``last update`` timestamp and a
 version counter; arrival or departure at the queue re-linearises the drain
 and re-schedules the (single) next-completion event, bumping the version so
-stale heap entries are skipped on pop. Cost is O(k) per queue event, which
+stale entries are skipped on pop. Cost is O(k) per queue event, which
 is fine at the modest sizes the PS comparisons run at (its purpose is
 validation, not Table-scale statistics). Because completions are
-re-planned (truly stochastic event times), this engine keeps its heap —
-the merge loop does not apply — but it shares the rest of the hot-path
+re-planned (truly stochastic event times), this engine needs a priority
+queue — the merge loop does not apply — and since PR 6 that queue is the
+pluggable :mod:`repro.sim.eventqueue` structure the FIFO/rushed/finite
+stochastic loops use (``event_queue="calendar"`` by default; every kind
+pops the identical ``(time, seq)`` order, so outputs are bit-identical
+and the PS golden cells pin the calendar loop exactly as they pinned the
+heap). It shares the rest of the hot-path
 architecture: paths come from the shared :mod:`repro.routing.pathcache`
 arena, packet records store ``(arena_offset, length)`` views, and the
 source draw uses the pinned CDF with ``side='right'`` so a boundary draw
@@ -30,7 +35,6 @@ unchanged from the pre-cache engine, and the PS golden cells in
 
 from __future__ import annotations
 
-import heapq
 from typing import Sequence
 
 import numpy as np
@@ -42,6 +46,7 @@ from repro.sim.enginecommon import (
     EngineCommon,
     resolve_service_rates,
 )
+from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
 from repro.util.validation import check_positive
@@ -52,7 +57,10 @@ class PSNetworkSimulation:
 
     Parameters mirror :class:`repro.sim.NetworkSimulation` (service is
     always unit-work PS; ``use_path_cache`` / ``path_cache`` control the
-    shared path-cache arena exactly as there).
+    shared path-cache arena exactly as there, and ``event_queue`` selects
+    the completion-event priority structure from
+    :data:`repro.sim.eventqueue.QUEUE_KINDS` — bit-identical outputs for
+    every kind).
     """
 
     def __init__(
@@ -66,8 +74,15 @@ class PSNetworkSimulation:
         seed: int = 0,
         use_path_cache: bool = True,
         path_cache=None,
+        event_queue: str = CALENDAR,
     ) -> None:
         self.seed = int(seed)
+        if event_queue not in QUEUE_KINDS:
+            raise ValueError(
+                f"event_queue must be one of {'/'.join(QUEUE_KINDS)}, "
+                f"got {event_queue!r}"
+            )
+        self.event_queue = event_queue
         phi = resolve_service_rates(service_rates, router.topology.num_edges)
         self._phi = phi.tolist()
         # Shared constructor policy. PS has no fast-id block draw
@@ -121,10 +136,13 @@ class PSNetworkSimulation:
         last_up = [0.0] * num_edges
         version = [0] * num_edges
 
-        heap: list = []
+        # All pushes carry times >= the current event time (completions
+        # are re-planned forward, arrivals add an exponential gap), so the
+        # calendar queue's monotone-push contract holds.
+        evq = make_event_queue(self.event_queue, width=1.0 / self.total_rate)
         seq = 0
-        push = heapq.heappush
-        pop = heapq.heappop
+        push = evq.push
+        pop = evq.pop
         searchsorted = np.searchsorted
         sources = self.source_nodes
         source_cdf = self._source_cdf
@@ -160,7 +178,7 @@ class PSNetworkSimulation:
             k = len(works[e])
             if k:
                 t_next = t + min(works[e]) * k / phi[e]
-                push(heap, (t_next, seq, e, version[e]))
+                push((t_next, seq, e, version[e]))
                 seq += 1
 
         def enqueue(e: int, t: float, pkt: list) -> None:
@@ -169,12 +187,12 @@ class PSNetworkSimulation:
             pkts[e].append(pkt)
             reschedule(e, t)
 
-        push(heap, (rng.exponential(1.0 / self.total_rate), seq, -1, 0))
+        push((rng.exponential(1.0 / self.total_rate), seq, -1, 0))
         seq += 1
 
         draining = False
-        while heap:
-            t, _s, e, ver = pop(heap)
+        while evq:
+            t, _s, e, ver = pop()
             if t >= t_end and not draining:
                 draining = True
                 in_flight_at_horizon = in_system
@@ -232,7 +250,7 @@ class PSNetworkSimulation:
                     # packet record: [birth, arena offset, length, hops
                     # done, measured]
                     enqueue(arena[off], t, [t, off, ln, 0, measured])
-                push(heap, (t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))
+                push((t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))
                 seq += 1
             else:
                 # ----- tentative completion at queue e -----

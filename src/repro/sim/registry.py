@@ -31,13 +31,16 @@ Engine-specific parameters
     ``event_queue``: ``"calendar"`` or ``"heap"`` — the stochastic-service
     priority structure (outputs are bit-identical either way);
     ``service_rates``: per-edge ``phi_e`` (scalar broadcasts; pass a tuple
-    to keep the spec hashable).
+    to keep the spec hashable); ``backend``: the kernel backend
+    (``"python"`` is the bit-identical reference, ``"numpy"`` the
+    vectorized whole-trajectory solver — see :mod:`repro.sim.kernels`).
 ``slotted``
     ``batch_rng``: fully batched draw order (blocked Poisson counts plus
     per-slot source/destination/coin batches). **Default True** since the
     registry redesign — pass ``batch_rng=False`` for the legacy
     per-packet-compatible stream (see the deprecation note in
-    :mod:`repro.sim.slotted`).
+    :mod:`repro.sim.slotted`). ``backend`` as for ``fifo`` (the numpy
+    slot kernel requires ``batch_rng=True``).
 ``rushed``
     ``event_queue`` and ``service_rates`` as for ``fifo``. The number of
     copies per packet is not a free knob: Theorem 10's construction sends
@@ -46,13 +49,25 @@ Engine-specific parameters
 ``ps``
     ``service_rates`` as for ``fifo`` (the PS discipline itself has no
     further parameters: equal sharing of ``phi_e`` among the customers
-    present).
+    present), plus ``event_queue`` — PS completions are re-planned
+    stochastic times, so its versioned-event loop runs on the same
+    pluggable priority structure (bit-identical across all kinds).
 ``finite``
     ``event_queue`` and ``service_rates`` as for ``fifo``, plus
     ``buffer_size``: per-node waiting room (a non-negative int broadcasts
     over all nodes, a tuple gives one value per node, ``None`` — the
     default — reproduces the infinite-buffer ``fifo`` engine
-    bit-for-bit).
+    bit-for-bit). ``backend`` as for ``fifo`` — numpy only with
+    ``buffer_size=None`` (tail-drop admission is state-dependent).
+
+Kernel backends
+---------------
+Engines whose hot loops live in :mod:`repro.sim.kernels` expose the
+``backend`` param and advertise it via :attr:`Engine.backends`. The
+contract in one line: ``backend="python"`` (the default) is bit-identical
+to the pre-kernel engines and pinned by the golden fixtures;
+``backend="numpy"`` is seed-stable and statistically equivalent but not
+draw-order-identical, and is pinned by distribution-level parity tests.
 """
 
 from __future__ import annotations
@@ -63,6 +78,7 @@ from typing import Callable, Mapping
 
 from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS
 from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
+from repro.sim.kernels import KERNEL_BACKENDS, PYTHON_BACKEND
 from repro.sim.finite_buffer import FiniteBufferNetworkSimulation
 from repro.sim.ps_network import PSNetworkSimulation
 from repro.sim.result import SimResult
@@ -154,7 +170,9 @@ class Engine:
     ``littles_law`` marks engines whose ``mean_delay`` satisfies Little's
     Law against ``mean_number`` (the rushed makespan does not);
     ``bound_sandwich`` marks engines whose standard-model delay the
-    Theorem 7 sandwich brackets.
+    Theorem 7 sandwich brackets; ``backends`` lists the kernel backends
+    the engine's hot loop can run on (every engine has the reference
+    ``"python"``; only kernel-layer engines also offer ``"numpy"``).
     """
 
     name: str
@@ -167,6 +185,7 @@ class Engine:
     supports_maxima: bool = False
     littles_law: bool = True
     bound_sandwich: bool = False
+    backends: tuple[str, ...] = (PYTHON_BACKEND,)
 
     def param(self, name: str) -> EngineParam:
         for p in self.params:
@@ -248,6 +267,20 @@ _SERVICE_RATES_PARAM = EngineParam(
     1.0,
     "per-edge service rates phi_e (scalar broadcasts; tuple for per-edge)",
 )
+_BACKEND_PARAM = EngineParam(
+    "backend",
+    CHOICE,
+    PYTHON_BACKEND,
+    "kernel backend for the hot loop (see repro.sim.kernels): python is "
+    "the bit-identical reference pinned by the golden fixtures; numpy is "
+    "the vectorized whole-trajectory solver — seed-stable and "
+    "statistically equivalent, but not draw-order-identical",
+    choices=KERNEL_BACKENDS,
+)
+
+#: Engine params consumed by ``run()`` rather than the constructor; the
+#: cell builders split ``engine_params`` on this set.
+_RUN_PARAMS = frozenset({"batch_rng"})
 
 
 def _fifo_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
@@ -266,6 +299,11 @@ def _fifo_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
 
 
 def _slotted_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+    # The slotted engine splits its knobs: ``backend`` selects the kernel
+    # at construction, ``batch_rng`` is a per-run draw-order flag.
+    ep = spec.engine_params_dict
+    ctor_params = {k: v for k, v in ep.items() if k not in _RUN_PARAMS}
+    run_params = {k: v for k, v in ep.items() if k in _RUN_PARAMS}
     sim = SlottedNetworkSimulation(
         net.router,
         net.destinations,
@@ -275,6 +313,7 @@ def _slotted_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
         saturated_mask=mask,
         seed=seed,
         path_cache=cache,
+        **ctor_params,
     )
     warmup_slots = int(round(spec.warmup / spec.tau))
     horizon_slots = max(1, int(round(spec.horizon / spec.tau)))
@@ -282,7 +321,7 @@ def _slotted_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
         warmup_slots,
         horizon_slots,
         track_maxima=spec.track_maxima,
-        **spec.engine_params_dict,
+        **run_params,
     )
 
 
@@ -337,11 +376,12 @@ register_engine(
             "(deterministic service) and the Jackson model (exponential)"
         ),
         services=(DETERMINISTIC, EXPONENTIAL),
-        params=(_EVENT_QUEUE_PARAM, _SERVICE_RATES_PARAM),
+        params=(_EVENT_QUEUE_PARAM, _SERVICE_RATES_PARAM, _BACKEND_PARAM),
         run_cell=_fifo_cell,
         supports_saturated=True,
         supports_maxima=True,
         bound_sandwich=True,
+        backends=KERNEL_BACKENDS,
     )
 )
 register_engine(
@@ -358,13 +398,16 @@ register_engine(
                 BOOL,
                 True,
                 "fully batched draw order (False replays the legacy "
-                "per-packet-compatible stream)",
+                "per-packet-compatible stream; the numpy backend "
+                "requires True)",
             ),
+            _BACKEND_PARAM,
         ),
         run_cell=_slotted_cell,
         supports_saturated=True,
         supports_maxima=True,
         bound_sandwich=True,
+        backends=KERNEL_BACKENDS,
     )
 )
 register_engine(
@@ -402,6 +445,7 @@ register_engine(
                 "(int broadcasts; tuple is per-node; None = infinite "
                 "buffers, bit-identical to the fifo engine)",
             ),
+            _BACKEND_PARAM,
         ),
         run_cell=_finite_cell,
         supports_saturated=True,
@@ -411,6 +455,9 @@ register_engine(
         # the Theorem 7 sandwich brackets it once drops occur.
         littles_law=False,
         bound_sandwich=False,
+        # numpy only with buffer_size=None (the constructor rejects the
+        # combination otherwise — tail-drop admission is state-dependent).
+        backends=KERNEL_BACKENDS,
     )
 )
 register_engine(
@@ -421,7 +468,9 @@ register_engine(
             "phi_e among the customers present; product-form equilibrium"
         ),
         services=(DETERMINISTIC,),
-        params=(_SERVICE_RATES_PARAM,),
+        # PS completions are re-planned stochastic times, so its
+        # versioned-event loop rides the pluggable queue too.
+        params=(_SERVICE_RATES_PARAM, _EVENT_QUEUE_PARAM),
         run_cell=_ps_cell,
     )
 )

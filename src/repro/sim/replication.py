@@ -165,6 +165,14 @@ class CellSpec:
             raise ValueError(
                 f"the {info.name} engine does not track per-packet maxima"
             )
+        if self.track_maxima and ep.get("backend") == "numpy":
+            # The vectorized kernels solve whole trajectories and never
+            # materialise the instantaneous queue-length maxima; fail at
+            # spec construction, not inside a worker process.
+            raise ValueError(
+                "backend='numpy' does not support track_maxima; use the "
+                "default backend='python' to track per-packet maxima"
+            )
         if self.rho is None and self.node_rate is None:
             raise ValueError("one of rho or node_rate is required")
         if not self.seeds:

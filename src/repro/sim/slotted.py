@@ -56,10 +56,7 @@ values, but intentionally not bit-compatible with the legacy stream.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Sequence
-
-import numpy as np
 
 from repro.routing.base import Router
 from repro.routing.destinations import DestinationDistribution
@@ -68,11 +65,9 @@ from repro.sim.enginecommon import (
     EngineCommon,
     resolve_saturated_mask,
 )
-from repro.sim.measurement import TimeBatchAccumulator
+from repro.sim.kernels import SLOTTED_KERNEL, PYTHON_BACKEND, check_backend, get_kernel
 from repro.sim.result import SimResult
 from repro.util.validation import check_positive
-
-_BLOCK = 8192
 
 
 class SlottedNetworkSimulation:
@@ -98,9 +93,14 @@ class SlottedNetworkSimulation:
         seed: int = 0,
         use_path_cache: bool = True,
         path_cache=None,
+        backend: str = PYTHON_BACKEND,
     ) -> None:
         self.tau = check_positive(tau, "tau")
         self.seed = int(seed)
+        # Kernel backend (see repro.sim.kernels): "python" is the
+        # bit-identity reference loop, "numpy" the vectorized max-plus
+        # kernel (distribution parity, batch_rng=True draw order only).
+        self.backend = check_backend(backend)
         # Shared constructor policy (sources, rates, pinned source CDF,
         # fast-id predicate, path cache). Batched id pairs need every node
         # generating at equal rate with the *identity* source order (so
@@ -160,247 +160,12 @@ class SlottedNetworkSimulation:
         """
         if warmup_slots < 0 or horizon_slots <= 0:
             raise ValueError("need warmup_slots >= 0 and horizon_slots > 0")
-        rng = np.random.default_rng(self.seed)
-        tau = self.tau
-        warmup = warmup_slots * tau
-        horizon = horizon_slots * tau
-        t_end_slot = warmup_slots + horizon_slots
-        batch_mean = self.total_rate * tau
-        num_nodes = self.topology.num_nodes
-        sat = self._sat
-
-        uniform_sources = self._uniform_sources
-        fast_ids = self._fast_ids
-        sources = self.source_nodes
-        source_arr = np.asarray(sources, dtype=np.int64)
-        nsrc = len(sources)
-        source_cdf = self._source_cdf
-        destinations = self.destinations
-        dest_sample = destinations.sample
-        dest_sample_batch = getattr(destinations, "sample_batch", None)
-        dest_rng_free = not getattr(destinations, "consumes_rng", True)
-
-        cache = self.path_cache
-        arena = cache.arena.edges  # extended in place; safe to bind once
-        cache_rng_free = not cache.consumes_rng
-        if cache_rng_free:
-            offlen_batch = cache.offlen_batch
-            det_get = cache.table.get
-            det_build = cache.ensure
-        else:
-            offlen_batch = None
-            det_get = det_build = None
-        sample_offlen = cache.sample_offlen
-        sample_offlen_batch = cache.sample_offlen_batch
-        # Which vectorized kernel may run under the legacy-stream contract:
-        # fast id pairs, or consecutive source draws with an RNG-free law.
-        compat_pairs = fast_ids and cache_rng_free
-        compat_src_batch = dest_rng_free and cache_rng_free
-
-        queues: list[deque] = [deque() for _ in range(self.topology.num_edges)]
-        active: set[int] = set()
-        in_system = 0
-        remaining = 0
-        remaining_sat = 0
-        int_n = int_r = int_rs = 0.0
-        generated = completed = zero_hop = 0
-        in_flight_at_horizon = 0
-        delay_acc = TimeBatchAccumulator(warmup, warmup + horizon, delay_batches)
-        delays: list[float] | None = [] if collect_delays else None
-        max_delay = 0.0
-        max_queue = 0
-        maxima_seeded = not track_maxima or warmup_slots == 0
-        count_block: list[int] = []
-        count_i = 0
-        counts_drawn = 0
-
-        slot = 0
-        while True:
-            t = slot * tau
-            measuring = warmup_slots <= slot < t_end_slot
-            draining = slot >= t_end_slot
-            if draining and in_system == 0:
-                break
-            if not maxima_seeded and slot >= warmup_slots:
-                # Queues standing at the warmup crossing belong to the
-                # measurement window (event-engine parity).
-                maxima_seeded = True
-                for q in queues:
-                    if len(q) > max_queue:
-                        max_queue = len(q)
-            # --- batch arrivals at slot start ---
-            if not draining:
-                if batch_rng:
-                    if count_i >= len(count_block):
-                        size = min(_BLOCK, t_end_slot - counts_drawn)
-                        count_block = rng.poisson(batch_mean, size=size).tolist()
-                        counts_drawn += size
-                        count_i = 0
-                    k = count_block[count_i]
-                    count_i += 1
-                else:
-                    k = int(rng.poisson(batch_mean))
-                if k:
-                    # Draw the slot's sources/destinations/paths. Every
-                    # branch enqueues packets in identical order; they
-                    # differ only in how many RNG calls produce the draws.
-                    offs = lens = None
-                    if compat_pairs:
-                        ids = rng.integers(0, num_nodes, size=2 * k)
-                        srcs_a = ids[0::2]
-                        dsts_a = ids[1::2]
-                    elif batch_rng or compat_src_batch:
-                        if uniform_sources:
-                            srcs_a = source_arr[rng.integers(0, nsrc, size=k)]
-                        else:
-                            srcs_a = source_arr[
-                                np.searchsorted(
-                                    source_cdf, rng.random(k), side="right"
-                                )
-                            ]
-                        if dest_sample_batch is not None:
-                            dsts_a = np.asarray(dest_sample_batch(srcs_a, rng))
-                        else:
-                            dsts_a = np.asarray(
-                                [dest_sample(int(s), rng) for s in srcs_a.tolist()]
-                            )
-                    else:
-                        # Interleaved data-dependent draws: keep the legacy
-                        # scalar order (bit-identity), path-cached below.
-                        srcs_a = dsts_a = None
-                    if srcs_a is not None:
-                        nz = srcs_a != dsts_a
-                        if nz.any():
-                            if cache_rng_free:
-                                offs, lens = offlen_batch(srcs_a[nz], dsts_a[nz])
-                            else:
-                                offs, lens = sample_offlen_batch(
-                                    srcs_a[nz], dsts_a[nz], rng
-                                )
-                            offs = offs.tolist()
-                            lens = lens.tolist()
-                        srcs = srcs_a.tolist()
-                        dsts = dsts_a.tolist()
-                    at = 0  # index into offs/lens (non-zero-hop packets)
-                    for i in range(k):
-                        if srcs_a is not None:
-                            src = srcs[i]
-                            dst = dsts[i]
-                        else:
-                            if uniform_sources:
-                                src = sources[int(rng.integers(nsrc))]
-                            else:
-                                # side="right": a boundary draw must not
-                                # pick a zero-rate source (see the event
-                                # engine).
-                                src = sources[
-                                    int(
-                                        np.searchsorted(
-                                            source_cdf,
-                                            rng.random(),
-                                            side="right",
-                                        )
-                                    )
-                                ]
-                            dst = dest_sample(src, rng)
-                        if measuring:
-                            generated += 1
-                        if src == dst:
-                            if measuring:
-                                zero_hop += 1
-                                completed += 1
-                                delay_acc.add(t, 0.0)
-                                if delays is not None:
-                                    delays.append(0.0)
-                            continue
-                        if offs is not None:
-                            off = offs[at]
-                            ln = lens[at]
-                            at += 1
-                        elif det_get is not None:
-                            ol = det_get(src * num_nodes + dst)
-                            if ol is None:
-                                ol = det_build(src, dst)
-                            off, ln = ol
-                        else:
-                            off, ln = sample_offlen(src, dst, rng)
-                        in_system += 1
-                        remaining += ln
-                        if sat is not None:
-                            nsat = 0
-                            for e_i in range(off, off + ln):
-                                if sat[arena[e_i]]:
-                                    nsat += 1
-                            remaining_sat += nsat
-                        f = arena[off]
-                        q = queues[f]
-                        q.append([t, off, ln, 0, measuring])
-                        active.add(f)
-                        if track_maxima and measuring and len(q) > max_queue:
-                            max_queue = len(q)
-            # --- per-slot occupancy integrals (state during the slot) ---
-            if measuring:
-                int_n += in_system * tau
-                int_r += remaining * tau
-                int_rs += remaining_sat * tau
-            if slot + 1 == t_end_slot:
-                in_flight_at_horizon = in_system
-            # --- simultaneous transmission: one head per non-empty edge ---
-            deliveries = []
-            emptied = []
-            for e in active:
-                pkt = queues[e].popleft()
-                deliveries.append(pkt)
-                if not queues[e]:
-                    emptied.append(e)
-            for e in emptied:
-                active.discard(e)
-            arrive_t = t + tau
-            for pkt in deliveries:
-                remaining -= 1
-                if sat is not None and sat[arena[pkt[1] + pkt[3]]]:
-                    remaining_sat -= 1
-                hop = pkt[3] + 1
-                if hop == pkt[2]:
-                    in_system -= 1
-                    if pkt[4]:
-                        completed += 1
-                        d = arrive_t - pkt[0]
-                        delay_acc.add(pkt[0], d)
-                        if track_maxima and d > max_delay:
-                            max_delay = d
-                        if delays is not None:
-                            delays.append(d)
-                else:
-                    pkt[3] = hop
-                    f = arena[pkt[1] + hop]
-                    qf = queues[f]
-                    qf.append(pkt)
-                    active.add(f)
-                    if track_maxima and measuring and len(qf) > max_queue:
-                        max_queue = len(qf)
-            slot += 1
-
-        mean_number = int_n / horizon
-        summary = delay_acc.summary()
-        return SimResult(
-            warmup=warmup,
-            horizon=horizon,
-            seed=self.seed,
-            generated=generated,
-            completed=completed,
-            zero_hop=zero_hop,
-            in_flight_at_end=in_flight_at_horizon,
-            mean_number=mean_number,
-            mean_remaining=int_r / horizon,
-            mean_remaining_saturated=(
-                int_rs / horizon if sat is not None else float("nan")
-            ),
-            mean_delay=summary.mean,
-            delay_half_width=summary.half_width,
-            mean_delay_littles=mean_number / self.total_rate,
-            total_rate=self.total_rate,
-            delays=np.asarray(delays) if delays is not None else None,
-            max_delay=max_delay if track_maxima else float("nan"),
-            max_queue_length=max_queue if track_maxima else -1,
+        return get_kernel(SLOTTED_KERNEL, self.backend)(
+            self,
+            warmup_slots,
+            horizon_slots,
+            delay_batches=delay_batches,
+            track_maxima=track_maxima,
+            collect_delays=collect_delays,
+            batch_rng=batch_rng,
         )

@@ -192,6 +192,33 @@ class TestCommands:
         assert rc == 0
         assert "engine=slotted" in capsys.readouterr().out
 
+    def test_simulate_numpy_backend(self, capsys):
+        """backend=numpy is reachable from the CLI: simulate drops the
+        (display-only) per-packet maxima the vectorized kernels cannot
+        track instead of tripping the CellSpec guard."""
+        rc = main(
+            [
+                "simulate",
+                "-n",
+                "4",
+                "--rho",
+                "0.5",
+                "--engine-param",
+                "backend=numpy",
+                "--processes",
+                "1",
+                "--warmup",
+                "30",
+                "--horizon",
+                "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine=fifo" in out
+        assert "sandwich" in out
+        assert "max delay" not in out  # maxima tracking dropped, not nan
+
     def test_simulate_unknown_engine_param_lists_valid_params(self):
         """A bad --engine-param key exits with usage-style help listing
         every valid key for the *chosen* engine (not a bare registry

@@ -15,7 +15,8 @@ from repro.routing.destinations import (
 )
 from repro.routing.greedy import GreedyArrayRouter
 from repro.routing.randomized_greedy import RandomizedGreedyArrayRouter
-from repro.sim.fifo_network import _BLOCK, NetworkSimulation
+from repro.sim.fifo_network import NetworkSimulation
+from repro.sim.kernels.python_backend import _BLOCK
 from repro.sim.replication import CellSpec, _cell_network, replicate
 from repro.sim.slotted import SlottedNetworkSimulation
 from repro.topology.array_mesh import ArrayMesh
