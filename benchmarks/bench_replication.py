@@ -7,7 +7,11 @@ fan-out's performance trajectory is recorded across PRs
 fan-out cells cover every registered engine end-to-end through the
 declarative facade — fifo, finite (tail-drop loss), slotted (batched
 draw default), rushed and PS — so the perf gate watches every
-``CellSpec -> registry -> run_cell`` path.
+``CellSpec -> registry -> run_cell`` path. The shared-memory fan-out
+work added three cells: the serial/warm-pool 32x32 pair (the warm pool
+should beat serial whenever more than one core is available — on a
+single-core runner both degenerate to comparable times) and the
+parent-side publish/unlink overhead of a shared cell batch.
 """
 
 import numpy as np
@@ -15,6 +19,7 @@ import numpy as np
 from repro.routing.destinations import MatrixDestinations
 from repro.scenarios import resolve_cell
 from repro.sim.replication import CellSpec, ReplicationEngine
+from repro.sim.sharedcells import SharedCellBatch
 
 
 def test_replication_fanout_serial(once):
@@ -37,6 +42,63 @@ def test_replication_fanout_processes(once):
     )
     pooled = once(ReplicationEngine(processes=4).run, spec)
     assert len(pooled.replications) == 4
+
+
+#: The heavy fan-out workload of the warm-pool cells: four replications
+#: of a 32x32 mesh (1024 nodes, ~10^5 measured packets).
+_BIG = dict(
+    scenario="uniform", n=32, rho=0.8, warmup=50, horizon=250,
+    seeds=(0, 1, 2, 3),
+)
+
+
+def test_replication_serial_32x32(once):
+    """The multi-replication 32x32 workload, serial in-process — the
+    baseline the warm-pool cell below is compared against (the warm pool
+    should win whenever more than one core is available)."""
+    pooled = once(ReplicationEngine(processes=1).run, CellSpec(**_BIG))
+    assert len(pooled.replications) == 4
+
+
+def test_replication_warm_pool_32x32(once):
+    """The same 32x32 workload on the warm shared-memory pool: workers
+    are started and the per-cell memo warmed *before* the timed region
+    (the steady-state of a sweep), so the cell times the shared-memory
+    publish, the token-sized job dispatch and the streaming fold —
+    not pool start-up."""
+    engine = ReplicationEngine()  # all cores (REPRO_PROCESSES honoured)
+    engine.run(
+        CellSpec(
+            scenario="uniform", n=4, rho=0.5, warmup=10, horizon=60,
+            seeds=(0, 1),
+        )
+    )
+    pooled = once(engine.run, CellSpec(**_BIG))
+    assert len(pooled.replications) == 4
+
+
+def test_sharedcells_publish(benchmark):
+    """Parent-side shared-memory publish/unlink for a mixed 3-cell batch
+    (arena + dense path tables + mask packing; the per-batch overhead
+    the token-sized job payloads buy)."""
+    specs = [
+        CellSpec(scenario="uniform", n=8, rho=0.6, warmup=100, horizon=1000),
+        CellSpec(
+            scenario="uniform", n=8, rho=0.9, warmup=100, horizon=1000,
+            track_saturated=True,
+        ),
+        CellSpec(scenario="hotspot", n=8, rho=0.7, warmup=100, horizon=1000),
+    ]
+    cells = [(spec, *resolve_cell(spec)) for spec in specs]
+
+    def publish():
+        batch = SharedCellBatch(cells)
+        token = batch.token
+        batch.close()
+        return token
+
+    token = benchmark(publish)
+    assert len(token) == 3
 
 
 def test_replication_slotted_cell(once):

@@ -25,9 +25,29 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+sweep_smoke() {
+    # End-to-end `repro sweep` smoke: a tiny 2-cell spec, run twice into
+    # one directory — the rerun must resume every cell from checkpoint.
+    local dir
+    dir=$(mktemp -d)
+    trap 'rm -rf "$dir"' RETURN
+    cat > "$dir/spec.json" <<'SPEC'
+{
+  "defaults": {"scenario": "uniform", "n": 4,
+               "warmup": 20, "horizon": 120, "seeds": [0, 1]},
+  "grid": {"rho": [0.4, 0.7]}
+}
+SPEC
+    python -m repro sweep "$dir/spec.json" -o "$dir/out" \
+        | grep -q "2 ran, 0 resumed"
+    python -m repro sweep "$dir/spec.json" -o "$dir/out" \
+        | grep -q "0 ran, 2 resumed"
+}
+
 if [ "${FAST:-0}" = "1" ]; then
     python -m pytest -x -q -m "not slow"
-    echo "check.sh: fast lane green (slow tests and benches skipped)"
+    sweep_smoke
+    echo "check.sh: fast lane green (sweep smoke OK; slow tests and benches skipped)"
     exit 0
 fi
 

@@ -12,6 +12,9 @@ Commands
                laws and engine-specific parameters
 ``finite``     sweep loss probability vs buffer size on the
                finite-buffer engine, against the infinite baseline
+``sweep``      run a declarative JSON/CSV sweep spec through the
+               resumable runner (per-cell checkpoints; rerunning skips
+               completed cells)
 ``tables``     regenerate the paper's tables/figures (QUICK preset)
 ``figure1`` / ``figure2``  print the layering / saturated-edge figures
 
@@ -31,6 +34,8 @@ Examples
     python -m repro simulate --scenario hotspot --param h=0.4
     python -m repro engines
     python -m repro finite -n 16 --rho 0.9
+    python -m repro sweep spec.json -o out/
+    python -m repro sweep grid.csv -o out/ --processes 4
     python -m repro figure2 -n 5
     python -m repro tables -o report.md
 """
@@ -230,6 +235,20 @@ def _cmd_finite(args) -> int:
     return 1 if problems else 0
 
 
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.sweeps import run_sweep
+
+    out = args.output
+    if out is None:
+        out = Path(args.spec).with_suffix("").as_posix() + "_out"
+    run = run_sweep(args.spec, out, processes=args.processes)
+    print(run.render())
+    print(f"aggregate: {run.aggregate_csv}")
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from repro.experiments.runner import render_report, run_all
 
@@ -336,6 +355,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--full", action="store_true", help="paper-scale preset")
     p.add_argument("--processes", type=int, default=None)
     p.set_defaults(func=_cmd_finite)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a declarative sweep spec with resumable per-cell checkpoints",
+    )
+    p.add_argument("spec", help="sweep spec file (JSON or CSV)")
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output directory (default: <spec>_out); rerunning with the "
+        "same directory skips cells already checkpointed there",
+    )
+    p.add_argument("--processes", type=int, default=None)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("tables", help="regenerate every table/figure")
     p.add_argument("--full", action="store_true")

@@ -9,6 +9,7 @@ horizon presets.
 
 from repro.experiments.configs import QUICK, FULL, GridConfig
 from repro.experiments.grid import CellSpec, CellResult, simulate_cell, run_grid
+from repro.experiments.sweeps import SweepRun, load_sweep_spec, run_sweep
 
 __all__ = [
     "QUICK",
@@ -18,4 +19,7 @@ __all__ = [
     "CellResult",
     "simulate_cell",
     "run_grid",
+    "SweepRun",
+    "load_sweep_spec",
+    "run_sweep",
 ]

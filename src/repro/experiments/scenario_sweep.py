@@ -94,11 +94,15 @@ class ScenarioSweepResult:
         return t.render()
 
 
-def run(
-    config: ScenarioSweepConfig = QUICK_SCEN, *, processes: int | None = None
-) -> ScenarioSweepResult:
-    """Sweep scenarios x engines, fanning every (cell, seed) pair at once."""
-    specs = [
+def to_cell_specs(config: ScenarioSweepConfig = QUICK_SCEN) -> list[CellSpec]:
+    """The sweep's scenario x engine cross product as declarative cells.
+
+    Exposed separately from :func:`run` so the same cell list can feed
+    the resumable sweep runner (:mod:`repro.experiments.sweeps`) — e.g.
+    ``run_sweep(to_cell_specs(FULL_SCEN), "out/scen")`` checkpoints each
+    (scenario, engine) cell and survives interrupts.
+    """
+    return [
         CellSpec(
             scenario=name,
             n=config.cube_dim if name == "bitreversal" else config.n,
@@ -111,8 +115,35 @@ def run(
         for name in config.scenarios
         for engine in config.engines
     ]
-    pooled = ReplicationEngine(processes=processes).run_many(specs)
+
+
+def run(
+    config: ScenarioSweepConfig = QUICK_SCEN, *, processes: int | None = None
+) -> ScenarioSweepResult:
+    """Sweep scenarios x engines, fanning every (cell, seed) pair at once."""
+    pooled = ReplicationEngine(processes=processes).run_many(to_cell_specs(config))
     return ScenarioSweepResult(rho=config.rho, pooled=pooled)
+
+
+def run_resumable(
+    config: ScenarioSweepConfig = QUICK_SCEN,
+    out_dir: str | None = None,
+    *,
+    processes: int | None = None,
+):
+    """Run the sweep through the resumable checkpointing runner.
+
+    Each (scenario, engine) cell lands in ``<out_dir>/cells/`` as it
+    completes; rerunning after an interrupt skips the finished cells.
+    Returns the :class:`repro.experiments.sweeps.SweepRun`.
+    """
+    from repro.experiments.sweeps import run_sweep
+
+    return run_sweep(
+        to_cell_specs(config),
+        out_dir if out_dir is not None else "scenario_sweep_out",
+        processes=processes,
+    )
 
 
 def shape_checks(result: ScenarioSweepResult) -> list[str]:

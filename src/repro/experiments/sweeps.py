@@ -1,0 +1,396 @@
+"""Resumable parameter sweeps: declarative specs, per-cell checkpoints.
+
+The paper's tables are grids of replicated simulation cells, and the
+long ones (Table III's rho = 0.99 column) take hours at paper scale. A
+crash near the end used to mean rerunning everything. This module makes
+a sweep a *restartable* artifact:
+
+* a **sweep spec** is a JSON or CSV file declaring a list of
+  :class:`~repro.sim.replication.CellSpec` cells (JSON supports shared
+  ``defaults``, an explicit ``cells`` list, and a ``grid`` section whose
+  cross product is expanded for you);
+* every cell gets a **deterministic id** (a readable slug plus a hash of
+  the canonical spec JSON) and its own directory under
+  ``<out>/cells/<cell_id>/``;
+* results are checkpointed **per cell, as they complete** — the
+  replication engine streams finished cells through ``on_result`` and
+  each is written atomically (temp file + ``os.replace``), so an
+  interrupt never leaves a torn result;
+* on restart, cells whose ``result.json`` already exists are **skipped**
+  and only the remainder runs; the aggregate table is regenerated from
+  the on-disk results, so a resumed sweep is byte-identical to an
+  uninterrupted one.
+
+Run it from the command line as ``python -m repro sweep spec.json -o
+out/`` or programmatically via :func:`run_sweep` (which also accepts an
+in-memory list of specs, e.g. from
+:func:`repro.experiments.scenario_sweep.to_cell_specs`).
+
+Spec formats
+------------
+JSON::
+
+    {
+      "defaults": {"scenario": "uniform", "warmup": 100, "horizon": 1000,
+                   "seeds": [0, 1, 2, 3]},
+      "grid": {"n": [4, 8], "rho": [0.5, 0.8]},
+      "cells": [{"scenario": "hotspot", "n": 6, "rho": 0.7,
+                 "params": {"h": 0.3}}]
+    }
+
+``grid`` lists cross-multiply (sorted key order) over ``defaults``;
+``cells`` entries are appended after the grid, each merged over
+``defaults`` too. ``params`` / ``engine_params`` are written as plain
+objects and ``seeds`` / ``node_rate`` as arrays.
+
+CSV: one header row of ``CellSpec`` field names, one row per cell.
+Multi-valued fields use ``;`` separators — ``seeds`` as ``0;1;2``,
+``params`` / ``engine_params`` as ``key=value;key=value``. Empty cells
+inherit the field's default.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.replication import CellSpec, ReplicatedResult, ReplicationEngine
+from repro.util.tables import Table
+
+#: Pooled statistics exported per cell into the aggregate table.
+_POOLED_FIELDS = (
+    "mean_delay",
+    "delay_half_width",
+    "mean_number",
+    "number_half_width",
+    "r",
+    "littles_law_gap",
+    "generated",
+    "dropped",
+    "loss_probability",
+)
+
+#: Per-replication statistics checkpointed inside each cell's result.json.
+_REP_FIELDS = (
+    "seed",
+    "generated",
+    "completed",
+    "dropped",
+    "mean_delay",
+    "delay_half_width",
+    "mean_number",
+    "r",
+    "littles_law_gap",
+    "loss_probability",
+)
+
+
+# ----------------------------------------------------------------------
+# Spec files -> CellSpec lists.
+
+
+def _coerce(raw: str) -> object:
+    """CSV value coercion, matching the CLI's ``--param`` rules."""
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _pairs(value) -> tuple[tuple[str, object], ...]:
+    """params/engine_params: accept dicts (JSON) or ``k=v;k=v`` (CSV)."""
+    if isinstance(value, str):
+        value = dict(
+            (k, _coerce(v))
+            for part in value.split(";")
+            if part
+            for k, _, v in (part.partition("="),)
+        )
+    return tuple(sorted(value.items()))
+
+
+def _cell_from_mapping(entry: dict) -> CellSpec:
+    """One spec-file entry (already merged over defaults) -> CellSpec."""
+    kwargs = dict(entry)
+    for key in ("params", "engine_params"):
+        if key in kwargs:
+            kwargs[key] = _pairs(kwargs[key])
+    if "seeds" in kwargs:
+        seeds = kwargs["seeds"]
+        if isinstance(seeds, str):
+            seeds = [int(s) for s in seeds.split(";") if s]
+        elif isinstance(seeds, int):
+            seeds = [seeds]
+        kwargs["seeds"] = tuple(seeds)
+    if isinstance(kwargs.get("node_rate"), list):
+        kwargs["node_rate"] = tuple(kwargs["node_rate"])
+    try:
+        return CellSpec(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad sweep cell {entry!r}: {exc}") from None
+
+
+def _expand_grid(grid: dict, defaults: dict) -> list[dict]:
+    """Cross product of the ``grid`` lists, merged over ``defaults``."""
+    entries = [dict(defaults)]
+    for key in sorted(grid):
+        values = grid[key]
+        if not isinstance(values, list):
+            values = [values]
+        entries = [{**e, key: v} for e in entries for v in values]
+    return entries
+
+
+def load_sweep_spec(path: str | os.PathLike) -> list[CellSpec]:
+    """Load a JSON or CSV sweep spec file into a list of cells."""
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        with path.open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        if not rows:
+            raise ValueError(f"sweep spec {path} declares no cells")
+        return [
+            _cell_from_mapping(
+                {k: _coerce(v) if k not in ("params", "engine_params", "seeds")
+                 else v
+                 for k, v in row.items() if v not in (None, "")}
+            )
+            for row in rows
+        ]
+    data = json.loads(path.read_text())
+    defaults = data.get("defaults", {})
+    entries: list[dict] = []
+    if "grid" in data:
+        entries += _expand_grid(data["grid"], defaults)
+    for cell in data.get("cells", []):
+        entries.append({**defaults, **cell})
+    if not entries:
+        raise ValueError(f"sweep spec {path} declares no cells")
+    return [_cell_from_mapping(e) for e in entries]
+
+
+# ----------------------------------------------------------------------
+# Deterministic cell identity and atomic per-cell checkpoints.
+
+
+def canonical_spec(spec: CellSpec) -> dict:
+    """The JSON-able canonical form of a spec (tuples become lists)."""
+    return asdict(spec)
+
+
+def cell_id(spec: CellSpec) -> str:
+    """Deterministic directory name for a cell: readable slug + spec hash.
+
+    The hash covers the *whole* canonical spec, so any change (horizon,
+    seeds, an engine knob) yields a fresh cell directory rather than a
+    stale-result reuse; the slug keeps ``cells/`` listings scannable.
+    """
+    canon = json.dumps(canonical_spec(spec), sort_keys=True)
+    digest = hashlib.sha1(canon.encode()).hexdigest()[:10]
+    return f"{spec.scenario}-{spec.engine}-n{spec.n}-{digest}"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so readers (and restarts) never see a torn file."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def _result_payload(cid: str, result: ReplicatedResult) -> dict:
+    node_rate = result.node_rate
+    if not np.isscalar(node_rate):
+        node_rate = [float(v) for v in node_rate]
+    return {
+        "cell_id": cid,
+        "spec": canonical_spec(result.spec),
+        "node_rate": _jsonable(node_rate),
+        "pooled": {
+            f: _jsonable(getattr(result, f)) for f in _POOLED_FIELDS
+        },
+        "replications": [
+            {f: _jsonable(getattr(rep, f)) for f in _REP_FIELDS}
+            for rep in result.replications
+        ],
+    }
+
+
+def _load_result(path: Path) -> dict | None:
+    """A cell's checkpoint, or None if absent/torn (torn -> rerun)."""
+    try:
+        return json.loads(path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# The runner.
+
+
+@dataclass
+class SweepRun:
+    """Outcome of one :func:`run_sweep` call (fresh or resumed)."""
+
+    out_dir: Path
+    cell_ids: list[str]
+    #: Cells found already checkpointed on disk and skipped this run.
+    resumed: int
+    #: Cells actually simulated this run.
+    ran: int
+    #: Per-cell aggregate rows (input order), as written to aggregate.json.
+    rows: list[dict] = field(repr=False, default_factory=list)
+
+    @property
+    def aggregate_json(self) -> Path:
+        return self.out_dir / "aggregate.json"
+
+    @property
+    def aggregate_csv(self) -> Path:
+        return self.out_dir / "aggregate.csv"
+
+    def render(self) -> str:
+        t = Table(
+            title=(
+                f"Sweep: {len(self.cell_ids)} cells "
+                f"({self.ran} ran, {self.resumed} resumed) -> {self.out_dir}"
+            ),
+            headers=["cell", "engine", "n", "R", "T", "+/-", "N", "packets"],
+        )
+        for row in self.rows:
+            spec, pooled = row["spec"], row["pooled"]
+            t.add_row(
+                [
+                    row["cell_id"],
+                    spec["engine"],
+                    spec["n"],
+                    len(row["replications"]),
+                    pooled["mean_delay"],
+                    pooled["delay_half_width"],
+                    pooled["mean_number"],
+                    pooled["generated"],
+                ]
+            )
+        return t.render()
+
+
+def run_sweep(
+    spec: str | os.PathLike | Sequence[CellSpec],
+    out_dir: str | os.PathLike,
+    *,
+    processes: int | None = None,
+    on_cell_complete: Callable[[str], None] | None = None,
+) -> SweepRun:
+    """Run (or resume) a sweep, checkpointing each cell as it completes.
+
+    Parameters
+    ----------
+    spec:
+        A spec file path (JSON/CSV, see the module docstring) or an
+        in-memory sequence of :class:`CellSpec` cells.
+    out_dir:
+        Output root. Per-cell checkpoints land in ``cells/<cell_id>/``;
+        the aggregate table (``aggregate.json`` / ``aggregate.csv``) is
+        regenerated from those checkpoints on every call — including
+        all-resumed calls, so a restart after the last cell still
+        produces the aggregate.
+    processes:
+        Worker count for the replication engine (``None`` resolves via
+        ``REPRO_PROCESSES``; the whole sweep shares one warm pool).
+    on_cell_complete:
+        Optional hook fired with each cell id right after its checkpoint
+        is written (completion order). Used by progress displays and by
+        the kill-and-resume tests to interrupt mid-sweep.
+
+    Raises
+    ------
+    ValueError
+        If two cells in the spec are identical — they would collide on
+        one checkpoint directory; give them distinct seeds instead.
+    """
+    specs = (
+        load_sweep_spec(spec)
+        if isinstance(spec, (str, os.PathLike))
+        else list(spec)
+    )
+    ids = [cell_id(s) for s in specs]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise ValueError(f"duplicate sweep cells: {', '.join(dupes)}")
+    out = Path(out_dir)
+    cells_dir = out / "cells"
+    cells_dir.mkdir(parents=True, exist_ok=True)
+
+    pending: list[CellSpec] = []
+    for s, cid in zip(specs, ids):
+        if _load_result(cells_dir / cid / "result.json") is None:
+            pending.append(s)
+
+    def checkpoint(result: ReplicatedResult) -> None:
+        cid = cell_id(result.spec)
+        cdir = cells_dir / cid
+        cdir.mkdir(parents=True, exist_ok=True)
+        payload = _result_payload(cid, result)
+        _atomic_write(
+            cdir / "result.json",
+            json.dumps(payload, sort_keys=True, indent=1) + "\n",
+        )
+        if on_cell_complete is not None:
+            on_cell_complete(cid)
+
+    if pending:
+        ReplicationEngine(processes=processes).run_many(
+            pending, on_result=checkpoint
+        )
+
+    rows = []
+    for cid in ids:
+        row = _load_result(cells_dir / cid / "result.json")
+        if row is None:  # pragma: no cover - checkpoint raced away
+            raise RuntimeError(f"sweep cell {cid} has no checkpoint")
+        rows.append(row)
+    _atomic_write(
+        out / "aggregate.json",
+        json.dumps({"cells": rows}, sort_keys=True, indent=1) + "\n",
+    )
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["cell_id", "scenario", "engine", "n", "replications", *_POOLED_FIELDS]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row["cell_id"],
+                row["spec"]["scenario"],
+                row["spec"]["engine"],
+                row["spec"]["n"],
+                len(row["replications"]),
+                *[row["pooled"][f] for f in _POOLED_FIELDS],
+            ]
+        )
+    _atomic_write(out / "aggregate.csv", buf.getvalue())
+    return SweepRun(
+        out_dir=out,
+        cell_ids=ids,
+        resumed=len(specs) - len(pending),
+        ran=len(pending),
+        rows=rows,
+    )

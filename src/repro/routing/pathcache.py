@@ -144,6 +144,24 @@ class PathArena:
         """Materialise one ``(offset, length)`` slice as an edge tuple."""
         return tuple(self.edges[offset : offset + length])
 
+    def adopt_array(self, edges: np.ndarray) -> None:
+        """Adopt a published ``int32`` edge snapshot as the arena contents.
+
+        Used by the shared-memory fan-out (:mod:`repro.sim.sharedcells`):
+        a worker attaches the parent's arena snapshot zero-copy and binds
+        it as :meth:`as_array` directly; the Python list mirror the
+        interpreter loops index is materialised once per worker
+        (``tolist`` — the only copy in the hand-off). Must be called on
+        an empty arena; the arena keeps its append-only contract, so
+        later misses extend ``edges`` past the snapshot and the next
+        :meth:`as_array` call rebuilds the (then private) array.
+        """
+        if self.edges:
+            raise ValueError("adopt_array requires an empty arena")
+        self.edges = edges.tolist()
+        self._array = edges
+        self._array_len = len(self.edges)
+
     def __len__(self) -> int:
         return len(self.edges)
 
@@ -296,6 +314,55 @@ class PathCache:
                 if base + dst not in table:
                     self.ensure(src, dst)
 
+    # -- shared-memory snapshot hand-off -------------------------------
+    @property
+    def complete(self) -> bool:
+        """Every ``(src, dst)`` pair is cached (nothing left to build)."""
+        n = self.num_nodes
+        return len(self.table) == n * n
+
+    def table_snapshot(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Dense ``(offsets, lengths)`` export for *complete* caches.
+
+        The shared-memory fan-out (:mod:`repro.sim.sharedcells`) publishes
+        this pair next to the arena's ``int32`` snapshot so pool workers
+        can adopt a fully built cache instead of re-routing every path.
+        Only complete dense caches export: a partial table would leave
+        workers writing misses into memory shared across processes.
+        """
+        if self._dense_off is None or not self.complete:
+            return None
+        return self._dense_off, self._dense_len
+
+    def adopt_table(self, dense_off: np.ndarray, dense_len: np.ndarray) -> None:
+        """Adopt a published complete dense table (worker side).
+
+        ``dense_off``/``dense_len`` may live in shared memory: they are
+        bound read-only as the batch-lookup tables (misses cannot happen
+        on a complete cache, so nothing ever writes to them). The dict
+        used by the scalar hot path is rebuilt privately — plain dict
+        probes stay the fastest per-packet lookup. The arena must have
+        adopted the matching edge snapshot first
+        (:meth:`PathArena.adopt_array`).
+        """
+        if self.table:
+            raise ValueError("adopt_table requires an empty cache")
+        n = self.num_nodes
+        if dense_off.shape != (n * n,) or dense_len.shape != (n * n,):
+            raise ValueError(
+                f"dense table shape {dense_off.shape} does not match "
+                f"{n}x{n} nodes"
+            )
+        offs = dense_off.tolist()
+        lens = dense_len.tolist()
+        self.table = {k: (offs[k], lens[k]) for k in range(n * n)}
+        dense_off = dense_off.view()
+        dense_len = dense_len.view()
+        dense_off.setflags(write=False)
+        dense_len.setflags(write=False)
+        self._dense_off = dense_off
+        self._dense_len = dense_len
+
     def __len__(self) -> int:
         return len(self.table)
 
@@ -427,6 +494,16 @@ class RandomizedGreedyPathCache:
         row = self.row_first.promote_dense()
         col = self.col_first.promote_dense()
         return row and col
+
+    def precompute_all(self) -> None:
+        """Materialise both order tables for every pair (small meshes)."""
+        self.row_first.precompute_all()
+        self.col_first.precompute_all()
+
+    @property
+    def complete(self) -> bool:
+        """Both order tables cover every ``(src, dst)`` pair."""
+        return self.row_first.complete and self.col_first.complete
 
     def path(self, src: int, dst: int) -> tuple[int, ...]:
         """Canonical (row-first) cached path."""

@@ -65,6 +65,47 @@ bit-identical to the same simulator built by hand (pinned by the
 reachable from ``CellSpec``, ``python -m repro simulate --engine ...``,
 ``python -m repro engines`` and the experiment sweeps.
 
+The replication fan-out
+-----------------------
+``ReplicationEngine.run_many`` is the one parallelism substrate every
+table, experiment and sweep rides. Its parallel path is built from four
+pieces, each independently pinned by tests:
+
+* **Persistent warm pools** (:mod:`repro.util.workerpool`). Pools are
+  keyed by worker count in a shared registry (``get_pool``), created
+  lazily, and *reused* across ``run_many`` calls and whole sweeps —
+  worker processes keep their imports, their per-cell ``(network,
+  cache)`` memo and their attached shared-memory segments warm instead
+  of paying pool start-up per call. ``pmap`` is a thin ordered-map
+  wrapper over the same pools; ``REPRO_PROCESSES`` overrides the
+  default worker count everywhere.
+* **Shared-memory cell snapshots** (:mod:`repro.sim.sharedcells`). Per
+  batch, the parent publishes the read-only cell state — the path
+  arena's ``int32`` edge table plus complete dense path tables (warmed
+  by parent-side precompute up to 128 nodes), pinned per-source rates
+  and their CDF, the saturated-edge mask — into one
+  ``multiprocessing.shared_memory`` block that workers attach
+  zero-copy. A job payload is a ``(token, cell_index, position,
+  seed_chunk)`` tuple of scalars — no network, no arena, no spec copies
+  per seed. The parent closes *and unlinks* every block when its batch
+  ends, so nothing leaks (and the resource tracker stays quiet).
+* **Streaming aggregation.** Seed chunks are tagged and fanned through
+  ``imap_unordered``; finished replications fold into their cell's slot
+  as they arrive, each completed cell is surfaced through the optional
+  ``on_result`` callback immediately (completion order), and the
+  returned list — like every cell's ``replications`` — always follows
+  input/``spec.seeds`` order. The serial path (``processes=1``) never
+  touches a pool or shared memory and is bit-identical to the parallel
+  path, which is itself pinned against the serial reference for all
+  five engines.
+* **Resumable sweeps** (:mod:`repro.experiments.sweeps`, CLI ``python
+  -m repro sweep spec.json``). A declarative JSON/CSV spec expands to
+  cells with deterministic ids; each cell checkpoints atomically into
+  its own directory via ``on_result`` as it completes, restarts skip
+  checkpointed cells, and the aggregate table regenerated from disk is
+  byte-identical between an interrupted-and-resumed sweep and an
+  uninterrupted one.
+
 Shared constructor policy
 -------------------------
 All four engines resolve their constructor arguments through
@@ -131,7 +172,10 @@ column-first) on one arena, composed from a shared memoized leg store,
 and draws exactly the one coin the uncached scheme drew. Caches only
 grow and never influence outputs, so the replication engine shares one
 ``(network, cache)`` per cell across all of the cell's seeded
-replications (per worker process) instead of rebuilding per task.
+replications (per worker process) instead of rebuilding per task — and
+pool workers adopt the parent's precomputed cache straight out of
+shared memory (:mod:`repro.sim.sharedcells`) when the network is small
+enough to publish in full.
 
 All four simulators resolve paths through one cache built by
 ``path_cache_for`` — which now has a specialised miss-path builder for

@@ -11,8 +11,8 @@ single substrate for that pattern:
   ``rushed``, ``ps``), service law, engine-specific knobs, measurement
   window and the seed set;
 * :class:`ReplicationEngine` — fans the R seeded replications (of one cell
-  or of a whole batch of cells at once) over
-  :func:`repro.util.parallel.pmap`, dispatching each replication through
+  or of a whole batch of cells at once) over the warm process pools of
+  :mod:`repro.util.workerpool`, dispatching each replication through
   the engine registry;
 * :class:`ReplicatedResult` — the pooled outcome: across-replication means
   with ~95% confidence half-widths, computed by the same
@@ -20,29 +20,34 @@ single substrate for that pattern:
   CI uses (each replication is one "batch" of weight 1).
 
 Replications are embarrassingly parallel — a cell is a pure function of
-``(spec, seed)`` — so the fan-out is a flat ordered ``pmap`` over every
-(cell, seed) pair, the same HPC idiom as the experiment grid. The engine
-works identically for all four simulators; the slotted engine interprets
-the window in units of ``tau``-slots.
+``(spec, seed)``. The parallel fan-out publishes each batch's read-only
+cell state (path arena and dense path tables, pinned rates and CDF,
+saturation mask) into shared memory once via
+:mod:`repro.sim.sharedcells`, then streams tagged seed *chunks* through
+``imap_unordered`` on a persistent warm pool, folding finished
+replications back into ``spec.seeds`` order as they arrive. The serial
+path (``processes=1``) never touches a pool or shared memory and is
+bit-identical to the parallel path. The engine works identically for all
+registered simulators; the slotted engine interprets the window in units
+of ``tau``-slots.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.routing.pathcache import path_cache_for
 from repro.sim.fifo_network import DETERMINISTIC
 from repro.sim.measurement import BatchMeans, batch_means
 #: SLOTTED is re-exported here for backward compatibility: it was this
 #: module's public engine constant before the registry existed.
 from repro.sim.registry import FIFO, SLOTTED, canonical_engine, get_engine
 from repro.sim.result import SimResult
-from repro.util.parallel import pmap
+from repro.sim.sharedcells import cell_network, publish_cells, run_seed_chunk
 from repro.util.tables import Table
+from repro.util.workerpool import get_pool, resolve_processes
 
 #: Historical alias for the FIFO event-driven engine (still accepted by
 #: ``CellSpec``; canonicalised to ``"fifo"`` on construction).
@@ -351,36 +356,10 @@ class ReplicatedResult:
         return t.render()
 
 
-#: Worker-local memo of (network, shared path cache) per cell identity.
-#: Replications of one cell are separate pool tasks; without the memo each
-#: task rebuilds the scenario network *and* re-routes every path from
-#: scratch, multiplying the path-construction work by the seed count. A
-#: path cache only grows and never influences results (deterministic
-#: lookups are RNG-free, the randomized variant draws the same per-packet
-#: coin), so sharing it across same-cell replications is safe. The key
-#: includes the engine name and engine_params, not just the scenario
-#: identity, so mixed-engine ``run_many`` batches never hand one engine
-#: type a (network, cache) entry attuned to another. Each pool worker
-#: process keeps its own memo.
-_NETWORK_MEMO: OrderedDict = OrderedDict()
-_NETWORK_MEMO_MAX = 8
-
-
-def _cell_network(spec: CellSpec):
-    """The (network, path cache) for a cell, memoized per worker."""
-    from repro.scenarios import build_network  # late: scenarios imports us
-
-    key = (spec.engine, spec.engine_params, spec.scenario, spec.n, spec.params)
-    ent = _NETWORK_MEMO.get(key)
-    if ent is None:
-        net = build_network(spec.scenario, spec.n, **spec.params_dict)
-        ent = (net, path_cache_for(net.router))
-        _NETWORK_MEMO[key] = ent
-        if len(_NETWORK_MEMO) > _NETWORK_MEMO_MAX:
-            _NETWORK_MEMO.popitem(last=False)
-    else:
-        _NETWORK_MEMO.move_to_end(key)
-    return ent
+#: Backward-compatible alias: the per-process (network, path cache) memo
+#: now lives in :mod:`repro.sim.sharedcells` (both the parent-side
+#: publisher and the serial path draw from the same memo).
+_cell_network = cell_network
 
 
 def _run_replication(job: tuple) -> SimResult:
@@ -395,13 +374,16 @@ def _run_replication(job: tuple) -> SimResult:
 
 
 class ReplicationEngine:
-    """Fan seeded replications of simulation cells over a process pool.
+    """Fan seeded replications of simulation cells over a warm process pool.
 
     Parameters
     ----------
     processes:
-        Worker count for :func:`repro.util.parallel.pmap` (``None`` = all
-        cores, ``1`` = serial in-process, bit-identical to parallel runs).
+        Worker count (``None`` resolves via ``REPRO_PROCESSES`` then the
+        cpu count; ``1`` = serial in-process, bit-identical to parallel
+        runs). Parallel runs draw workers from the shared warm pools of
+        :func:`repro.util.workerpool.get_pool`, so one pool's workers —
+        and their per-cell memos — serve a whole sweep.
 
     Examples
     --------
@@ -420,33 +402,85 @@ class ReplicationEngine:
         """Run one cell's replications (possibly in parallel)."""
         return self.run_many([spec])[0]
 
-    def run_many(self, specs: Sequence[CellSpec]) -> list[ReplicatedResult]:
+    def run_many(
+        self,
+        specs: Sequence[CellSpec],
+        *,
+        on_result: Callable[[ReplicatedResult], None] | None = None,
+    ) -> list[ReplicatedResult]:
         """Run a batch of cells, fanning *all* (cell, seed) pairs at once.
 
         Flattening the batch before the pool sees it keeps the pool busy
         even when cells have very different lengths (the heavy rho = 0.99
         cells of Table III would otherwise serialise behind each other).
+        The parallel path publishes the batch's cell state into shared
+        memory once (:mod:`repro.sim.sharedcells`) and streams tagged
+        seed chunks through ``imap_unordered``, folding replications into
+        their cells incrementally; returned results (and each cell's
+        replications) always follow input/``spec.seeds`` order.
+
+        Parameters
+        ----------
+        on_result:
+            Optional callback fired once per *completed* cell, in
+            completion order (input order on the serial path). Lets
+            long sweeps checkpoint results as they land instead of
+            waiting for the whole batch.
         """
         from repro.scenarios import resolve_cell  # late: scenarios imports us
 
-        jobs: list[tuple] = []
-        for spec in specs:
-            node_rate, mask = resolve_cell(spec)
-            jobs.extend((spec, seed, node_rate, mask) for seed in spec.seeds)
-        flat = pmap(_run_replication, jobs, processes=self.processes)
-        out: list[ReplicatedResult] = []
-        at = 0
-        for spec in specs:
-            reps = flat[at : at + len(spec.seeds)]
-            at += len(spec.seeds)
-            out.append(
-                ReplicatedResult(
+        cells = [(spec, *resolve_cell(spec)) for spec in specs]
+        nproc = resolve_processes(self.processes)
+        total = sum(len(spec.seeds) for spec in specs)
+        if nproc == 1 or total <= 1:
+            # Serial in-process path: no pool, no shared memory — the
+            # debuggable reference the parallel path is pinned against.
+            out: list[ReplicatedResult] = []
+            for spec, node_rate, mask in cells:
+                net, cache = cell_network(spec)
+                run_cell = get_engine(spec.engine).run_cell
+                result = ReplicatedResult(
                     spec=spec,
-                    node_rate=jobs[at - 1][2],
-                    replications=list(reps),
+                    node_rate=node_rate,
+                    replications=[
+                        run_cell(spec, seed, node_rate, mask, net, cache)
+                        for seed in spec.seeds
+                    ],
                 )
-            )
-        return out
+                out.append(result)
+                if on_result is not None:
+                    on_result(result)
+            return out
+
+        # Chunk each cell's seeds so dispatch overhead amortises while
+        # the pool still load-balances (~4 chunks per worker per cell).
+        slots: list[list[SimResult | None]] = [
+            [None] * len(spec.seeds) for spec in specs
+        ]
+        pending = [len(spec.seeds) for spec in specs]
+        results: list[ReplicatedResult | None] = [None] * len(specs)
+        with publish_cells(cells) as batch:
+            jobs: list[tuple] = []
+            for idx, (spec, _node_rate, _mask) in enumerate(cells):
+                per = max(1, -(-len(spec.seeds) // (4 * nproc)))
+                for pos in range(0, len(spec.seeds), per):
+                    jobs.append(
+                        (batch.token, idx, pos, spec.seeds[pos : pos + per])
+                    )
+            pool = get_pool(nproc)
+            for idx, pos, reps in pool.imap_unordered(run_seed_chunk, jobs):
+                slots[idx][pos : pos + len(reps)] = reps
+                pending[idx] -= len(reps)
+                if pending[idx] == 0:
+                    spec, node_rate, _mask = cells[idx]
+                    results[idx] = ReplicatedResult(
+                        spec=spec,
+                        node_rate=node_rate,
+                        replications=list(slots[idx]),
+                    )
+                    if on_result is not None:
+                        on_result(results[idx])
+        return list(results)
 
 
 def replicate(

@@ -14,6 +14,12 @@ from repro.util.validation import (
 )
 from repro.util.tables import Table, format_float
 from repro.util.parallel import pmap
+from repro.util.workerpool import (
+    WorkerPool,
+    get_pool,
+    resolve_processes,
+    shutdown_pools,
+)
 
 __all__ = [
     "check_positive",
@@ -24,4 +30,8 @@ __all__ = [
     "Table",
     "format_float",
     "pmap",
+    "WorkerPool",
+    "get_pool",
+    "resolve_processes",
+    "shutdown_pools",
 ]

@@ -3,28 +3,28 @@
 Reproducing the paper's tables means running many independent (n, rho, seed)
 simulation cells; each cell is a pure function of its arguments, so the
 natural HPC idiom is an embarrassingly-parallel map over a process pool.
-``pmap`` wraps :mod:`multiprocessing` with sensible defaults (spawn-safe
-top-level callables, chunk size 1 because cells are long and heterogeneous)
-and degrades gracefully to a serial map for ``processes=1`` or tiny inputs,
+``pmap`` is now a thin wrapper over the *persistent warm pools* of
+:mod:`repro.util.workerpool`: the first parallel call starts the workers,
+every later call with the same worker count reuses them (warm imports,
+warm per-cell memos, attached shared-memory snapshots), and serial calls
+(``processes=1`` or a single work item) run in-process exactly as before,
 which also keeps coverage tools and debuggers usable.
+
+The default worker count honours the ``REPRO_PROCESSES`` environment
+variable (see :func:`repro.util.workerpool.resolve_processes`) — useful
+to pin CI parallelism or force the serial path on single-core machines.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
+
+from repro.util.workerpool import default_processes, get_pool, resolve_processes
+
+__all__ = ["default_processes", "pmap", "resolve_processes"]
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-
-def default_processes() -> int:
-    """Number of worker processes to use by default (``cpu_count``, >=1)."""
-    try:
-        return max(1, os.cpu_count() or 1)
-    except Exception:  # pragma: no cover - platform oddity
-        return 1
 
 
 def pmap(
@@ -33,7 +33,7 @@ def pmap(
     *,
     processes: int | None = None,
 ) -> list[R]:
-    """Map ``func`` over ``items``, optionally across a process pool.
+    """Map ``func`` over ``items``, optionally across a warm process pool.
 
     Parameters
     ----------
@@ -42,7 +42,8 @@ def pmap(
     items:
         Work items; consumed eagerly so the total is known up front.
     processes:
-        Worker count. ``None`` uses :func:`default_processes`; ``1`` (or a
+        Worker count. ``None`` resolves via ``REPRO_PROCESSES`` then
+        :func:`~repro.util.workerpool.default_processes`; ``1`` (or a
         single work item) runs serially in-process, which is exactly
         equivalent but debuggable.
 
@@ -51,11 +52,6 @@ def pmap(
     list
         Results in input order (ordered ``map`` semantics, unlike
         ``imap_unordered``), so callers can zip results back onto inputs.
+        Chunk size stays 1 because cells are long and heterogeneous.
     """
-    work: Sequence[T] = list(items)
-    nproc = default_processes() if processes is None else max(1, int(processes))
-    if nproc == 1 or len(work) <= 1:
-        return [func(item) for item in work]
-    ctx = mp.get_context("spawn" if os.name == "nt" else "fork")
-    with ctx.Pool(processes=min(nproc, len(work))) as pool:
-        return pool.map(func, work, chunksize=1)
+    return get_pool(resolve_processes(processes)).map(func, items, chunksize=1)

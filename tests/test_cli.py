@@ -317,6 +317,60 @@ class TestCommands:
         assert "inf" in out  # the infinite-buffer baseline row
         assert "CHECK FAILURE" not in out
 
+    def test_sweep_command_runs_and_resumes(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "defaults": {
+                        "scenario": "uniform",
+                        "n": 4,
+                        "warmup": 20,
+                        "horizon": 120,
+                        "seeds": [0, 1],
+                    },
+                    "grid": {"rho": [0.4, 0.7]},
+                }
+            )
+        )
+        out = tmp_path / "out"
+        assert main(
+            ["sweep", str(spec), "-o", str(out), "--processes", "1"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "2 ran, 0 resumed" in text
+        assert (out / "aggregate.csv").exists()
+        # Second run resumes everything from the checkpoints.
+        assert main(
+            ["sweep", str(spec), "-o", str(out), "--processes", "1"]
+        ) == 0
+        assert "0 ran, 2 resumed" in capsys.readouterr().out
+
+    def test_sweep_default_output_dir(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        spec = tmp_path / "tiny.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "cells": [
+                        {
+                            "scenario": "uniform",
+                            "n": 4,
+                            "rho": 0.5,
+                            "warmup": 20,
+                            "horizon": 120,
+                            "seeds": [0],
+                        }
+                    ]
+                }
+            )
+        )
+        assert main(["sweep", str(spec), "--processes", "1"]) == 0
+        assert (tmp_path / "tiny_out" / "aggregate.json").exists()
+
     def test_simulate_scenario_param(self, capsys):
         rc = main(
             [

@@ -164,6 +164,36 @@ class TestReplicationEngine:
         # Heavier load queues longer.
         assert out[0].mean_delay < out[1].mean_delay
 
+    def test_run_many_node_rate_is_per_cell(self):
+        """Regression: mixed-load batches must report each cell's *own*
+        resolved rate (an off-by-one once attributed the previous spec's
+        rate to the next cell)."""
+        from repro.scenarios import resolve_cell
+
+        specs = [
+            dataclasses.replace(self.SPEC, rho=rho, seeds=(1, 2))
+            for rho in (0.3, 0.6, 0.9)
+        ]
+        for nproc in (1, 3):
+            out = ReplicationEngine(processes=nproc).run_many(specs)
+            for spec, res in zip(specs, out):
+                assert res.node_rate == resolve_cell(spec)[0]
+
+    def test_run_many_empty_batch(self):
+        assert ReplicationEngine(processes=1).run_many([]) == []
+        assert ReplicationEngine(processes=4).run_many([]) == []
+
+    def test_run_many_on_result_fires_in_serial_order(self):
+        specs = [
+            dataclasses.replace(self.SPEC, rho=rho, seeds=(7,))
+            for rho in (0.3, 0.6)
+        ]
+        seen = []
+        ReplicationEngine(processes=1).run_many(
+            specs, on_result=lambda res: seen.append(res.spec.rho)
+        )
+        assert seen == [0.3, 0.6]
+
     def test_convenience_wrapper(self):
         assert replicate(self.SPEC, processes=1).mean_delay == ReplicationEngine(
             processes=1
