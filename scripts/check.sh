@@ -17,6 +17,14 @@
 # skips the benchmark stages — the same selection CI's tier-1 job runs
 # on every push/PR. The default full run still executes everything.
 #
+# Lint lane: LINT=1 ./scripts/check.sh runs only the static checks —
+# replint (python -m repro.analysis) over src/repro plus mypy against
+# the strict modules pinned in pyproject.toml — and skips the tests.
+# The same pair is CI's `lint` job. Both lanes also run replint, so a
+# rule violation fails locally before it fails the merge gate; mypy is
+# skipped with a notice when not installed (it is a CI-only dep, see
+# .github/requirements-ci.txt).
+#
 # The replication stage fans cells for all five registered engines
 # (fifo, finite, slotted, rushed, ps) through the declarative CellSpec
 # facade, so the gate covers every `engine registry -> run_cell` path
@@ -44,13 +52,31 @@ SPEC
         | grep -q "0 ran, 2 resumed"
 }
 
+run_lint() {
+    python -m repro.analysis src/repro
+    if python -c 'import mypy' 2>/dev/null; then
+        python -m mypy -p repro
+    else
+        echo "check.sh: mypy not installed; skipping the typing leg" \
+             "(CI runs it via .github/requirements-ci.txt)"
+    fi
+}
+
+if [ "${LINT:-0}" = "1" ]; then
+    run_lint
+    echo "check.sh: lint lane green (replint + mypy; tests skipped)"
+    exit 0
+fi
+
 if [ "${FAST:-0}" = "1" ]; then
+    run_lint
     python -m pytest -x -q -m "not slow"
     sweep_smoke
     echo "check.sh: fast lane green (sweep smoke OK; slow tests and benches skipped)"
     exit 0
 fi
 
+run_lint
 python -m pytest -x -q
 
 run_bench() {

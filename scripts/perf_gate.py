@@ -74,6 +74,9 @@ def main(argv: list[str]) -> int:
         "fresh": args.fresh,
         "threshold": args.threshold,
         "strict": args.strict,
+        # Readable echo of the gate's disposition: downstream tooling
+        # kept misreading the bare boolean, so record it in words too.
+        "mode": "strict" if args.strict else "warn-only",
         "compared": 0,
         "regressions": [],
         "missing": [],

@@ -1,0 +1,71 @@
+"""``replint`` — the repo's AST/import-graph invariant checker.
+
+The reproduction's correctness story (same-seed bit-identity across five
+engines, a numpy-free ``backend="python"`` path, registry metadata that
+matches the simulator classes) rests on conventions that runtime tests
+can only spot-check. This package enforces them *statically*, at lint
+time, over the source tree:
+
+=====================  ==================================================
+rule                   invariant
+=====================  ==================================================
+``rng-discipline``     CDF bisections are ``side='right'``; engine hot
+                       loops use blocked draws; no nondeterminism
+                       sources (set iteration, wall clock, bare
+                       ``popitem``) in ``sim/`` code
+``backend-boundary``   ``numpy_backend`` is imported only at the
+                       sanctioned lazy site and the kernels selection
+                       layer stays numpy-free — the static proof that
+                       ``backend="python"`` never loads the vectorized
+                       module
+``registry-consistency``  every registered ``EngineParam`` and
+                       capability flag matches the simulator class
+                       behind the engine
+``shm-hygiene``        every ``SharedMemory(create=True)`` /
+                       ``publish_cells`` site has a close+unlink owner
+``mutable-default``    no mutable default arguments
+``dead-import``        no unused module-level imports
+=====================  ==================================================
+
+Run it as ``python -m repro.analysis [paths]`` (defaults to the
+installed ``repro`` package tree); ``--json`` emits a machine-readable
+report, ``--select`` narrows to specific rules, ``--list-rules`` prints
+the table above. Exit status is 0 on a clean tree, 1 when findings
+survive, 2 on usage errors. Suppress a documented exception with
+``# replint: disable=RULE`` (same line), ``disable-next=RULE`` or
+``disable-file=RULE`` — always with a reason in the surrounding comment.
+
+Adding a rule: subclass :class:`~repro.analysis.core.Rule`, register an
+instance with :func:`~repro.analysis.core.register_rule`, and import the
+module here. New engines/backends get their contracts enforced for free
+when they go through the registry and the kernels selection layer; if a
+new subsystem adds a *new* convention, add the rule in the same PR that
+introduces the convention.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    RULES,
+    SourceFile,
+    analyze_paths,
+    register_rule,
+    render_report,
+)
+
+# Importing the rule modules is what registers the shipped rule set.
+from repro.analysis import rules_rng as _rules_rng
+from repro.analysis import rules_imports as _rules_imports
+from repro.analysis import rules_registry as _rules_registry
+from repro.analysis import rules_shm as _rules_shm
+from repro.analysis import rules_hygiene as _rules_hygiene
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "SourceFile",
+    "analyze_paths",
+    "register_rule",
+    "render_report",
+]

@@ -1,0 +1,270 @@
+"""The ``replint`` framework: files, findings, rules, suppressions, runner.
+
+The checker is deliberately small: a :class:`SourceFile` wraps one parsed
+module (source text, AST, best-effort dotted module name, suppression
+table), a :class:`Rule` contributes findings either per file
+(:meth:`Rule.check_file`) or once over the whole analyzed set
+(:meth:`Rule.check_project` — import-graph and registry rules need the
+global view), and :func:`analyze_paths` walks the requested paths, runs
+every registered rule and filters suppressed findings.
+
+Suppression vocabulary (the ``# replint:`` comment family)::
+
+    x = risky()            # replint: disable=RULE[,RULE2]   same line
+    # replint: disable-next=RULE                             next line
+    # replint: disable-file=RULE                             whole file
+
+``disable=all`` silences every rule at that granularity. Suppressions
+are the *documented exception* mechanism — pair them with a reason in
+the surrounding comment, the way the engine modules do.
+
+Adding a rule is one module: subclass :class:`Rule`, instantiate it
+through :func:`register_rule`, and import the module from
+``repro.analysis`` so registration runs (see the existing ``rules_*``
+modules for the idiom, and the "Statically enforced invariants" section
+of :mod:`repro.sim` for what each shipped rule pins).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: The magic token that silences every rule in a suppression comment.
+ALL_RULES = "all"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*replint:\s*(?P<kind>disable(?:-next|-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class SourceFile:
+    """One parsed python module plus its suppression table."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: Best-effort dotted module name (``repro.sim.kernels``); for files
+    #: outside any package this is just the stem.
+    module: str
+    #: line number -> rule names silenced on that line (may hold ``all``).
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: rule names silenced for the whole file (may hold ``all``).
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceFile":
+        text = path.read_text()
+        tree = ast.parse(text, filename=str(path))
+        src = cls(
+            path=path, text=text, tree=tree, module=module_name_for(path)
+        )
+        src._scan_suppressions()
+        return src
+
+    def _scan_suppressions(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(line)
+            if m is None:
+                continue
+            rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+            kind = m.group("kind")
+            if kind == "disable-file":
+                self.file_suppressions.update(rules)
+            elif kind == "disable-next":
+                self.line_suppressions.setdefault(lineno + 1, set()).update(rules)
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if self.file_suppressions & {finding.rule, ALL_RULES}:
+            return True
+        at_line = self.line_suppressions.get(finding.line, set())
+        return bool(at_line & {finding.rule, ALL_RULES})
+
+    def finding(
+        self, rule: str, node: ast.AST | None, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or the file head)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            rule=rule, path=str(self.path), line=line, col=col, message=message
+        )
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` package chain."""
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    pkg = path.parent
+    while (pkg / "__init__.py").exists():
+        parts.insert(0, pkg.name)
+        pkg = pkg.parent
+    return ".".join(parts) if parts else path.stem
+
+
+class Rule:
+    """Base class for one named invariant check."""
+
+    #: Unique kebab-case rule id (what suppressions and --select use).
+    name: str = ""
+    #: One-line summary for ``--list-rules``.
+    description: str = ""
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        """Per-file findings (default: none)."""
+        return iter(())
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        """Whole-project findings over the full analyzed set (default: none)."""
+        return iter(())
+
+
+#: The rule registry: rule name -> instance, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Register a rule instance (names must be unique and kebab-case)."""
+    if not rule.name:
+        raise ValueError(f"rule {rule!r} has no name")
+    if rule.name in RULES:
+        raise ValueError(f"rule {rule.name!r} already registered")
+    RULES[rule.name] = rule
+    return rule
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise FileNotFoundError(f"replint: no such path: {path}")
+        else:
+            candidates = []
+        for cand in candidates:
+            if any(part.startswith(".") for part in cand.parts):
+                continue  # hidden dirs (.git, .tox, ...)
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield cand
+
+
+def load_files(paths: Iterable[str | Path]) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse every python file under ``paths``.
+
+    Unparseable files become ``parse-error`` findings rather than a
+    crash — a syntax error must fail the lint run, not hide it.
+    """
+    files: list[SourceFile] = []
+    errors: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            files.append(SourceFile.load(path))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(path),
+                    line=int(lineno),
+                    col=0,
+                    message=f"cannot parse: {exc}",
+                )
+            )
+    return files, errors
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], *, select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the (optionally selected) rules over ``paths``.
+
+    Returns the surviving findings sorted by location; an empty list
+    means the tree is clean.
+    """
+    files, findings = load_files(paths)
+    by_path = {str(f.path): f for f in files}
+    rules = list(RULES.values())
+    if select:
+        unknown = sorted(set(select) - set(RULES))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(RULES)})"
+            )
+        rules = [RULES[name] for name in select]
+    for rule in rules:
+        for src in files:
+            findings.extend(rule.check_file(src))
+        findings.extend(rule.check_project(files))
+    kept = []
+    for finding in findings:
+        src = by_path.get(finding.path)
+        if src is not None and src.suppressed(finding):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def render_report(
+    findings: Sequence[Finding], *, as_json: bool, num_files: int
+) -> str:
+    """Human or machine rendering of one analysis run."""
+    if as_json:
+        return json.dumps(
+            {
+                "version": 1,
+                "files": num_files,
+                "rules": sorted(RULES),
+                "findings": [f.as_json() for f in findings],
+                "ok": not findings,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+    if not findings:
+        return f"replint: {num_files} files clean ({len(RULES)} rules)"
+    lines = [f.render() for f in findings]
+    lines.append(
+        f"replint: {len(findings)} finding(s) in {num_files} files "
+        f"(suppress a documented exception with '# replint: disable=RULE')"
+    )
+    return "\n".join(lines)

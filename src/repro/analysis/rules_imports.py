@@ -1,0 +1,210 @@
+"""``backend-boundary``: the static proof that ``backend="python"`` never
+touches the vectorized kernel module.
+
+The kernels layer documents (and runtime subprocess tests pin) an
+optional-dependency boundary: ``repro/sim/kernels/__init__.py`` is the
+numpy-free selection layer, and :mod:`repro.sim.kernels.numpy_backend`
+is imported only inside ``get_kernel`` when a run actually selects
+``backend="numpy"``. This rule replaces "trust the subprocess test" with
+a static argument over the import structure of the analyzed tree:
+
+1. **No module-level import of ``numpy_backend`` anywhere.** A chain of
+   module-level imports is the only way a ``backend="python"`` run could
+   reach the vectorized module without calling ``get_kernel`` with
+   ``"numpy"``; since *no* analyzed module imports ``numpy_backend`` at
+   module level, no such chain exists.
+2. **Function-level imports of ``numpy_backend`` only at the sanctioned
+   lazy site** — ``get_kernel`` inside a ``kernels/__init__.py`` — whose
+   python branch is the one place the backend string is dispatched.
+3. **The selection layer stays numpy-free**: no ``import numpy`` (any
+   scope) inside ``kernels/__init__.py``, so the module keeps importing,
+   probing and erroring cleanly on machines without numpy.
+4. **Closure check**: the module-level import closure of the selection
+   module must contain neither ``numpy`` nor ``numpy_backend`` — this
+   reports the offending *chain* when an indirect route sneaks in
+   through a helper module.
+
+Together 1-3 prove the boundary; 4 exists to make an indirect violation
+debuggable rather than just detectable. The runtime subprocess tests in
+``tests/test_sim_kernels.py`` remain as the backstop that the *dynamic*
+behaviour (lazy import, clean degradation without numpy) matches this
+static picture.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.core import Finding, Rule, SourceFile, register_rule
+
+#: Module basename of the vectorized backend (the forbidden import).
+VECTOR_BACKEND = "numpy_backend"
+#: The sanctioned lazy-import function in the selection layer.
+LAZY_SITE = "get_kernel"
+
+
+def _is_kernels_init(src: SourceFile) -> bool:
+    return src.path.name == "__init__.py" and src.path.parent.name == "kernels"
+
+
+def _imported_modules(node: ast.stmt, src: SourceFile) -> list[str]:
+    """Absolute-ish dotted module names referenced by an import statement."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        if node.level:  # relative: resolve against this file's package
+            pkg_parts = src.module.split(".")
+            if src.path.name != "__init__.py":
+                pkg_parts = pkg_parts[:-1]
+            base_parts = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+            base = ".".join(p for p in base_parts if p)
+        else:
+            base = node.module or ""
+        mod = f"{base}.{node.module}" if node.level and node.module else base
+        # ``from pkg import name`` may bind submodules: record both the
+        # package and each ``pkg.name`` candidate.
+        mods = [mod] if mod else []
+        mods += [f"{mod}.{alias.name}" if mod else alias.name for alias in node.names]
+        return mods
+    return []
+
+
+class _ImportScanner(ast.NodeVisitor):
+    """Collects imports with their scope (module level vs function name)."""
+
+    def __init__(self, src: SourceFile) -> None:
+        self.src = src
+        self._scope: list[str] = []
+        #: (statement, imported module names, enclosing function or "")
+        self.imports: list[tuple[ast.stmt, list[str], str]] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self._record(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._record(node)
+
+    def _record(self, node: ast.stmt) -> None:
+        scope = self._scope[-1] if self._scope else ""
+        self.imports.append((node, _imported_modules(node, self.src), scope))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+
+def scan_imports(src: SourceFile) -> list[tuple[ast.stmt, list[str], str]]:
+    scanner = _ImportScanner(src)
+    scanner.visit(src.tree)
+    return scanner.imports
+
+
+def _references_vector_backend(modules: Sequence[str], node: ast.stmt) -> bool:
+    if any(m.split(".")[-1] == VECTOR_BACKEND for m in modules):
+        return True
+    if isinstance(node, ast.ImportFrom):
+        return any(alias.name == VECTOR_BACKEND for alias in node.names)
+    return False
+
+
+def _references_numpy(modules: Sequence[str], node: ast.stmt) -> bool:
+    if any(m == "numpy" or m.startswith("numpy.") for m in modules):
+        return True
+    if isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        if base == "numpy" or base.startswith("numpy."):
+            return True
+    return False
+
+
+class BackendBoundaryRule(Rule):
+    name = "backend-boundary"
+    description = (
+        "numpy_backend may only be imported lazily inside get_kernel, and "
+        "the kernels selection layer (kernels/__init__.py) must stay "
+        "numpy-free — the static proof behind backend='python' isolation"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        if src.module.split(".")[-1] == VECTOR_BACKEND:
+            return  # the vectorized module itself may import numpy freely
+        kernels_init = _is_kernels_init(src)
+        for node, modules, scope in scan_imports(src):
+            if _references_vector_backend(modules, node):
+                if not (kernels_init and scope == LAZY_SITE):
+                    where = (
+                        "at module level"
+                        if not scope
+                        else f"inside {scope}()"
+                    )
+                    yield src.finding(
+                        self.name,
+                        node,
+                        f"import of {VECTOR_BACKEND} {where}: the "
+                        "vectorized backend may only be imported lazily "
+                        f"inside {LAZY_SITE}() of the kernels selection "
+                        "layer, so backend='python' runs never load it",
+                    )
+            if kernels_init and _references_numpy(modules, node):
+                yield src.finding(
+                    self.name,
+                    node,
+                    "import numpy inside kernels/__init__.py: the "
+                    "selection layer is numpy-free by contract (probe "
+                    "with importlib.util.find_spec instead)",
+                )
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        by_module = {f.module: f for f in files}
+        edges: dict[str, list[str]] = {}
+        for src in files:
+            outs: list[str] = []
+            for _node, modules, scope in scan_imports(src):
+                if scope:
+                    continue  # module-level edges only
+                outs.extend(modules)
+            edges[src.module] = outs
+        for src in files:
+            if not _is_kernels_init(src):
+                continue
+            chain = _find_chain(src.module, edges, by_module)
+            if chain and len(chain) > 2:
+                yield src.finding(
+                    self.name,
+                    None,
+                    "the kernels selection layer reaches "
+                    f"{chain[-1]} through module-level imports: "
+                    f"{' -> '.join(chain)}",
+                )
+
+
+def _find_chain(
+    root: str,
+    edges: dict[str, list[str]],
+    by_module: dict[str, SourceFile],
+) -> list[str] | None:
+    """BFS for a module-level import chain from ``root`` to numpy or the
+    vectorized backend; returns the chain or None."""
+    seen = {root}
+    queue: list[list[str]] = [[root]]
+    while queue:
+        chain = queue.pop(0)
+        for dep in edges.get(chain[-1], []):
+            if dep == "numpy" or dep.startswith("numpy.") or (
+                dep.split(".")[-1] == VECTOR_BACKEND
+            ):
+                return chain + [dep]
+            if dep in by_module and dep not in seen:
+                seen.add(dep)
+                queue.append(chain + [dep])
+    return None
+
+
+register_rule(BackendBoundaryRule())

@@ -1,0 +1,156 @@
+"""``shm-hygiene``: every shared-memory block must have a cleanup owner.
+
+A ``multiprocessing.shared_memory`` block outlives its creating process
+unless somebody calls ``close()`` *and* ``unlink()`` — a leaked name
+survives interpreter exit and trips the resource tracker. The repo's
+cleanup contract (see :mod:`repro.sim.sharedcells`) is
+parent-creates/parent-unlinks; this rule pins the shape of that
+contract statically:
+
+* a ``SharedMemory(create=True, ...)`` call must either be the context
+  expression of a ``with`` statement, sit inside a ``try`` whose
+  ``finally`` calls both ``.close()`` and ``.unlink()``, or be assigned
+  to an attribute of a class that defines a ``close()`` method calling
+  both (the owner-object pattern ``SharedCellBatch`` uses);
+* a bare ``publish_cells(...)`` call must be used as a context manager
+  (``with publish_cells(...) as batch:``) — it is the unlink-on-exit
+  wrapper, and calling it without entering it publishes nothing but
+  still looks like it worked.
+
+Worker-side attachment (``SharedMemory(name=...)`` without
+``create=True``) is exempt: attaching never owns the name, and the
+parent's unlink already bounds its lifetime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile, register_rule
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    func = node.func
+    called = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    if called != "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            )
+    return False
+
+
+def _is_publish_cells(node: ast.Call) -> bool:
+    func = node.func
+    called = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return called == "publish_cells"
+
+
+def _with_context_exprs(tree: ast.Module) -> set[int]:
+    """ids of Call nodes used directly as ``with`` context expressions."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    out.add(id(expr))
+    return out
+
+
+def _calls_close_and_unlink(nodes: list[ast.stmt]) -> bool:
+    attrs = {
+        sub.func.attr
+        for stmt in nodes
+        for sub in ast.walk(stmt)
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute)
+    }
+    return {"close", "unlink"} <= attrs
+
+
+def _try_finally_guarded(tree: ast.Module) -> set[int]:
+    """ids of Call nodes in a function holding a try whose finally both
+    closes and unlinks (create-then-``try/finally`` is the idiom, so the
+    guard is function-scoped rather than try-body-scoped)."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        guarded = any(
+            isinstance(stmt, ast.Try) and _calls_close_and_unlink(stmt.finalbody)
+            for fn_stmt in node.body
+            for stmt in ast.walk(fn_stmt)
+        )
+        if guarded:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    out.add(id(sub))
+    return out
+
+
+def _class_closes_and_unlinks(cls: ast.ClassDef) -> bool:
+    """Whether the class defines a ``close``/``__exit__`` that calls both
+    ``.close()`` and ``.unlink()``."""
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name in (
+            "close",
+            "__exit__",
+            "__del__",
+        ):
+            if _calls_close_and_unlink(node.body):
+                return True
+    return False
+
+
+class ShmHygieneRule(Rule):
+    name = "shm-hygiene"
+    description = (
+        "SharedMemory(create=True) sites need a with-block or an owning "
+        "class whose close() both closes and unlinks; publish_cells must "
+        "be entered as a context manager"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        with_exprs = _with_context_exprs(src.tree)
+        finally_guarded = _try_finally_guarded(src.tree)
+        # Map every node to its enclosing class (for the owner pattern).
+        enclosing_class: dict[int, ast.ClassDef] = {}
+        for cls in ast.walk(src.tree):
+            if isinstance(cls, ast.ClassDef):
+                for sub in ast.walk(cls):
+                    enclosing_class.setdefault(id(sub), cls)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_shared_memory_create(node):
+                if id(node) in with_exprs or id(node) in finally_guarded:
+                    continue
+                cls = enclosing_class.get(id(node))
+                if cls is not None and _class_closes_and_unlinks(cls):
+                    continue
+                yield src.finding(
+                    self.name,
+                    node,
+                    "SharedMemory(create=True) without a cleanup owner: "
+                    "wrap it in a with-block or give the owning class a "
+                    "close() that calls both .close() and .unlink() — a "
+                    "leaked name survives interpreter exit",
+                )
+            elif _is_publish_cells(node) and id(node) not in with_exprs:
+                yield src.finding(
+                    self.name,
+                    node,
+                    "publish_cells(...) outside a with-statement: the "
+                    "batch is only unlinked by the context manager's "
+                    "exit — use `with publish_cells(...) as batch:`",
+                )
+
+
+register_rule(ShmHygieneRule())

@@ -25,9 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.rates import array_edge_rates, lambda_for_load
+from repro.core.rates import lambda_for_load
 from repro.core.upper_bound import number_upper_bound
-from repro.queueing.dominance import dominance_violation
 from repro.routing.destinations import UniformDestinations
 from repro.routing.greedy import GreedyArrayRouter
 from repro.sim.fifo_network import NetworkSimulation

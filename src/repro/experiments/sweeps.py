@@ -58,7 +58,7 @@ import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -109,7 +109,7 @@ def _coerce(raw: str) -> object:
     return raw
 
 
-def _pairs(value) -> tuple[tuple[str, object], ...]:
+def _pairs(value: Any) -> tuple[tuple[str, object], ...]:
     """params/engine_params: accept dicts (JSON) or ``k=v;k=v`` (CSV)."""
     if isinstance(value, str):
         value = dict(
@@ -209,7 +209,7 @@ def _atomic_write(path: Path, text: str) -> None:
     os.replace(tmp, path)
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     if isinstance(value, (np.floating, np.integer)):
         return value.item()
     return value

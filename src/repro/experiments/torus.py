@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.generic_bounds import GenericBounds, generic_bounds
 from repro.core.layering import find_layering_obstruction
-from repro.core.rates import edge_rates_from_routing, lambda_for_load
+from repro.core.rates import edge_rates_from_routing
 from repro.experiments.grid import CellSpec, simulate_cell
 from repro.routing.destinations import UniformDestinations
 from repro.routing.torus_greedy import GreedyTorusRouter

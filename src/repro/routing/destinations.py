@@ -35,7 +35,6 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.routing.markov_chain import LineStopChain
 from repro.topology.array_mesh import ArrayMesh
 from repro.topology.hypercube import Hypercube
 from repro.util.validation import check_probability, pinned_cdf

@@ -220,6 +220,45 @@ batch, destination ``sample_batch``, router coin batch — trading
 bit-compatibility for full vectorization of data-dependent laws
 (hot-spot, geometric).
 
+Statically enforced invariants
+------------------------------
+Several of the contracts above are now *statically* pinned by the
+repo's own checker, **replint** (:mod:`repro.analysis`, CLI ``python -m
+repro.analysis``), which CI runs as a merge gate next to the tests
+(``LINT=1 scripts/check.sh`` locally):
+
+* **rng-discipline** — CDF bisection must be the boundary-safe
+  ``searchsorted(cdf, u, side='right')`` form; sim-layer hot paths must
+  draw blocked (``size=``) rather than scalar Poisson/exponential
+  draws; engine code must not consult wall clocks, iterate bare sets or
+  pop dict entries in unspecified order. This is the bit-identity
+  contract of the previous section, enforced at the source level.
+* **backend-boundary** — the static proof behind the kernels layer's
+  optional-dependency boundary: ``kernels/__init__.py`` stays
+  numpy-free, ``numpy_backend`` is imported only inside ``get_kernel``,
+  and the selection layer's module-level import closure reaches neither
+  ``numpy`` nor the vectorized module. The subprocess tests in
+  ``tests/test_sim_kernels.py`` remain the runtime backstop.
+* **registry-consistency** — every registered
+  :class:`~repro.sim.registry.EngineParam` must be a real
+  constructor/run parameter of the simulator class behind the engine,
+  and capability flags (``supports_saturated``, ``supports_maxima``,
+  ``backends``) must describe options the class actually accepts.
+  Registering a new engine therefore fails the lint gate until its
+  metadata and its class agree.
+* **shm-hygiene** — every ``SharedMemory(create=True)`` site needs a
+  cleanup owner (with-block, try/finally, or an owning class whose
+  ``close()`` both closes and unlinks), and ``publish_cells`` must be
+  entered as a context manager: the parent-creates/parent-unlinks
+  contract of the replication fan-out, statically.
+
+Intentional exceptions carry a ``# replint: disable=RULE`` comment with
+a reason (the legacy per-slot Poisson draw and the PS re-planned
+exponential gap are the shipped examples — their scalar draw order *is*
+the pinned stream). A strict mypy tier (see ``pyproject.toml``) covers
+the kernels, registry, shared-cells, pool and sweep modules for the
+same reason: those carry the cross-process contracts.
+
 **Why same-seed bit-identity is the regression contract.** A stochastic
 simulation has no other cheap, exact oracle: statistical assertions pass
 under subtly wrong optimisations (a dropped id, a reordered draw, a

@@ -34,6 +34,7 @@ boundary for installers.
 from __future__ import annotations
 
 import importlib.util
+from typing import Any, Callable
 
 #: Canonical backend names, in default-first order.
 PYTHON_BACKEND, NUMPY_BACKEND = "python", "numpy"
@@ -70,7 +71,7 @@ def check_backend(backend: str) -> str:
     return backend
 
 
-def get_kernel(engine: str, backend: str):
+def get_kernel(engine: str, backend: str) -> Callable[..., Any]:
     """The ``run_<engine>`` entry point of the selected backend.
 
     Backend modules are imported lazily, so ``backend="python"`` runs

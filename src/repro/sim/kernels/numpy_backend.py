@@ -58,6 +58,8 @@ exponential service for fifo (rejected at construction).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.sim.measurement import TimeBatchAccumulator
@@ -114,8 +116,8 @@ def _edge_levels(
 
 
 def _levels_for(
-    cache, num_edges: int, visit_edge: np.ndarray, is_first: np.ndarray
-):
+    cache: Any, num_edges: int, visit_edge: np.ndarray, is_first: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-visit edge levels for this run, memoized on the path cache.
 
     Returns ``(lvl, lvl_vis)`` — the per-edge assignment and its
@@ -145,7 +147,9 @@ def _levels_for(
     return lvl, lvl[visit_edge]
 
 
-def _segments(e_sorted: np.ndarray):
+def _segments(
+    e_sorted: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Start offsets, per-element segment id and within-segment index of
     the equal-edge runs of an edge-sorted array."""
     n = e_sorted.size
@@ -157,7 +161,13 @@ def _segments(e_sorted: np.ndarray):
     return starts, seg_id, idx
 
 
-def _rectangle_cummax(seg_id, idx, shifted, sentinel, dtype):
+def _rectangle_cummax(
+    seg_id: np.ndarray,
+    idx: np.ndarray,
+    shifted: np.ndarray,
+    sentinel: float,
+    dtype: Any,
+) -> np.ndarray:
     """Segmented cumulative max via one (segments x max-run) rectangle."""
     n_seg = int(seg_id[-1]) + 1
     width = int(idx.max()) + 1
@@ -167,7 +177,7 @@ def _rectangle_cummax(seg_id, idx, shifted, sentinel, dtype):
     return mat[seg_id, idx]
 
 
-def _loop_cummax(starts, shifted):
+def _loop_cummax(starts: np.ndarray, shifted: np.ndarray) -> np.ndarray:
     """Segmented cumulative max via a per-segment loop (memory fallback)."""
     out = shifted.copy()
     bounds = np.append(starts, shifted.size)
@@ -176,7 +186,9 @@ def _loop_cummax(starts, shifted):
     return out
 
 
-def _sorted_by_edge_then(key, e_s, e_span):
+def _sorted_by_edge_then(
+    key: np.ndarray, e_s: np.ndarray, e_span: int
+) -> np.ndarray:
     """Indices sorting by ``e_s`` with ``key``'s order inside each edge:
     one comparison sort on ``key``, then a stable int16 radix pass on
     the edge ids when they fit (they are topology edge ids, so they do
@@ -190,7 +202,9 @@ def _sorted_by_edge_then(key, e_s, e_span):
     return o1[np.argsort(e_o, kind="stable")]
 
 
-def _fifo_departures(e_s, x_s, c, e_span):
+def _fifo_departures(
+    e_s: np.ndarray, x_s: np.ndarray, c: float, e_span: int
+) -> np.ndarray:
     """Departure times of one level's visits: FIFO order is arrival
     order (float eligibility ties have measure zero)."""
     order = _sorted_by_edge_then(x_s, e_s, e_span)
@@ -207,7 +221,9 @@ def _fifo_departures(e_s, x_s, c, e_span):
     return d
 
 
-def _slot_departures(e_s, g_s, is_new, e_span):
+def _slot_departures(
+    e_s: np.ndarray, g_s: np.ndarray, is_new: np.ndarray, e_span: int
+) -> np.ndarray:
     """Departure slots of one level's visits. Queue (join) order at an
     edge is exactly ``(eligibility slot, movers-before-new-arrivals)``:
     slot-``s`` arrivals join before end-of-slot-``s`` movers, which join
@@ -241,7 +257,7 @@ def _slot_departures(e_s, g_s, is_new, e_span):
     return d
 
 
-def _level_order(lvl_vis: np.ndarray):
+def _level_order(lvl_vis: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Stable level sort of the visits plus per-level slice bounds.
 
     The stable sort keeps visits in generation order inside each level
@@ -260,7 +276,13 @@ def _level_order(lvl_vis: np.ndarray):
     return order, bounds
 
 
-def _level_layout(cache, num_edges, visit_edge, cum0, nvis):
+def _level_layout(
+    cache: Any,
+    num_edges: int,
+    visit_edge: np.ndarray,
+    cum0: np.ndarray,
+    nvis: int,
+) -> tuple[np.ndarray, ...]:
     """Static per-run structure of the level sweep, in *level layout*
     (visits stably sorted by level): the solve loop then reads its
     static inputs as contiguous slices and only the dynamic
@@ -288,7 +310,7 @@ def _level_layout(cache, num_edges, visit_edge, cum0, nvis):
 
 
 def run_fifo(
-    sim,
+    sim: Any,
     warmup: float,
     horizon: float,
     *,
@@ -416,7 +438,7 @@ def run_fifo(
 
 
 def run_slotted(
-    sim,
+    sim: Any,
     warmup_slots: int,
     horizon_slots: int,
     *,
@@ -559,7 +581,9 @@ def run_slotted(
     )
 
 
-def _draw_ids(sim, m: int, num_nodes: int, rng):
+def _draw_ids(
+    sim: Any, m: int, num_nodes: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
     """One blocked source/destination draw for the whole run."""
     if sim._fast_ids:
         ids = rng.integers(0, num_nodes, size=2 * m)
@@ -585,7 +609,12 @@ def _draw_ids(sim, m: int, num_nodes: int, rng):
     return srcs, dsts
 
 
-def _draw_paths(sim, srcs, dsts, rng):
+def _draw_paths(
+    sim: Any,
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One batch path lookup; returns ``(offs, lens, visit_edge)`` with
     the arena snapshot taken *after* the lookup grew the arena."""
     cache = sim.path_cache

@@ -15,6 +15,7 @@ and own only the hot loop plus the result assembly.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
 import numpy as np
 
@@ -28,7 +29,7 @@ EXPONENTIAL = "exponential"
 
 
 def run_fifo(
-    sim,
+    sim: Any,
     warmup: float,
     horizon: float,
     *,
@@ -703,7 +704,7 @@ def run_fifo(
 
 
 def run_slotted(
-    sim,
+    sim: Any,
     warmup_slots: int,
     horizon_slots: int,
     *,
@@ -792,7 +793,11 @@ def run_slotted(
                 k = count_block[count_i]
                 count_i += 1
             else:
-                k = int(rng.poisson(batch_mean))
+                # Legacy per-slot draw order (batch_rng=False): one scalar
+                # Poisson per slot is the pinned compat stream — blocking
+                # it would change draw order and break the slotted_*_compat
+                # golden cells.
+                k = int(rng.poisson(batch_mean))  # replint: disable=rng-discipline
             if k:
                 # Draw the slot's sources/destinations/paths. Every
                 # branch enqueues packets in identical order; they
@@ -960,7 +965,7 @@ def run_slotted(
 
 
 def run_finite(
-    sim,
+    sim: Any,
     warmup: float,
     horizon: float,
     *,

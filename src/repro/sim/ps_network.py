@@ -187,7 +187,10 @@ class PSNetworkSimulation:
             pkts[e].append(pkt)
             reschedule(e, t)
 
-        push((rng.exponential(1.0 / self.total_rate), seq, -1, 0))
+        # PS replans one exponential arrival gap per event; the scalar
+        # draw order *is* the engine's pinned bit-identity stream (golden
+        # ps_* cells), so the blocked-draw convention does not apply.
+        push((rng.exponential(1.0 / self.total_rate), seq, -1, 0))  # replint: disable=rng-discipline
         seq += 1
 
         draining = False
@@ -250,7 +253,8 @@ class PSNetworkSimulation:
                     # packet record: [birth, arena offset, length, hops
                     # done, measured]
                     enqueue(arena[off], t, [t, off, ln, 0, measured])
-                push((t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))
+                # Same pinned per-event scalar stream as the initial draw.
+                push((t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))  # replint: disable=rng-discipline
                 seq += 1
             else:
                 # ----- tentative completion at queue e -----

@@ -74,7 +74,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from numbers import Integral, Real
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS
 from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL, NetworkSimulation
@@ -283,7 +283,9 @@ _BACKEND_PARAM = EngineParam(
 _RUN_PARAMS = frozenset({"batch_rng"})
 
 
-def _fifo_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+def _fifo_cell(
+    spec: Any, seed: int, node_rate: Any, mask: Any, net: Any, cache: Any
+) -> SimResult:
     sim = NetworkSimulation(
         net.router,
         net.destinations,
@@ -298,7 +300,9 @@ def _fifo_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
     return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
 
 
-def _slotted_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+def _slotted_cell(
+    spec: Any, seed: int, node_rate: Any, mask: Any, net: Any, cache: Any
+) -> SimResult:
     # The slotted engine splits its knobs: ``backend`` selects the kernel
     # at construction, ``batch_rng`` is a per-run draw-order flag.
     ep = spec.engine_params_dict
@@ -325,7 +329,9 @@ def _slotted_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
     )
 
 
-def _rushed_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+def _rushed_cell(
+    spec: Any, seed: int, node_rate: Any, mask: Any, net: Any, cache: Any
+) -> SimResult:
     sim = RushedNetworkSimulation(
         net.router,
         net.destinations,
@@ -339,7 +345,9 @@ def _rushed_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
     return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
 
 
-def _finite_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+def _finite_cell(
+    spec: Any, seed: int, node_rate: Any, mask: Any, net: Any, cache: Any
+) -> SimResult:
     sim = FiniteBufferNetworkSimulation(
         net.router,
         net.destinations,
@@ -354,7 +362,9 @@ def _finite_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
     return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
 
 
-def _ps_cell(spec, seed, node_rate, mask, net, cache) -> SimResult:
+def _ps_cell(
+    spec: Any, seed: int, node_rate: Any, mask: Any, net: Any, cache: Any
+) -> SimResult:
     sim = PSNetworkSimulation(
         net.router,
         net.destinations,

@@ -43,7 +43,8 @@ from repro.sim.fifo_network import DETERMINISTIC
 from repro.sim.measurement import BatchMeans, batch_means
 #: SLOTTED is re-exported here for backward compatibility: it was this
 #: module's public engine constant before the registry existed.
-from repro.sim.registry import FIFO, SLOTTED, canonical_engine, get_engine
+from repro.sim.registry import FIFO, canonical_engine, get_engine
+from repro.sim.registry import SLOTTED as SLOTTED
 from repro.sim.result import SimResult
 from repro.sim.sharedcells import cell_network, publish_cells, run_seed_chunk
 from repro.util.tables import Table

@@ -48,7 +48,7 @@ import pickle
 from collections import OrderedDict
 from contextlib import contextmanager
 from multiprocessing import shared_memory
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -81,12 +81,12 @@ _NETWORK_MEMO: OrderedDict = OrderedDict()
 _NETWORK_MEMO_MAX = 8
 
 
-def cell_key(spec) -> tuple:
+def cell_key(spec: Any) -> tuple:
     """The cell identity that decides (network, cache) shareability."""
     return (spec.engine, spec.engine_params, spec.scenario, spec.n, spec.params)
 
 
-def cell_network(spec):
+def cell_network(spec: Any) -> tuple:
     """The (network, path cache) for a cell, memoized per process.
 
     Replications of one cell are separate pool tasks; without the memo
@@ -111,7 +111,7 @@ def cell_network(spec):
     return ent
 
 
-def warm_cell(spec) -> tuple:
+def warm_cell(spec: Any) -> tuple:
     """Parent-side warm-up: build the cell and precompute its path cache.
 
     Precomputation is bounded by :data:`PRECOMPUTE_NODE_LIMIT` and only
@@ -132,7 +132,7 @@ def warm_cell(spec) -> tuple:
     return net, cache
 
 
-def _cache_snapshot(cache) -> dict | None:
+def _cache_snapshot(cache: Any) -> dict | None:
     """The publishable array set of a *complete* path cache, else None."""
     if isinstance(cache, PathCache):
         tab = cache.table_snapshot()
@@ -304,7 +304,7 @@ def _attach(token: tuple) -> _AttachedBatch:
     return batch
 
 
-def _adopt_cell(spec, meta: dict, batch: _AttachedBatch):
+def _adopt_cell(spec: Any, meta: dict, batch: _AttachedBatch) -> tuple:
     """Build a cell's network and adopt its published cache snapshot."""
     from repro.scenarios import build_network  # late: scenarios imports sim
 

@@ -40,6 +40,9 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+# Submodule import so the `mp.pool.Pool` annotations below resolve for
+# the type checker; `mp` is the name the code uses.
+import multiprocessing.pool  # replint: disable=dead-import
 import os
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
@@ -124,7 +127,7 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.shutdown()
 
     # -- mapping -------------------------------------------------------

@@ -1,0 +1,15 @@
+"""Bad fixture for mutable-default and dead-import (never imported)."""
+
+import json
+import os as _os_alias
+
+from collections import OrderedDict
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}, memo=OrderedDict()):
+    return table.get(key, memo)

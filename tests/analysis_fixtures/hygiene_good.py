@@ -1,0 +1,18 @@
+"""Good fixture for mutable-default and dead-import (never imported)."""
+
+import json
+from collections import OrderedDict
+from os import path as path  # explicit re-export: exempt
+
+__all__ = ["accumulate", "index", "path"]
+
+
+def accumulate(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return json.dumps(bucket)
+
+
+def index(key, table=None):
+    return (table or OrderedDict()).get(key)

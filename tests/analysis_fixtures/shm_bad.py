@@ -1,0 +1,14 @@
+"""Bad fixture for the shm-hygiene rule (never imported, only parsed)."""
+
+from multiprocessing import shared_memory
+
+
+def leak_a_block(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload
+    return shm.name  # no close, no unlink, no owner
+
+
+def forget_to_enter(entries, publish_cells):
+    batch = publish_cells(entries)  # not used as a context manager
+    return batch

@@ -1,0 +1,34 @@
+"""Good fixture for the shm-hygiene rule (never imported, only parsed)."""
+
+from multiprocessing import shared_memory
+
+
+class OwnedBlock:
+    """The owner-object pattern: close() both closes and unlinks."""
+
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+    def close(self):
+        self._shm.close()
+        self._shm.unlink()
+
+
+def scoped_use(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:1])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def scoped_publish(entries, publish_cells):
+    with publish_cells(entries) as batch:
+        return batch.token
+
+
+def attach_only(name):
+    # Worker-side attachment never owns the name: exempt.
+    shm = shared_memory.SharedMemory(name=name)
+    return shm

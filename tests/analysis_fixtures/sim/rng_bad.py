@@ -1,0 +1,22 @@
+"""Bad fixture for the rng-discipline rule (never imported, only parsed)."""
+
+import time
+
+import numpy as np
+
+
+def draw_source(cdf, rng):
+    # left-sided CDF bisection: the boundary-draw bug.
+    return int(np.searchsorted(cdf, rng.random()))
+
+
+def scalar_draws(rng, cache):
+    u = rng.random()  # scalar draw outside a pinned-CDF bisection
+    k = rng.poisson(3.0)  # scalar Poisson, no size=
+    gap = rng.exponential(1.0)  # scalar exponential, no size=
+    stamp = time.time()  # wall clock in engine code
+    _key, _val = cache.popitem()  # bare popitem
+    total = 0
+    for edge in {1, 2, 3}:  # set iteration
+        total += edge
+    return u, k, gap, stamp, total

@@ -1,0 +1,20 @@
+"""Good fixture for the rng-discipline rule (never imported, only parsed)."""
+
+import numpy as np
+
+
+def draw_source(cdf, rng):
+    # The sanctioned pinned-CDF draw: right-sided, scalar probe allowed.
+    return int(np.searchsorted(cdf, rng.random(), side="right"))
+
+
+def blocked_draws(rng, cache):
+    gaps = rng.exponential(size=512)
+    counts = rng.poisson(3.0, size=512)
+    # A documented exception rides a suppression with a reason:
+    legacy = rng.poisson(3.0)  # replint: disable=rng-discipline
+    _key, _val = cache.popitem(last=False)  # explicit eviction order
+    total = 0
+    for edge in sorted({1, 2, 3}):  # sorted set: deterministic
+        total += edge
+    return gaps, counts, legacy, total

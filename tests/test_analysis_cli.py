@@ -1,0 +1,101 @@
+"""CLI tests for ``python -m repro.analysis`` (exit codes, JSON, listing)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+SRC_REPRO = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_bad_fixture_exits_one(capsys):
+    assert main([str(FIXTURES / "shm_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "[shm-hygiene]" in out
+    assert "finding(s)" in out
+
+
+@pytest.mark.parametrize(
+    "fixture, rule",
+    [
+        ("sim/rng_bad.py", "rng-discipline"),
+        ("shm_bad.py", "shm-hygiene"),
+        ("hygiene_bad.py", "mutable-default"),
+        ("hygiene_bad.py", "dead-import"),
+    ],
+)
+def test_each_rule_fails_its_bad_fixture(fixture, rule, capsys):
+    assert main([str(FIXTURES / fixture), "--select", rule]) == 1
+    assert f"[{rule}]" in capsys.readouterr().out
+
+
+def test_json_report_shape(capsys):
+    assert main([str(FIXTURES / "shm_bad.py"), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["ok"] is False
+    assert report["files"] == 1
+    assert len(report["findings"]) == 2
+    first = report["findings"][0]
+    assert set(first) == {"rule", "path", "line", "col", "message"}
+
+
+def test_json_report_clean(capsys):
+    assert main([str(FIXTURES / "shm_good.py"), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True and report["findings"] == []
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "rng-discipline",
+        "backend-boundary",
+        "registry-consistency",
+        "shm-hygiene",
+        "mutable-default",
+        "dead-import",
+    ):
+        assert rule in out
+
+
+def test_unknown_rule_exits_two(capsys):
+    assert main([str(FIXTURES / "shm_good.py"), "--select", "no-such"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(capsys):
+    assert main(["no/such/path"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_select_accepts_comma_list(capsys):
+    assert main(
+        [str(FIXTURES / "hygiene_bad.py"), "--select",
+         "mutable-default,dead-import"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "[mutable-default]" in out and "[dead-import]" in out
+
+
+def test_module_invocation_on_real_tree():
+    """The CI lint leg verbatim: ``python -m repro.analysis src/repro``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC_REPRO)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout

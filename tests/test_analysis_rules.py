@@ -1,0 +1,306 @@
+"""Per-rule tests for the replint framework (repro.analysis).
+
+The fixture snippets under ``tests/analysis_fixtures/`` are parsed, never
+imported; each rule has a bad fixture it must flag and a good fixture it
+must leave clean. The rng fixtures live in an ``analysis_fixtures/sim/``
+subdirectory so the rule's sim-scope heuristics trigger naturally.
+"""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, analyze_paths
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+KERNELS_INIT = (
+    Path(__file__).parent.parent / "src" / "repro" / "sim" / "kernels" / "__init__.py"
+)
+
+
+def run(paths, select=None):
+    return analyze_paths(paths, select=select)
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+# -- registry sanity ---------------------------------------------------
+
+def test_all_six_rules_registered():
+    assert set(RULES) == {
+        "rng-discipline",
+        "backend-boundary",
+        "registry-consistency",
+        "shm-hygiene",
+        "mutable-default",
+        "dead-import",
+    }
+
+
+# -- rng-discipline ----------------------------------------------------
+
+def test_rng_bad_fixture_flags_every_pattern():
+    findings = run([FIXTURES / "sim" / "rng_bad.py"], select=["rng-discipline"])
+    assert len(findings) == 8
+    messages = "\n".join(f.message for f in findings)
+    assert "side='right'" in messages or "side=\"right\"" in messages
+    assert "time.time" in messages
+    assert "popitem" in messages
+    assert "set" in messages
+
+
+def test_rng_good_fixture_clean():
+    assert run([FIXTURES / "sim" / "rng_good.py"], select=["rng-discipline"]) == []
+
+
+# -- shm-hygiene -------------------------------------------------------
+
+def test_shm_bad_fixture_flags_leak_and_unentered_publish():
+    findings = run([FIXTURES / "shm_bad.py"], select=["shm-hygiene"])
+    assert len(findings) == 2
+    messages = "\n".join(f.message for f in findings)
+    assert "SharedMemory(create=True)" in messages
+    assert "publish_cells" in messages
+
+
+def test_shm_good_fixture_clean():
+    assert run([FIXTURES / "shm_good.py"], select=["shm-hygiene"]) == []
+
+
+# -- mutable-default / dead-import -------------------------------------
+
+def test_hygiene_bad_fixture_counts():
+    findings = run(
+        [FIXTURES / "hygiene_bad.py"], select=["mutable-default", "dead-import"]
+    )
+    assert sum(f.rule == "mutable-default" for f in findings) == 3
+    assert sum(f.rule == "dead-import" for f in findings) == 2
+
+
+def test_hygiene_good_fixture_clean():
+    assert run(
+        [FIXTURES / "hygiene_good.py"], select=["mutable-default", "dead-import"]
+    ) == []
+
+
+# -- suppression comments ----------------------------------------------
+
+def _write(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+def test_same_line_suppression(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        def f(bucket=[]):  # replint: disable=mutable-default
+            return bucket
+        """,
+    )
+    assert run([path], select=["mutable-default"]) == []
+
+
+def test_disable_next_suppression(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        # replint: disable-next=mutable-default
+        def f(bucket=[]):
+            return bucket
+        """,
+    )
+    assert run([path], select=["mutable-default"]) == []
+
+
+def test_disable_file_suppression(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        # replint: disable-file=mutable-default
+        def f(bucket=[]):
+            return bucket
+
+        def g(table={}):
+            return table
+        """,
+    )
+    assert run([path], select=["mutable-default"]) == []
+
+
+def test_disable_all_token(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        import json
+
+        def f(bucket=[]):  # replint: disable=all
+            return bucket
+        """,
+    )
+    findings = run([path])
+    # The same-line `all` silences mutable-default but not the dead
+    # import two lines up.
+    assert rules_hit(findings) == {"dead-import"}
+
+
+def test_unsuppressed_finding_still_reported(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        def f(bucket=[]):  # replint: disable=dead-import
+            return bucket
+        """,
+    )
+    # Suppressing the *wrong* rule must not silence the finding.
+    assert rules_hit(run([path], select=["mutable-default"])) == {
+        "mutable-default"
+    }
+
+
+# -- backend-boundary --------------------------------------------------
+
+def test_synthetic_numpy_import_in_kernels_init(tmp_path):
+    """The satellite check: a module-level ``import numpy`` injected into
+    a copy of the real kernels/__init__.py must be caught statically."""
+    kernels = tmp_path / "kernels"
+    kernels.mkdir()
+    target = kernels / "__init__.py"
+    shutil.copy(KERNELS_INIT, target)
+    target.write_text(
+        target.read_text().replace(
+            "import importlib.util",
+            "import importlib.util\nimport numpy",
+            1,
+        )
+    )
+    findings = run([target], select=["backend-boundary"])
+    assert any("numpy-free" in f.message for f in findings)
+
+
+def test_clean_kernels_init_copy_passes(tmp_path):
+    kernels = tmp_path / "kernels"
+    kernels.mkdir()
+    shutil.copy(KERNELS_INIT, kernels / "__init__.py")
+    assert run([kernels / "__init__.py"], select=["backend-boundary"]) == []
+
+
+def test_module_level_numpy_backend_import_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        "engine.py",
+        """
+        from repro.sim.kernels import numpy_backend
+
+        def run(sim):
+            return numpy_backend.run_fifo(sim)
+        """,
+    )
+    findings = run([path], select=["backend-boundary"])
+    assert len(findings) == 1
+    assert "module level" in findings[0].message
+
+
+def test_function_level_numpy_backend_outside_lazy_site_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        "engine.py",
+        """
+        def sneaky(sim):
+            from repro.sim.kernels import numpy_backend
+            return numpy_backend.run_fifo(sim)
+        """,
+    )
+    findings = run([path], select=["backend-boundary"])
+    assert len(findings) == 1
+    assert "sneaky" in findings[0].message
+
+
+def test_indirect_chain_to_numpy_reported(tmp_path):
+    """The closure check names the offending module-level import chain."""
+    pkg = tmp_path / "pkg"
+    (pkg / "kernels").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "helper.py").write_text("import numpy\n")
+    (pkg / "kernels" / "__init__.py").write_text("from pkg import helper\n")
+    findings = run([pkg], select=["backend-boundary"])
+    chain = [f for f in findings if "->" in f.message]
+    assert chain, findings
+    assert "pkg.kernels -> pkg.helper -> numpy" in chain[0].message
+
+
+# -- registry-consistency ----------------------------------------------
+
+REGISTRY_SRC = (
+    Path(__file__).parent.parent / "src" / "repro" / "sim" / "registry.py"
+)
+
+
+def test_real_registry_consistent():
+    assert run([REGISTRY_SRC], select=["registry-consistency"]) == []
+
+
+def test_registry_rule_skipped_when_registry_not_analyzed():
+    findings = run(
+        [FIXTURES / "hygiene_good.py"], select=["registry-consistency"]
+    )
+    assert findings == []
+
+
+def test_tampered_engine_param_flagged(monkeypatch):
+    """Metadata drift: an EngineParam naming no constructor parameter."""
+    import dataclasses
+
+    import repro.sim.registry as registry
+
+    fifo = registry.get_engine("fifo")
+    bogus = registry.EngineParam(
+        name="no_such_knob", kind=registry.BOOL, default=False, doc="bogus"
+    )
+    tampered = dataclasses.replace(fifo, params=fifo.params + (bogus,))
+    monkeypatch.setitem(registry._REGISTRY, "fifo", tampered)
+    findings = run([REGISTRY_SRC], select=["registry-consistency"])
+    assert any("no_such_knob" in f.message for f in findings)
+
+
+def test_tampered_backends_choices_flagged(monkeypatch):
+    """A backend EngineParam whose choices drift from Engine.backends."""
+    import dataclasses
+
+    import repro.sim.registry as registry
+
+    fifo = registry.get_engine("fifo")
+    params = tuple(
+        dataclasses.replace(p, choices=("python",))
+        if p.name == "backend"
+        else p
+        for p in fifo.params
+    )
+    tampered = dataclasses.replace(fifo, params=params)
+    monkeypatch.setitem(registry._REGISTRY, "fifo", tampered)
+    findings = run([REGISTRY_SRC], select=["registry-consistency"])
+    assert any("differ from Engine.backends" in f.message for f in findings)
+
+
+# -- the real tree -----------------------------------------------------
+
+def test_real_repro_tree_is_clean():
+    src_repro = Path(__file__).parent.parent / "src" / "repro"
+    assert run([src_repro]) == []
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n")
+    findings = run([path])
+    assert [f.rule for f in findings] == ["parse-error"]

@@ -137,6 +137,25 @@ def test_json_out_clean_run(perf_gate, tmp_path):
     assert summary["ok"] is True and summary["regressions"] == []
 
 
+def test_json_out_records_mode(perf_gate, tmp_path):
+    """The summary spells out strict vs warn-only, not just a boolean."""
+    import json as _json
+
+    base = _bench_json(tmp_path / "base.json", {"a": 1.0})
+    fresh = _bench_json(tmp_path / "fresh.json", {"a": 1.0})
+    out_path = tmp_path / "summary.json"
+    assert perf_gate.main(
+        ["perf_gate", base, fresh, "--json-out", str(out_path)]
+    ) == 0
+    summary = _json.loads(out_path.read_text())
+    assert summary["mode"] == "warn-only" and summary["strict"] is False
+    assert perf_gate.main(
+        ["perf_gate", base, fresh, "--strict", "--json-out", str(out_path)]
+    ) == 0
+    summary = _json.loads(out_path.read_text())
+    assert summary["mode"] == "strict" and summary["strict"] is True
+
+
 def test_strict_fails_on_unreadable_input(perf_gate, tmp_path, capsys):
     """--strict must not let a vanished fresh run look like a pass."""
     import json as _json
