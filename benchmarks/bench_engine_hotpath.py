@@ -316,6 +316,33 @@ def test_slotted_32x32_numpy_warm(best_of, benchmark):
     assert ratio > 2.0
 
 
+def test_finite_32x32_numpy_warm(best_of, benchmark):
+    """The finite-buffer engine on its numpy-backed configuration
+    (buffer_size=None — the only combination the vectorized kernel
+    accepts, delegated to the FIFO whole-trajectory solver). This is the
+    bench-coverage cell for the finite x numpy registry entry; the
+    python-backend finite loop itself is timed indirectly through
+    ``test_replication_finite_cell`` in the replication suite."""
+    from repro.sim.finite_buffer import FiniteBufferNetworkSimulation
+
+    mesh_router = GreedyArrayRouter(ArrayMesh(32))
+    cache = path_cache_for(mesh_router)
+    dests = UniformDestinations(1024)
+    lam = lambda_for_load(32, RHO, "table1")
+    FiniteBufferNetworkSimulation(
+        mesh_router, dests, lam, seed=3, path_cache=cache, backend="numpy"
+    ).run(WARMUP, HORIZON)  # warm the arena + kernel level cache
+    sim = FiniteBufferNetworkSimulation(
+        mesh_router, dests, lam, seed=3, path_cache=cache, backend="numpy"
+    )
+    res = best_of(sim.run, WARMUP, HORIZON)
+    pps = _record(benchmark, res, PRE_PR_EVENT[32])
+    assert res.generated > 10_000
+    # Delegation means fifo-kernel throughput; same soft floor as the
+    # event numpy cell.
+    assert pps > 4.0 * PRE_PR_EVENT[32]
+
+
 def test_slotted_8x8(best_of, benchmark):
     """The legacy-compatible kernel (batch_rng=False; the engine default
     is the fully batched order since the registry redesign)."""

@@ -53,6 +53,8 @@ SPEC
 }
 
 run_lint() {
+    # replint memoizes in .replint_cache.json keyed by file mtimes, so
+    # repeat runs on an unchanged tree replay without re-parsing.
     python -m repro.analysis src/repro
     if python -c 'import mypy' 2>/dev/null; then
         python -m mypy -p repro
@@ -65,6 +67,25 @@ run_lint() {
 if [ "${LINT:-0}" = "1" ]; then
     run_lint
     echo "check.sh: lint lane green (replint + mypy; tests skipped)"
+    exit 0
+fi
+
+if [ "${RNGSAN:-0}" = "1" ]; then
+    # Determinism-sanitizer lane: re-run every golden cell under the
+    # rngsan tracer, writing one draw-stream trace per cell. Compare two
+    # checkouts' trace directories with
+    #   python -m repro.analysis.rngsan diff a/<cell>.trace b/<cell>.trace
+    # to localize a golden mismatch to its first divergent draw.
+    dir="${REPRO_RNGSAN_DIR:-.rngsan}"
+    mkdir -p "$dir"
+    REPRO_RNGSAN_DIR="$dir" python - <<'PY'
+import sys
+sys.path.insert(0, "tests/golden")
+from regen import build_cases
+print(f"rngsan: traced {len(build_cases())} golden cells")
+PY
+    python -m pytest -x -q tests/test_golden_results.py
+    echo "check.sh: rngsan lane green (traces in $dir/)"
     exit 0
 fi
 

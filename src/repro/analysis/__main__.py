@@ -8,6 +8,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import RULES, analyze_paths, render_report
+from repro.analysis import autofix, cache
 from repro.analysis.core import iter_python_files
 
 
@@ -23,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "replint: statically enforce the repo's bit-identity, "
-            "backend-boundary, registry and shm-hygiene invariants"
+            "backend-boundary, registry, coverage and hygiene invariants"
         ),
     )
     parser.add_argument(
@@ -35,10 +36,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON report"
     )
     parser.add_argument(
+        "--json-file",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (for CI artifacts)",
+    )
+    parser.add_argument(
         "--select",
         default=None,
         metavar="RULE[,RULE]",
         help="run only these rules (see --list-rules)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes first (dead-import), then analyze",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=cache.DEFAULT_CACHE_FILE,
+        metavar="PATH",
+        help=f"result cache location (default: {cache.DEFAULT_CACHE_FILE})",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
@@ -58,13 +81,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.select
         else None
     )
+    # --fix rewrites the files the cache key is built from, so it always
+    # runs (and analyzes) uncached.
+    use_cache = not args.no_cache and not args.fix
     try:
-        num_files = sum(1 for _ in iter_python_files(paths))
-        findings = analyze_paths(paths, select=select)
+        if args.fix:
+            for fix in autofix.fix_paths(paths):
+                print(fix.render())
+        cached = (
+            cache.load(args.cache_file, paths, select) if use_cache else None
+        )
+        if cached is not None:
+            findings, num_files = cached
+        else:
+            num_files = sum(1 for _ in iter_python_files(paths))
+            findings = analyze_paths(paths, select=select)
+            if use_cache:
+                cache.store(args.cache_file, paths, select, findings, num_files)
     except (FileNotFoundError, ValueError) as exc:
         print(f"replint: error: {exc}", file=sys.stderr)
         return 2
     print(render_report(findings, as_json=args.json, num_files=num_files))
+    if args.json_file:
+        Path(args.json_file).write_text(
+            render_report(findings, as_json=True, num_files=num_files) + "\n"
+        )
     return 1 if findings else 0
 
 

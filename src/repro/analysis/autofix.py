@@ -1,0 +1,108 @@
+"""``--fix``: mechanical rewrites for findings with one obvious fix.
+
+Only ``dead-import`` is autofixable today — the fix (delete the unused
+binding) is purely mechanical and cannot change behavior, which is the
+bar for anything this module touches. The fixer shares its detection
+with the rule (:func:`repro.analysis.rules_hygiene.dead_imports`), so
+``--fix`` removes exactly what the rule reports, nothing more:
+
+* suppressed findings are left alone (a ``# replint:
+  disable=dead-import`` keeps its import);
+* a statement whose every binding is dead is deleted whole, comments on
+  the same line included;
+* a statement with a mix of live and dead aliases (``from x import a,
+  b``) is rewritten with only the live aliases, via ``ast.unparse`` —
+  same-line comments do not survive that rewrite, which is the one
+  behavior-adjacent edge and is why mixed statements are rare in a tree
+  this rule keeps clean.
+
+Fixing runs per file until a pass removes nothing (dropping one import
+can orphan another), re-parsing between passes so line numbers stay
+honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import SourceFile, iter_python_files
+from repro.analysis.rules_hygiene import DeadImportRule, dead_imports
+
+_RULE = DeadImportRule()
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One applied rewrite: which names left which file."""
+
+    path: str
+    line: int
+    removed: tuple[str, ...]
+
+    def render(self) -> str:
+        names = ", ".join(self.removed)
+        return f"{self.path}:{self.line}: removed dead import(s): {names}"
+
+
+def _rewrite_once(src: SourceFile) -> tuple[str | None, list[Fix]]:
+    """One fix pass over one parsed file: (new text | None, fixes)."""
+    dead = [
+        (name, stmt)
+        for name, stmt in dead_imports(src)
+        if not src.suppressed(
+            src.finding(_RULE.name, stmt, f"import {name!r} is never used")
+        )
+    ]
+    if not dead:
+        return None, []
+    by_stmt: dict[int, list[str]] = {}
+    stmts: dict[int, ast.stmt] = {}
+    for name, stmt in dead:
+        by_stmt.setdefault(id(stmt), []).append(name)
+        stmts[id(stmt)] = stmt
+    lines = src.text.splitlines(keepends=True)
+    fixes: list[Fix] = []
+    # Rewrite bottom-up so earlier line numbers stay valid.
+    for stmt_id in sorted(
+        by_stmt, key=lambda sid: stmts[sid].lineno, reverse=True
+    ):
+        stmt = stmts[stmt_id]
+        removed = by_stmt[stmt_id]
+        start, end = stmt.lineno - 1, (stmt.end_lineno or stmt.lineno)
+        live = [
+            alias
+            for alias in getattr(stmt, "names", [])
+            if (alias.asname or alias.name.split(".")[0]) not in removed
+        ]
+        if live:
+            pruned = ast.copy_location(stmt, stmt)
+            pruned.names = live  # type: ignore[attr-defined]
+            indent = lines[start][: len(lines[start]) - len(lines[start].lstrip())]
+            replacement = indent + ast.unparse(pruned) + "\n"
+            lines[start:end] = [replacement]
+        else:
+            del lines[start:end]
+        fixes.append(
+            Fix(path=str(src.path), line=stmt.lineno, removed=tuple(sorted(removed)))
+        )
+    return "".join(lines), list(reversed(fixes))
+
+
+def fix_paths(paths: Iterable[str | Path]) -> list[Fix]:
+    """Apply every dead-import fix under ``paths``; returns what changed."""
+    all_fixes: list[Fix] = []
+    for path in iter_python_files(paths):
+        while True:
+            try:
+                src = SourceFile.load(path)
+            except (SyntaxError, ValueError, UnicodeDecodeError):
+                break  # the analyze pass will report it as parse-error
+            new_text, fixes = _rewrite_once(src)
+            if new_text is None:
+                break
+            path.write_text(new_text)
+            all_fixes.extend(fixes)
+    return all_fixes

@@ -16,26 +16,40 @@ Suppression vocabulary (the ``# replint:`` comment family)::
 
 ``disable=all`` silences every rule at that granularity. Suppressions
 are the *documented exception* mechanism — pair them with a reason in
-the surrounding comment, the way the engine modules do.
+the surrounding comment, the way the engine modules do. Suppressions are
+recognised only in real comment tokens (a mention inside a docstring or
+string literal is inert), and each one is accountable: a suppression
+whose rule no longer fires at its scope is itself reported by the
+``stale-suppression`` rule, so dead escape hatches cannot accumulate.
 
 Adding a rule is one module: subclass :class:`Rule`, instantiate it
 through :func:`register_rule`, and import the module from
 ``repro.analysis`` so registration runs (see the existing ``rules_*``
-modules for the idiom, and the "Statically enforced invariants" section
+modules for the idiom, the "Writing a replint rule" guide in
+:mod:`repro.analysis`, and the "Statically enforced invariants" section
 of :mod:`repro.sim` for what each shipped rule pins).
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import json
 import re
-from dataclasses import dataclass, field
+import tokenize
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 #: The magic token that silences every rule in a suppression comment.
 ALL_RULES = "all"
+
+#: The rule name under which unusable suppressions are reported. The
+#: marker Rule subclass lives in ``rules_suppression``; the detection
+#: itself runs inside :func:`analyze_paths` because it needs to know
+#: which suppressions were consumed by which executed rules.
+STALE_RULE = "stale-suppression"
 
 _SUPPRESS_RE = re.compile(
     r"#\s*replint:\s*(?P<kind>disable(?:-next|-file)?)\s*=\s*"
@@ -45,13 +59,22 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``doc`` carries the owning rule's one-line description and
+    ``fingerprint`` a stable identity (rule + path + normalized line
+    *content*, so pure line-number shifts do not change it) — both are
+    filled in by :func:`analyze_paths` so JSON reports can be diffed
+    across runs.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    doc: str = ""
+    fingerprint: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
@@ -63,7 +86,48 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "doc": self.doc,
+            "fingerprint": self.fingerprint,
         }
+
+
+@dataclass
+class Suppression:
+    """One ``# replint: disable...`` comment, with its usage ledger.
+
+    ``used`` collects the rule names this suppression actually silenced
+    during a run (:data:`ALL_RULES` when a ``disable=all`` consumed a
+    finding of any rule); the stale-suppression pass reads it to report
+    escape hatches that no longer do anything.
+    """
+
+    kind: str  # "disable" | "disable-next" | "disable-file"
+    line: int  # line of the comment itself
+    rules: frozenset[str]
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def target_line(self) -> int | None:
+        """Line the suppression applies to (None = whole file)."""
+        if self.kind == "disable":
+            return self.line
+        if self.kind == "disable-next":
+            return self.line + 1
+        return None
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule == STALE_RULE and finding.rule not in self.rules:
+            # ``disable=all`` must not shield its own staleness report —
+            # opting out of the dead-suppression audit takes an explicit
+            # ``disable=stale-suppression``.
+            return False
+        if not self.rules & {finding.rule, ALL_RULES}:
+            return False
+        target = self.target_line
+        return target is None or target == finding.line
+
+    def describe(self) -> str:
+        return f"# replint: {self.kind}={','.join(sorted(self.rules))}"
 
 
 @dataclass
@@ -76,14 +140,15 @@ class SourceFile:
     #: Best-effort dotted module name (``repro.sim.kernels``); for files
     #: outside any package this is just the stem.
     module: str
-    #: line number -> rule names silenced on that line (may hold ``all``).
-    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
-    #: rule names silenced for the whole file (may hold ``all``).
-    file_suppressions: set[str] = field(default_factory=set)
+    #: Every suppression comment found in the file, in line order.
+    suppressions: list[Suppression] = field(default_factory=list)
 
     @classmethod
     def load(cls, path: Path) -> "SourceFile":
-        text = path.read_text()
+        return cls.from_text(path, path.read_text())
+
+    @classmethod
+    def from_text(cls, path: Path, text: str) -> "SourceFile":
         tree = ast.parse(text, filename=str(path))
         src = cls(
             path=path, text=text, tree=tree, module=module_name_for(path)
@@ -91,25 +156,51 @@ class SourceFile:
         src._scan_suppressions()
         return src
 
+    def _comment_lines(self) -> Iterator[tuple[int, str]]:
+        """(line, comment-text) pairs from real COMMENT tokens only.
+
+        Tokenizing (rather than regex-scanning every raw line) keeps
+        suppression *examples* inside docstrings and string literals —
+        this module's own docstring included — from registering as live
+        suppressions.
+        """
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            # The file parsed as AST, so this is near-unreachable; fall
+            # back to raw lines rather than losing suppressions.
+            for lineno, line in enumerate(self.text.splitlines(), start=1):
+                if "#" in line:
+                    yield lineno, line[line.index("#"):]
+
     def _scan_suppressions(self) -> None:
-        for lineno, line in enumerate(self.text.splitlines(), start=1):
-            m = _SUPPRESS_RE.search(line)
+        for lineno, comment in self._comment_lines():
+            m = _SUPPRESS_RE.search(comment)
             if m is None:
                 continue
-            rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
-            kind = m.group("kind")
-            if kind == "disable-file":
-                self.file_suppressions.update(rules)
-            elif kind == "disable-next":
-                self.line_suppressions.setdefault(lineno + 1, set()).update(rules)
-            else:
-                self.line_suppressions.setdefault(lineno, set()).update(rules)
+            rules = frozenset(
+                r.strip() for r in m.group("rules").split(",") if r.strip()
+            )
+            if rules:
+                self.suppressions.append(
+                    Suppression(kind=m.group("kind"), line=lineno, rules=rules)
+                )
+
+    def consume(self, finding: Finding) -> bool:
+        """Filter one finding, recording which suppressions silenced it."""
+        matched = [s for s in self.suppressions if s.matches(finding)]
+        for sup in matched:
+            sup.used.add(
+                finding.rule if finding.rule in sup.rules else ALL_RULES
+            )
+        return bool(matched)
 
     def suppressed(self, finding: Finding) -> bool:
-        if self.file_suppressions & {finding.rule, ALL_RULES}:
-            return True
-        at_line = self.line_suppressions.get(finding.line, set())
-        return bool(at_line & {finding.rule, ALL_RULES})
+        """Whether a finding is silenced (no usage bookkeeping)."""
+        return any(s.matches(finding) for s in self.suppressions)
 
     def finding(
         self, rule: str, node: ast.AST | None, message: str
@@ -211,13 +302,105 @@ def load_files(paths: Iterable[str | Path]) -> tuple[list[SourceFile], list[Find
     return files, errors
 
 
+def _stale_findings(
+    files: Sequence[SourceFile],
+    executed: frozenset[str],
+    *,
+    full_run: bool,
+) -> Iterator[Finding]:
+    """Report suppressions that silenced nothing this run.
+
+    A suppression is only *assessable* for rules that actually executed
+    (``--select`` must not make unrelated suppressions look dead);
+    ``disable=all`` is assessable only on a full run. A rule name no
+    registered rule owns can never fire and is reported on any run. A
+    suppression naming ``stale-suppression`` itself is the explicit
+    opt-out and is never assessed.
+    """
+    for src in files:
+        for sup in src.suppressions:
+            if STALE_RULE in sup.rules:
+                continue
+            if ALL_RULES in sup.rules:
+                if full_run and not sup.used:
+                    yield Finding(
+                        rule=STALE_RULE,
+                        path=str(src.path),
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"{sup.describe()!r} matched no finding of any "
+                            "rule — the blanket suppression is dead weight; "
+                            "remove it (or narrow it to the rule it was for)"
+                        ),
+                    )
+                continue
+            for rule in sorted(sup.rules):
+                if rule not in RULES:
+                    yield Finding(
+                        rule=STALE_RULE,
+                        path=str(src.path),
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"{sup.describe()!r} suppresses unknown rule "
+                            f"{rule!r} — it can never fire (typo, or a "
+                            "rule that was removed?)"
+                        ),
+                    )
+                elif rule in executed and rule not in sup.used:
+                    yield Finding(
+                        rule=STALE_RULE,
+                        path=str(src.path),
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            f"{sup.describe()!r} matched no {rule} finding "
+                            "— the rule no longer fires here; remove the "
+                            "stale suppression"
+                        ),
+                    )
+
+
+def _enrich(
+    findings: list[Finding], by_path: dict[str, SourceFile]
+) -> list[Finding]:
+    """Attach the rule doc and a stable fingerprint to each finding.
+
+    The fingerprint hashes ``rule + path + normalized line content`` (the
+    stripped source line, so inserting lines above a finding does not
+    change its identity) plus an occurrence counter for repeated
+    identical lines.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for f in findings:
+        src = by_path.get(f.path)
+        line_text = ""
+        if src is not None:
+            lines = src.text.splitlines()
+            if 1 <= f.line <= len(lines):
+                line_text = lines[f.line - 1].strip()
+        key = (f.rule, Path(f.path).as_posix(), line_text)
+        occ = seen.get(key, 0)
+        seen[key] = occ + 1
+        digest = hashlib.sha1(
+            "\x00".join((*key, str(occ))).encode()
+        ).hexdigest()[:16]
+        rule = RULES.get(f.rule)
+        doc = " ".join(rule.description.split()) if rule is not None else ""
+        out.append(replace(f, doc=doc, fingerprint=digest))
+    return out
+
+
 def analyze_paths(
     paths: Iterable[str | Path], *, select: Sequence[str] | None = None
 ) -> list[Finding]:
     """Run the (optionally selected) rules over ``paths``.
 
     Returns the surviving findings sorted by location; an empty list
-    means the tree is clean.
+    means the tree is clean. Each finding carries the owning rule's
+    one-line doc and a stable fingerprint (see :class:`Finding`).
     """
     files, findings = load_files(paths)
     by_path = {str(f.path): f for f in files}
@@ -230,6 +413,7 @@ def analyze_paths(
                 f"(known: {', '.join(RULES)})"
             )
         rules = [RULES[name] for name in select]
+    executed = frozenset(r.name for r in rules)
     for rule in rules:
         for src in files:
             findings.extend(rule.check_file(src))
@@ -237,11 +421,21 @@ def analyze_paths(
     kept = []
     for finding in findings:
         src = by_path.get(finding.path)
-        if src is not None and src.suppressed(finding):
+        if src is not None and src.consume(finding):
             continue
         kept.append(finding)
+    if STALE_RULE in executed:
+        for stale in _stale_findings(files, executed, full_run=select is None):
+            src = by_path.get(stale.path)
+            # A stale finding may be silenced by *another* suppression
+            # (# replint: disable=stale-suppression); the subject never
+            # matches its own report because stale-suppression is
+            # excluded from assessment above.
+            if src is not None and src.consume(stale):
+                continue
+            kept.append(stale)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return kept
+    return _enrich(kept, by_path)
 
 
 def render_report(
@@ -251,7 +445,7 @@ def render_report(
     if as_json:
         return json.dumps(
             {
-                "version": 1,
+                "version": 2,
                 "files": num_files,
                 "rules": sorted(RULES),
                 "findings": [f.as_json() for f in findings],

@@ -1,0 +1,322 @@
+"""rngsan — the runtime determinism sanitizer for the RNG draw stream.
+
+The golden fixtures can tell you *that* two runs diverged; this module
+tells you *where*. An instrumented RNG wrapper records every draw an
+engine makes — the method name, the requested size, and the source
+callsite — into a compact trace, and the differ localizes the first
+divergent draw between two traces::
+
+    draw #4812: a=exponential(size=8192) at python_backend.py:73
+                b=exponential(size=512) at python_backend.py:73
+
+Three ways to capture a trace:
+
+* **Context manager** (tests, the golden harness)::
+
+      from repro.analysis import rngsan
+      with rngsan.trace(label="event_uniform_det") as tracer:
+          run_the_cell()
+      tracer.to_trace().save("a.trace")
+
+* **Environment** — ``REPRO_RNGSAN=1`` makes every engine RNG built via
+  :func:`repro.sim.rng.make_rng` record into a process-global tracer,
+  dumped to ``$REPRO_RNGSAN_DIR/rngsan.trace`` (default ``.rngsan/``) at
+  exit. ``scripts/check.sh`` exposes this as the ``RNGSAN=1`` lane.
+
+* **Diff CLI**::
+
+      python -m repro.analysis.rngsan diff a.trace b.trace
+
+  exits 0 when the streams are identical, 1 with a localized report on
+  the first divergence, 2 on usage errors.
+
+Tracing costs a python-level indirection per draw, so it is strictly
+opt-in and never active under the perf gate. The wrapper is draw-stream
+transparent: it delegates every method to the real generator, so a
+traced run returns bit-identical results to an untraced one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import atexit
+import json
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from os import environ
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+TRACE_VERSION = 1
+
+#: Positional index of the ``size`` argument per Generator draw method.
+#: Methods not listed are delegated untraced (seeding, state access, and
+#: exotic draws the engines never make).
+_SIZE_SPEC: dict[str, int] = {
+    "random": 0,
+    "standard_exponential": 0,
+    "standard_normal": 0,
+    "exponential": 1,
+    "poisson": 1,
+    "choice": 1,
+    "geometric": 1,
+    "integers": 2,
+    "uniform": 2,
+    "normal": 2,
+}
+
+
+def _normalize_size(value: Any) -> Any:
+    """JSON-stable rendering of a ``size`` argument (None/int/list)."""
+    if value is None or isinstance(value, int):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [int(v) for v in value]
+    return int(value)
+
+
+def _callsite(depth: int = 2) -> str:
+    """``basename.py:lineno`` of the frame that made the draw."""
+    frame = sys._getframe(depth)
+    return f"{Path(frame.f_code.co_filename).name}:{frame.f_lineno}"
+
+
+@dataclass
+class Trace:
+    """A recorded draw stream: metadata plus ``[kind, size, callsite]`` rows."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    draws: list[list[Any]] = field(default_factory=list)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "version": TRACE_VERSION,
+                    "meta": self.meta,
+                    "draws": self.draws,
+                },
+                separators=(",", ":"),
+            )
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        data = json.loads(Path(path).read_text())
+        if data.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {data.get('version')!r} "
+                f"(this rngsan reads version {TRACE_VERSION})"
+            )
+        return cls(meta=dict(data.get("meta", {})), draws=list(data["draws"]))
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two draw streams disagree."""
+
+    index: int
+    a: Optional[list[Any]]  # [kind, size, callsite]; None = stream ended
+    b: Optional[list[Any]]
+
+    @staticmethod
+    def _render_one(draw: Optional[list[Any]]) -> str:
+        if draw is None:
+            return "<stream ended>"
+        kind, size, site = draw
+        return f"{kind}(size={size}) at {site}"
+
+    def render(self) -> str:
+        return (
+            f"draw #{self.index}: a={self._render_one(self.a)}\n"
+            f"{'':>{len(f'draw #{self.index}: ')}}b={self._render_one(self.b)}"
+        )
+
+    def as_json(self) -> dict[str, Any]:
+        return {"index": self.index, "a": self.a, "b": self.b}
+
+
+def first_divergence(a: Trace, b: Trace) -> Optional[Divergence]:
+    """First draw where the streams differ in (kind, size), else ``None``.
+
+    Callsites are reported but not compared — the same stream drawn from
+    a refactored file is still the same stream.
+    """
+    for i, (da, db) in enumerate(zip(a.draws, b.draws)):
+        if da[0] != db[0] or da[1] != db[1]:
+            return Divergence(index=i, a=da, b=db)
+    if len(a.draws) != len(b.draws):
+        i = min(len(a.draws), len(b.draws))
+        return Divergence(
+            index=i,
+            a=a.draws[i] if i < len(a.draws) else None,
+            b=b.draws[i] if i < len(b.draws) else None,
+        )
+    return None
+
+
+class TracingGenerator:
+    """Transparent recording proxy around a ``np.random.Generator``.
+
+    Draw methods listed in ``_SIZE_SPEC`` are wrapped to append one
+    ``[kind, size, callsite]`` row per call before delegating; everything
+    else (attributes, state, unlisted methods) passes straight through,
+    so the wrapped generator produces a bit-identical stream.
+    """
+
+    def __init__(self, inner: Any, record: Callable[[list[Any]], None]):
+        self._inner = inner
+        self._record = record
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        pos = _SIZE_SPEC.get(name)
+        if pos is None or not callable(attr):
+            return attr
+        record = self._record
+
+        def traced(*args: Any, **kwargs: Any) -> Any:
+            if "size" in kwargs:
+                size = kwargs["size"]
+            elif len(args) > pos:
+                size = args[pos]
+            else:
+                size = None
+            record([name, _normalize_size(size), _callsite()])
+            return attr(*args, **kwargs)
+
+        return traced
+
+
+@dataclass
+class Tracer:
+    """Collects the draw stream of every RNG built while active."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    draws: list[list[Any]] = field(default_factory=list)
+    generators: list[dict[str, Any]] = field(default_factory=list)
+
+    def make(self, seed: Any, **meta: Any) -> TracingGenerator:
+        """The :func:`repro.sim.rng.make_rng` factory: wrap a fresh RNG."""
+        self.generators.append(
+            {"seed": repr(seed), "start": len(self.draws), **meta}
+        )
+        return TracingGenerator(np.random.default_rng(seed), self.draws.append)
+
+    def to_trace(self) -> Trace:
+        meta = dict(self.meta)
+        meta["generators"] = list(self.generators)
+        return Trace(meta=meta, draws=list(self.draws))
+
+
+@contextmanager
+def trace(**meta: Any) -> Iterator[Tracer]:
+    """Record every engine RNG draw inside the ``with`` block.
+
+    Installs a fresh :class:`Tracer` as the :mod:`repro.sim.rng` factory
+    and uninstalls it on exit (restoring whatever was there before, so
+    nesting inside an env-activated tracer round-trips).
+    """
+    from repro.sim import rng as simrng
+
+    tracer = Tracer(meta=meta)
+    previous = simrng._FACTORY
+    simrng.install_factory(tracer.make)
+    try:
+        yield tracer
+    finally:
+        if previous is None:
+            simrng.uninstall_factory()
+        else:
+            simrng.install_factory(previous)
+
+
+# ----------------------------------------------------------------------
+# Environment activation (REPRO_RNGSAN=1): one process-global tracer,
+# dumped at interpreter exit.
+
+_ENV_TRACER: Optional[Tracer] = None
+
+
+def env_trace_path() -> Path:
+    return Path(environ.get("REPRO_RNGSAN_DIR", ".rngsan")) / "rngsan.trace"
+
+
+def env_tracer() -> Tracer:
+    """The process-global tracer behind ``REPRO_RNGSAN=1`` (created lazily)."""
+    global _ENV_TRACER
+    if _ENV_TRACER is None:
+        _ENV_TRACER = Tracer(meta={"source": "REPRO_RNGSAN"})
+        atexit.register(flush_env_tracer)
+    return _ENV_TRACER
+
+
+def flush_env_tracer() -> Optional[Path]:
+    """Write the env tracer's trace to disk now (idempotent; tests use it)."""
+    global _ENV_TRACER
+    if _ENV_TRACER is None or not _ENV_TRACER.generators:
+        return None
+    path = _ENV_TRACER.to_trace().save(env_trace_path())
+    _ENV_TRACER = Tracer(meta={"source": "REPRO_RNGSAN"})
+    return path
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro.analysis.rngsan diff a.trace b.trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.rngsan",
+        description="diff two RNG draw-stream traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    diff = sub.add_parser(
+        "diff", help="localize the first divergent draw between two traces"
+    )
+    diff.add_argument("a", help="first .trace file")
+    diff.add_argument("b", help="second .trace file")
+    diff.add_argument(
+        "--json", action="store_true", help="machine-readable result"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        a = Trace.load(args.a)
+        b = Trace.load(args.b)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"rngsan: error: {exc}", file=sys.stderr)
+        return 2
+    div = first_divergence(a, b)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "identical": div is None,
+                    "draws": [len(a.draws), len(b.draws)],
+                    "divergence": None if div is None else div.as_json(),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    elif div is None:
+        print(
+            f"rngsan: identical draw streams ({len(a.draws)} draws)"
+        )
+    else:
+        print(f"rngsan: streams diverge\n{div.render()}")
+    return 0 if div is None else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

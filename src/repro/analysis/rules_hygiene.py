@@ -61,44 +61,53 @@ class MutableDefaultRule(Rule):
                     )
 
 
+def dead_imports(src: SourceFile) -> list[tuple[str, ast.stmt]]:
+    """``(bound name, import statement)`` pairs for unused imports.
+
+    Shared between the ``dead-import`` rule and the ``--fix`` rewriter
+    so both agree exactly on what counts as dead. Exemptions:
+    ``__init__.py`` files (imports are their API), ``from __future__``,
+    explicit re-exports (``import x as x``), and ``__all__`` names.
+    """
+    if src.path.name == "__init__.py":
+        return []
+    bound: list[tuple[str, ast.stmt]] = []
+    for node in src.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                bound.append((name, node))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                if alias.asname == alias.name:
+                    continue  # explicit re-export idiom
+                bound.append((alias.asname or alias.name, node))
+    if not bound:
+        return []
+    used: set[str] = set()
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # `import a.b` then `a.b.c`: the root Name node covers it.
+            pass
+    used |= _all_exports(src.tree)
+    # Name nodes inside the import statements themselves don't exist
+    # (import targets are alias objects, not Names), so collecting
+    # every Name id cannot self-mark an import as used.
+    return [(name, stmt) for name, stmt in bound if name not in used]
+
+
 class DeadImportRule(Rule):
     name = "dead-import"
     description = "module-level imports must be used (or re-exported)"
 
     def check_file(self, src: SourceFile) -> Iterator[Finding]:
-        if src.path.name == "__init__.py":
-            return  # package API surface: imports are the point
-        bound: list[tuple[str, ast.stmt]] = []
-        for node in src.tree.body:
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    name = alias.asname or alias.name.split(".")[0]
-                    bound.append((name, node))
-            elif isinstance(node, ast.ImportFrom):
-                if node.module == "__future__":
-                    continue
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    if alias.asname == alias.name:
-                        continue  # explicit re-export idiom
-                    bound.append((alias.asname or alias.name, node))
-        if not bound:
-            return
-        used: set[str] = set()
-        for node in ast.walk(src.tree):
-            if isinstance(node, ast.Name):
-                used.add(node.id)
-            elif isinstance(node, ast.Attribute):
-                # `import a.b` then `a.b.c`: the root Name node covers it.
-                pass
-        used |= _all_exports(src.tree)
-        # Name nodes inside the import statements themselves don't exist
-        # (import targets are alias objects, not Names), so collecting
-        # every Name id cannot self-mark an import as used.
-        for name, stmt in bound:
-            if name in used:
-                continue
+        for name, stmt in dead_imports(src):
             yield src.finding(
                 self.name,
                 stmt,

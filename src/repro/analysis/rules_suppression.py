@@ -1,0 +1,46 @@
+"""``stale-suppression``: every escape hatch must still be earning its keep.
+
+Suppression comments are the documented-exception mechanism, which makes
+them the one place a real invariant violation can hide forever: once the
+underlying code is fixed (or the rule changes), the ``# replint:
+disable=...`` comment keeps silencing whatever lands on that line next.
+This rule closes the loop — a suppression that silenced *nothing* during
+the run is itself a finding, as is one naming a rule that does not
+exist.
+
+The detection cannot live in :meth:`Rule.check_file` because it needs
+the run-wide usage ledger (which suppressions consumed findings from
+which *executed* rules — ``--select`` must not make unrelated
+suppressions look dead). The semantics therefore run inside
+:func:`repro.analysis.core.analyze_paths` after filtering; this class is
+the registry entry that gives the pass a name, a ``--select`` handle and
+a ``--list-rules`` row. Assessment rules:
+
+* a suppression for rule R is assessed only when R executed this run;
+* ``disable=all`` is assessed only on a full (no ``--select``) run;
+* a rule name no registered rule owns is reported on any run;
+* ``# replint: disable=stale-suppression`` (on the suppression's own
+  line, or file-wide) is the explicit opt-out — a suppression naming
+  this rule is never assessed, and stale reports are themselves
+  filtered through the normal suppression table.
+
+One level only: a suppression that *only* silences stale-suppression
+findings is not re-assessed for staleness.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import STALE_RULE, Rule, register_rule
+
+
+class StaleSuppressionRule(Rule):
+    """Marker entry: the detection runs in ``analyze_paths`` (see module doc)."""
+
+    name = STALE_RULE
+    description = (
+        "every '# replint: disable' comment must still silence a finding "
+        "of a known rule"
+    )
+
+
+register_rule(StaleSuppressionRule())

@@ -64,6 +64,7 @@ import numpy as np
 
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
+from repro.sim.rng import make_rng
 
 _BLOCK = 8192
 
@@ -327,7 +328,7 @@ def run_fifo(
         _reject("track_number_distribution", "fifo")
     if track_maxima:
         _reject("track_maxima", "fifo")
-    rng = np.random.default_rng(sim.seed)
+    rng = make_rng(sim.seed, engine="fifo", backend="numpy")
     t_end = warmup + horizon
     gap_scale = 1.0 / sim.total_rate
     num_nodes = sim.topology.num_nodes
@@ -456,7 +457,7 @@ def run_slotted(
             "(batch_rng=True); the legacy compat stream is per-packet "
             "by definition — use backend='python'"
         )
-    rng = np.random.default_rng(sim.seed)
+    rng = make_rng(sim.seed, engine="slotted", backend="numpy")
     tau = sim.tau
     warmup = warmup_slots * tau
     horizon = horizon_slots * tau

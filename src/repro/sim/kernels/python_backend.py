@@ -22,6 +22,7 @@ import numpy as np
 from repro.sim.eventqueue import make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
+from repro.sim.rng import make_rng
 
 _BLOCK = 8192
 
@@ -40,7 +41,7 @@ def run_fifo(
     delay_batches: int = 32,
 ) -> SimResult:
     """The FIFO event-driven loops (monotone merge + pluggable queue)."""
-    rng = np.random.default_rng(sim.seed)
+    rng = make_rng(sim.seed, engine="fifo", backend="python")
     t_end = warmup + horizon
 
     destinations = sim.destinations
@@ -240,7 +241,9 @@ def run_fifo(
                         off, ln = sample_offlen(src, dst, rng)
                     in_system += 1
                     remaining += ln
-                    new_pkt = [t, off, ln, 0, measured]
+                    # Fresh per-packet record: the queues mutate it in
+                    # place, so it cannot be pooled.
+                    new_pkt = [t, off, ln, 0, measured]  # replint: disable=hot-loop-alloc
                     f = arena[off]
                     if busy[f]:
                         queues[f].append(new_pkt)
@@ -402,7 +405,9 @@ def run_fifo(
                             if sat[arena[k]]:
                                 nsat += 1
                         remaining_sat += nsat
-                    new_pkt = [t, off, ln, 0, measured]
+                    # Fresh per-packet record: the queues mutate it in
+                    # place, so it cannot be pooled.
+                    new_pkt = [t, off, ln, 0, measured]  # replint: disable=hot-loop-alloc
                     f = arena[off]
                     if busy[f]:
                         q = queues[f]
@@ -589,7 +594,9 @@ def run_fifo(
                             if sat[arena[k]]:
                                 nsat += 1
                         remaining_sat += nsat
-                    new_pkt = [t, off, ln, 0, measured]
+                    # Fresh per-packet record: the queues mutate it in
+                    # place, so it cannot be pooled.
+                    new_pkt = [t, off, ln, 0, measured]  # replint: disable=hot-loop-alloc
                     f = arena[off]
                     if busy[f]:
                         q = queues[f]
@@ -714,7 +721,7 @@ def run_slotted(
     batch_rng: bool = True,
 ) -> SimResult:
     """The slotted slot loop (compat and batched draw orders)."""
-    rng = np.random.default_rng(sim.seed)
+    rng = make_rng(sim.seed, engine="slotted", backend="python")
     tau = sim.tau
     warmup = warmup_slots * tau
     horizon = horizon_slots * tau
@@ -816,11 +823,13 @@ def run_slotted(
                                 source_cdf, rng.random(k), side="right"
                             )
                         ]
+                    # Batch boundary: the per-slot destination batch is
+                    # drawn (and boxed) once per slot, not per packet.
                     if dest_sample_batch is not None:
-                        dsts_a = np.asarray(dest_sample_batch(srcs_a, rng))
+                        dsts_a = np.asarray(dest_sample_batch(srcs_a, rng))  # replint: disable=hot-loop-alloc
                     else:
-                        dsts_a = np.asarray(
-                            [dest_sample(int(s), rng) for s in srcs_a.tolist()]
+                        dsts_a = np.asarray(  # replint: disable=hot-loop-alloc
+                            [dest_sample(int(s), rng) for s in srcs_a.tolist()]  # replint: disable=hot-loop-alloc
                         )
                 else:
                     # Interleaved data-dependent draws: keep the legacy
@@ -892,7 +901,8 @@ def run_slotted(
                         remaining_sat += nsat
                     f = arena[off]
                     q = queues[f]
-                    q.append([t, off, ln, 0, measuring])
+                    # Fresh per-packet record (see run_fifo).
+                    q.append([t, off, ln, 0, measuring])  # replint: disable=hot-loop-alloc
                     active.add(f)
                     if track_maxima and measuring and len(q) > max_queue:
                         max_queue = len(q)
@@ -904,8 +914,10 @@ def run_slotted(
         if slot + 1 == t_end_slot:
             in_flight_at_horizon = in_system
         # --- simultaneous transmission: one head per non-empty edge ---
-        deliveries = []
-        emptied = []
+        # Per-slot staging lists: sized by this slot's active edges, and
+        # consumed before the next slot — pooling would just re-clear them.
+        deliveries = []  # replint: disable=hot-loop-alloc
+        emptied = []  # replint: disable=hot-loop-alloc
         for e in active:
             pkt = queues[e].popleft()
             deliveries.append(pkt)
@@ -981,7 +993,7 @@ def run_finite(
     ``None``); the engine delegates the infinite-buffer case to the FIFO
     kernel before dispatching here.
     """
-    rng = np.random.default_rng(sim.seed)
+    rng = make_rng(sim.seed, engine="finite", backend="python")
     t_end = warmup + horizon
 
     destinations = sim.destinations
@@ -1198,7 +1210,8 @@ def run_finite(
                                 if sat[arena[k]]:
                                     nsat += 1
                             remaining_sat += nsat
-                        new_pkt = [t, off, ln, 0, measured]
+                        # Fresh per-packet record (see run_fifo).
+                        new_pkt = [t, off, ln, 0, measured]  # replint: disable=hot-loop-alloc
                         if busy[f]:
                             q = queues[f]
                             q.append(new_pkt)
@@ -1397,7 +1410,8 @@ def run_finite(
                                 if sat[arena[k]]:
                                     nsat += 1
                             remaining_sat += nsat
-                        new_pkt = [t, off, ln, 0, measured]
+                        # Fresh per-packet record (see run_fifo).
+                        new_pkt = [t, off, ln, 0, measured]  # replint: disable=hot-loop-alloc
                         if busy[f]:
                             q = queues[f]
                             q.append(new_pkt)

@@ -49,6 +49,7 @@ from repro.sim.enginecommon import (
 from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
+from repro.sim.rng import make_rng
 from repro.util.validation import check_positive
 
 
@@ -112,7 +113,7 @@ class PSNetworkSimulation:
         check_positive(horizon, "horizon")
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
-        rng = np.random.default_rng(self.seed)
+        rng = make_rng(self.seed, engine="ps")
         t_end = warmup + horizon
         num_nodes = self.topology.num_nodes
         num_edges = self.topology.num_edges
@@ -252,7 +253,8 @@ class PSNetworkSimulation:
                     remaining += ln
                     # packet record: [birth, arena offset, length, hops
                     # done, measured]
-                    enqueue(arena[off], t, [t, off, ln, 0, measured])
+                    # (fresh per-packet record — mutated in place)
+                    enqueue(arena[off], t, [t, off, ln, 0, measured])  # replint: disable=hot-loop-alloc
                 # Same pinned per-event scalar stream as the initial draw.
                 push((t + rng.exponential(1.0 / self.total_rate), seq, -1, 0))  # replint: disable=rng-discipline
                 seq += 1

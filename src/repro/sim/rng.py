@@ -1,0 +1,57 @@
+"""Seeded RNG construction for every engine — with a sanitizer hook.
+
+All engine/kernel RNGs are built through :func:`make_rng` instead of
+calling ``np.random.default_rng`` directly. In normal operation that is
+exactly what happens (same object, same draw stream, zero overhead on
+the hot path). The indirection exists for the determinism sanitizer
+(:mod:`repro.analysis.rngsan`): when a tracer is installed — explicitly
+via :func:`install_factory` / the ``rngsan.trace(...)`` context manager,
+or process-wide via the ``REPRO_RNGSAN=1`` environment variable — every
+engine RNG is transparently wrapped so the full draw stream (kind, size,
+callsite) is recorded and divergences between two runs can be localized
+to the first differing draw.
+
+The layering matters: ``sim`` never imports ``repro.analysis`` at module
+scope. The sanitizer reaches *in* by installing a factory; the only
+``analysis`` import here is lazy and gated on the opt-in environment
+variable.
+"""
+
+from __future__ import annotations
+
+from os import environ
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+#: Installed by rngsan (or a test double): ``factory(seed, **meta)`` must
+#: return a Generator-compatible object. ``None`` = plain numpy RNGs.
+_FACTORY: Optional[Callable[..., Any]] = None
+
+
+def install_factory(factory: Callable[..., Any]) -> None:
+    """Route all subsequent :func:`make_rng` calls through ``factory``."""
+    global _FACTORY
+    _FACTORY = factory
+
+
+def uninstall_factory() -> None:
+    """Restore plain ``np.random.default_rng`` construction."""
+    global _FACTORY
+    _FACTORY = None
+
+
+def make_rng(seed: Any, **meta: Any) -> Any:
+    """A seeded ``np.random.Generator`` (possibly sanitizer-wrapped).
+
+    ``meta`` is free-form context recorded into the trace when a tracer
+    is active (engine name, backend, cell label); it is ignored on the
+    plain path.
+    """
+    if _FACTORY is None and environ.get("REPRO_RNGSAN"):
+        from repro.analysis.rngsan import env_tracer
+
+        install_factory(env_tracer().make)
+    if _FACTORY is not None:
+        return _FACTORY(seed, **meta)
+    return np.random.default_rng(seed)

@@ -48,6 +48,7 @@ from repro.sim.enginecommon import (
 from repro.sim.eventqueue import CALENDAR, QUEUE_KINDS, make_event_queue
 from repro.sim.measurement import TimeBatchAccumulator
 from repro.sim.result import SimResult
+from repro.sim.rng import make_rng
 from repro.util.validation import check_positive
 
 _BLOCK = 8192
@@ -140,7 +141,7 @@ class RushedNetworkSimulation:
         check_positive(horizon, "horizon")
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
-        rng = np.random.default_rng(self.seed)
+        rng = make_rng(self.seed, engine="rushed")
         t_end = warmup + horizon
         destinations = self.destinations
         st = self._service_times
@@ -308,7 +309,8 @@ class RushedNetworkSimulation:
                         else:
                             off, ln = sample_offlen(src, dst, rng)
                         # parent record: [birth, copies_left, measured]
-                        parent = [t, ln, measured]
+                        # (fresh per-packet record — mutated in place)
+                        parent = [t, ln, measured]  # replint: disable=hot-loop-alloc
                         copies_in_system += ln
                         for k in range(off, off + ln):
                             f = arena[k]
@@ -435,7 +437,8 @@ class RushedNetworkSimulation:
                             off, ln = ol
                         else:
                             off, ln = sample_offlen(src, dst, rng)
-                        parent = [t, ln, measured]
+                        # (fresh per-packet record — mutated in place)
+                        parent = [t, ln, measured]  # replint: disable=hot-loop-alloc
                         copies_in_system += ln
                         for k in range(off, off + ln):
                             f = arena[k]

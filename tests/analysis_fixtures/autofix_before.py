@@ -1,0 +1,15 @@
+"""Autofix fixture: three dead imports to remove, three bindings to keep."""
+
+import json
+import os
+import sys as system
+from collections import OrderedDict, deque
+from pathlib import Path as Path
+from typing import List  # replint: disable=dead-import
+
+VALUE = json.dumps({"ok": True})
+
+
+def tail(items):
+    q = deque(items)
+    return q.pop()

@@ -1,0 +1,32 @@
+"""Bad hot-loop fixture: eight per-iteration allocations to flag.
+
+Parsed, never imported. The function is named ``run`` and the file lives
+under an ``analysis_fixtures/sim/`` directory, so the hot-loop-alloc
+rule's scope heuristics treat it as an engine run loop.
+"""
+
+
+def run(events, np):
+    total = 0.0
+    out = []
+    for t in events:
+        rec = [t, 0, 0, 0]
+        meta = {"t": t}
+        label = f"event {t}"
+        msg = "event %d" % t
+        note = "ev {}".format(t)
+        buf = np.zeros(4)
+        ids = list(meta)
+        out.append(rec)
+        total += buf[0] + len(ids) + len(label) + len(msg) + len(note)
+    while total > len(list(out)):
+        total -= 1.0
+    return total
+
+
+def helper(events):
+    # Not a run loop: an identical allocation here must NOT be flagged.
+    acc = []
+    for t in events:
+        acc.append([t, 0])
+    return acc

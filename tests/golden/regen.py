@@ -106,6 +106,28 @@ def _mesh_net(n: int, dests, **kw) -> NetworkSimulation:
     return NetworkSimulation(GreedyArrayRouter(mesh), dests(mesh), **kw)
 
 
+def _capture(cases: dict, name: str, thunk):
+    """Run one cell, optionally recording its RNG draw-stream trace.
+
+    With ``REPRO_RNGSAN_DIR`` set, the cell runs under the rngsan tracer
+    and its draw stream lands in ``<dir>/<name>.trace`` — so a golden
+    mismatch can be localized to the first divergent draw with
+    ``python -m repro.analysis.rngsan diff``. Tracing wraps the RNG but
+    never changes its stream, so the encoded results are identical
+    either way.
+    """
+    trace_dir = os.environ.get("REPRO_RNGSAN_DIR")
+    if trace_dir:
+        from repro.analysis import rngsan
+
+        with rngsan.trace(cell=name) as tracer:
+            res = thunk()
+        tracer.to_trace().save(os.path.join(trace_dir, f"{name}.trace"))
+    else:
+        res = thunk()
+    cases[name] = _encode(res)
+
+
 def build_cases() -> dict:
     """Every golden cell: name -> (constructor, run) description + result."""
     cases = {}
@@ -114,26 +136,30 @@ def build_cases() -> dict:
               warmup=15.0, horizon=150.0, track_maxima=False,
               saturated_mask=None, service_rates=1.0,
               track_utilization=False):
-        sim = NetworkSimulation(
-            router, dests, rate, service=service, seed=seed,
-            saturated_mask=saturated_mask, service_rates=service_rates,
-        )
-        res = sim.run(
-            warmup, horizon, track_maxima=track_maxima,
-            track_utilization=track_utilization,
-        )
-        cases[name] = _encode(res)
+        def run():
+            sim = NetworkSimulation(
+                router, dests, rate, service=service, seed=seed,
+                saturated_mask=saturated_mask, service_rates=service_rates,
+            )
+            return sim.run(
+                warmup, horizon, track_maxima=track_maxima,
+                track_utilization=track_utilization,
+            )
+        _capture(cases, name, run)
 
     def slotted(name, router, dests, rate, seed, *, warmup_slots=10,
                 horizon_slots=150, tau=1.0, saturated_mask=None,
-                batch_rng=None):
-        sim = SlottedNetworkSimulation(
-            router, dests, rate, tau=tau, seed=seed,
-            saturated_mask=saturated_mask,
-        )
-        kw = {} if batch_rng is None else {"batch_rng": batch_rng}
-        res = sim.run(warmup_slots, horizon_slots, **kw)
-        cases[name] = _encode(res)
+                batch_rng=None, track_maxima=False):
+        def run():
+            sim = SlottedNetworkSimulation(
+                router, dests, rate, tau=tau, seed=seed,
+                saturated_mask=saturated_mask,
+            )
+            kw = {} if batch_rng is None else {"batch_rng": batch_rng}
+            return sim.run(
+                warmup_slots, horizon_slots, track_maxima=track_maxima, **kw
+            )
+        _capture(cases, name, run)
 
     m5 = ArrayMesh(5)
     m4 = ArrayMesh(4)
@@ -185,17 +211,15 @@ def build_cases() -> dict:
     def rushed(name, router, dests, rate, seed, *, warmup=15.0,
                horizon=150.0, service_rates=1.0, saturated_mask=None,
                track_maxima=False):
-        res = RushedNetworkSimulation(
+        _capture(cases, name, lambda: RushedNetworkSimulation(
             router, dests, rate, seed=seed, service_rates=service_rates,
             saturated_mask=saturated_mask,
-        ).run(warmup, horizon, track_maxima=track_maxima)
-        cases[name] = _encode(res)
+        ).run(warmup, horizon, track_maxima=track_maxima))
 
     def ps(name, router, dests, rate, seed, *, warmup=15.0, horizon=150.0):
-        res = PSNetworkSimulation(router, dests, rate, seed=seed).run(
-            warmup, horizon
-        )
-        cases[name] = _encode(res)
+        _capture(cases, name, lambda: PSNetworkSimulation(
+            router, dests, rate, seed=seed
+        ).run(warmup, horizon))
 
     rushed("rushed_uniform", GreedyArrayRouter(m5),
            UniformDestinations(25), 0.10, 23)
@@ -225,12 +249,11 @@ def build_cases() -> dict:
     def finite(name, router, dests, rate, seed, *, buffer_size,
                service="deterministic", service_rates=1.0, warmup=15.0,
                horizon=150.0, track_maxima=False, saturated_mask=None):
-        res = FiniteBufferNetworkSimulation(
+        _capture(cases, name, lambda: FiniteBufferNetworkSimulation(
             router, dests, rate, seed=seed, buffer_size=buffer_size,
             service=service, service_rates=service_rates,
             saturated_mask=saturated_mask,
-        ).run(warmup, horizon, track_maxima=track_maxima)
-        cases[name] = _encode(res)
+        ).run(warmup, horizon, track_maxima=track_maxima))
 
     e5 = m5.num_edges
     finite("finite_none_uniform", GreedyArrayRouter(m5),
@@ -262,15 +285,22 @@ def build_cases() -> dict:
     from repro.sim.replication import CellSpec, ReplicationEngine
 
     def api_cell(name, engine, *, scenario, n, node_rate, seed,
-                 params=(), engine_params=(), warmup=15.0, horizon=150.0):
-        spec = CellSpec(
-            scenario=scenario, n=n, node_rate=node_rate, engine=engine,
-            warmup=warmup, horizon=horizon, seeds=(seed,),
-            params=params, engine_params=engine_params,
-        )
-        res = ReplicationEngine(processes=1).run(spec).replications[0]
-        cases[name] = _encode(res)
+                 params=(), engine_params=(), warmup=15.0, horizon=150.0,
+                 track_maxima=False):
+        def run():
+            spec = CellSpec(
+                scenario=scenario, n=n, node_rate=node_rate, engine=engine,
+                warmup=warmup, horizon=horizon, seeds=(seed,),
+                params=params, engine_params=engine_params,
+                track_maxima=track_maxima,
+            )
+            return ReplicationEngine(processes=1).run(spec).replications[0]
+        _capture(cases, name, run)
 
+    # The FIFO engine reached through the facade, pinned bit-identical
+    # to the hand-built event_uniform_det cell (same constructor args).
+    api_cell("api_fifo_uniform", "fifo", scenario="uniform", n=5,
+             node_rate=0.12, seed=7, track_maxima=True)
     api_cell("api_rushed_uniform", "rushed", scenario="uniform", n=5,
              node_rate=0.10, seed=23)
     api_cell("api_ps_hotspot", "ps", scenario="hotspot", n=4,
@@ -305,6 +335,10 @@ def build_cases() -> dict:
     slotted("slotted_sat", GreedyArrayRouter(m5),
             UniformDestinations(25), 0.10, 21,
             saturated_mask=sat_mask(e5))
+    # Per-packet maxima on the slotted engine (the one capability the
+    # registry advertises for it that no other cell exercised).
+    slotted("slotted_maxima", GreedyArrayRouter(m5),
+            UniformDestinations(25), 0.10, 22, track_maxima=True)
     return cases
 
 

@@ -30,11 +30,15 @@ def rules_hit(findings):
 
 # -- registry sanity ---------------------------------------------------
 
-def test_all_six_rules_registered():
+def test_all_ten_rules_registered():
     assert set(RULES) == {
         "rng-discipline",
         "backend-boundary",
         "registry-consistency",
+        "golden-coverage",
+        "bench-coverage",
+        "hot-loop-alloc",
+        "stale-suppression",
         "shm-hygiene",
         "mutable-default",
         "dead-import",
@@ -290,6 +294,233 @@ def test_tampered_backends_choices_flagged(monkeypatch):
     monkeypatch.setitem(registry._REGISTRY, "fifo", tampered)
     findings = run([REGISTRY_SRC], select=["registry-consistency"])
     assert any("differ from Engine.backends" in f.message for f in findings)
+
+
+# -- hot-loop-alloc ----------------------------------------------------
+
+def test_hotloop_bad_fixture_flags_every_alloc():
+    findings = run(
+        [FIXTURES / "sim" / "hotloop_bad.py"], select=["hot-loop-alloc"]
+    )
+    assert len(findings) == 8
+    messages = "\n".join(f.message for f in findings)
+    for label in (
+        "List display",
+        "Dict display",
+        "f-string",
+        "%-formatting",
+        "str.format() call",
+        "np.zeros() call",
+        "list() call",
+    ):
+        assert label in messages, label
+    # Identical code outside a run loop stays silent.
+    assert "helper" not in messages
+
+
+def test_hotloop_good_fixture_clean():
+    assert run(
+        [FIXTURES / "sim" / "hotloop_good.py"], select=["hot-loop-alloc"]
+    ) == []
+
+
+def test_hotloop_rule_ignores_non_sim_paths(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        def run(events):
+            out = []
+            for t in events:
+                out.append([t, 0])
+            return out
+        """,
+    )
+    assert run([path], select=["hot-loop-alloc"]) == []
+
+
+# -- golden-coverage / bench-coverage ----------------------------------
+
+def _register_synthetic_engine(monkeypatch, name="priority", **overrides):
+    """A sixth engine cloned from fifo but pinned by no artifact."""
+    import dataclasses
+
+    import repro.sim.registry as registry
+
+    fifo = registry.get_engine("fifo")
+    synthetic = dataclasses.replace(fifo, name=name, aliases=(), **overrides)
+    monkeypatch.setitem(registry._REGISTRY, name, synthetic)
+    return synthetic
+
+
+def test_real_registry_fully_covered_by_golden_and_bench():
+    assert run(
+        [REGISTRY_SRC], select=["golden-coverage", "bench-coverage"]
+    ) == []
+
+
+def test_coverage_rules_skip_when_registry_not_analyzed():
+    assert run(
+        [FIXTURES / "hygiene_good.py"],
+        select=["golden-coverage", "bench-coverage"],
+    ) == []
+
+
+def test_unpinned_synthetic_engine_trips_golden_coverage(monkeypatch):
+    """The acceptance check: a registered engine with no golden cell is
+    a finding, even though every test still passes."""
+    _register_synthetic_engine(monkeypatch)
+    findings = run([REGISTRY_SRC], select=["golden-coverage"])
+    assert len(findings) == 1
+    assert "'priority'" in findings[0].message
+    assert "no golden cell" in findings[0].message
+
+
+def test_unpinned_synthetic_engine_trips_bench_coverage(monkeypatch):
+    _register_synthetic_engine(monkeypatch)
+    findings = run([REGISTRY_SRC], select=["bench-coverage"])
+    assert any(
+        "'priority'" in f.message and "BENCH_" in f.message for f in findings
+    )
+
+
+def test_untracked_capability_trips_golden_coverage(monkeypatch):
+    """An engine claiming supports_maxima with no maxima-tracking cell.
+
+    The ps engine has direct and api golden cells, so only the tampered
+    capability sub-check can fire — every ps cell records
+    max_queue_length as -1, proving the rule reads the recorded cell
+    *values*, not just fixture names.
+    """
+    import dataclasses
+
+    import repro.sim.registry as registry
+
+    ps = registry.get_engine("ps")
+    tampered = dataclasses.replace(ps, supports_maxima=True)
+    monkeypatch.setitem(registry._REGISTRY, "ps", tampered)
+    findings = run([REGISTRY_SRC], select=["golden-coverage"])
+    assert len(findings) == 1
+    assert "'ps'" in findings[0].message
+    assert "track_maxima" in findings[0].message
+
+
+def test_unbenched_backend_trips_bench_coverage(monkeypatch):
+    import dataclasses
+
+    import repro.sim.registry as registry
+
+    fifo = registry.get_engine("fifo")
+    tampered = dataclasses.replace(
+        fifo, backends=fifo.backends + ("cython",)
+    )
+    monkeypatch.setitem(registry._REGISTRY, "fifo", tampered)
+    findings = run([REGISTRY_SRC], select=["bench-coverage"])
+    assert len(findings) == 1
+    assert "'cython'" in findings[0].message
+
+
+# -- stale-suppression --------------------------------------------------
+
+def test_unused_suppression_flagged_on_full_run(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        VALUE = 1  # replint: disable=mutable-default
+        """,
+    )
+    findings = run([path])
+    assert rules_hit(findings) == {"stale-suppression"}
+    assert "mutable-default" in findings[0].message
+
+
+def test_used_suppression_not_stale(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        def f(bucket=[]):  # replint: disable=mutable-default
+            return bucket
+        """,
+    )
+    assert run([path]) == []
+
+
+def test_select_does_not_make_unexecuted_suppressions_stale(tmp_path):
+    # disable=mutable-default can only be judged when mutable-default
+    # actually ran; under --select dead-import it is left alone even
+    # though stale-suppression itself is selected.
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        VALUE = 1  # replint: disable=mutable-default
+        """,
+    )
+    assert run([path], select=["dead-import", "stale-suppression"]) == []
+
+
+def test_disable_file_under_select_consumed_not_stale(tmp_path):
+    # The satellite matrix: disable-file vs --select. Selecting the
+    # suppressed rule consumes the file-wide suppression (no stale
+    # finding); selecting an unrelated rule leaves it unassessed.
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        # replint: disable-file=mutable-default
+        def f(bucket=[]):
+            return bucket
+        """,
+    )
+    assert run(
+        [path], select=["mutable-default", "stale-suppression"]
+    ) == []
+    assert run([path], select=["dead-import", "stale-suppression"]) == []
+
+
+def test_unused_blanket_suppression_flagged_only_on_full_run(tmp_path):
+    # The satellite matrix: disable=all vs stale-suppression. The
+    # blanket is dead weight on a full run, but a --select run cannot
+    # judge it (most rules never executed).
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        VALUE = 1  # replint: disable=all
+        """,
+    )
+    full = run([path])
+    assert rules_hit(full) == {"stale-suppression"}
+    assert "blanket" in full[0].message
+    assert run([path], select=["mutable-default", "stale-suppression"]) == []
+
+
+def test_unknown_rule_suppression_always_flagged(tmp_path):
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        VALUE = 1  # replint: disable=no-such-rule
+        """,
+    )
+    findings = run([path], select=["stale-suppression"])
+    assert rules_hit(findings) == {"stale-suppression"}
+    assert "no-such-rule" in findings[0].message
+
+
+def test_stale_suppression_opt_out(tmp_path):
+    # Naming stale-suppression itself exempts the comment from the
+    # dead-weight audit (one level only — no meta-suppression chains).
+    path = _write(
+        tmp_path,
+        "mod.py",
+        """
+        VALUE = 1  # replint: disable=stale-suppression,mutable-default
+        """,
+    )
+    assert run([path]) == []
 
 
 # -- the real tree -----------------------------------------------------

@@ -64,6 +64,7 @@ def test_fixture_covers_all_five_engines(golden):
         "event_hotspot",
         "slotted_uniform",
         "slotted_hotspot",
+        "slotted_maxima",
         "slotted_uniform_compat",
         "slotted_hotspot_compat",
         "slotted_randomized_compat",
@@ -78,6 +79,7 @@ def test_fixture_covers_all_five_engines(golden):
         "finite_hotspot_k1",
         "finite_peredge_k1",
         "finite_sat_k1",
+        "api_fifo_uniform",
         "api_rushed_uniform",
         "api_ps_hotspot",
         "api_slotted_uniform_compat",
@@ -91,6 +93,7 @@ def test_api_cells_match_direct_cells(golden):
     is a pure dispatch layer: a cell reached through it is bit-identical
     to the same cell built by hand (same constructor args, same seed)."""
     for api, direct in (
+        ("api_fifo_uniform", "event_uniform_det"),
         ("api_rushed_uniform", "rushed_uniform"),
         ("api_ps_hotspot", "ps_hotspot"),
         ("api_slotted_uniform_compat", "slotted_uniform_compat"),
