@@ -17,6 +17,13 @@
 # skips the benchmark stages — the same selection CI's tier-1 job runs
 # on every push/PR. The default full run still executes everything.
 #
+# Validation lane: VALIDATE=1 ./scripts/check.sh runs the statistical
+# validation harness (`python -m repro validate --strict`) — every
+# registered engine x kernel backend against the queueing closed forms
+# on CI-calibrated tolerances — and skips tests and benches. This is
+# the same gate CI's `validate` job runs on every push/PR; add
+# TIER=full for the nightly distribution-level checks.
+#
 # Lint lane: LINT=1 ./scripts/check.sh runs only the static checks —
 # replint (python -m repro.analysis) over src/repro plus mypy against
 # the strict modules pinned in pyproject.toml — and skips the tests.
@@ -67,6 +74,13 @@ run_lint() {
 if [ "${LINT:-0}" = "1" ]; then
     run_lint
     echo "check.sh: lint lane green (replint + mypy; tests skipped)"
+    exit 0
+fi
+
+if [ "${VALIDATE:-0}" = "1" ]; then
+    python -m repro validate --strict --tier "${TIER:-quick}" \
+        --json-out validation_report.json
+    echo "check.sh: validation lane green (report in validation_report.json)"
     exit 0
 fi
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Render ``validation_report.json`` as GitHub-flavored markdown.
+
+``python -m repro validate --json-out validation_report.json`` writes the
+machine-readable report; this script turns it into the human-facing
+markdown CI uploads as an artifact and tees into
+``$GITHUB_STEP_SUMMARY``. It is a pure renderer — no simulation, no
+imports from ``repro`` — so it stays usable on a checkout whose
+validation run happened in another job (CI downloads the JSON artifact
+and renders it wherever it likes).
+
+Usage::
+
+    python scripts/validation_report.py validation_report.json [out.md]
+
+With no output path the markdown goes to stdout. Exit status mirrors the
+report: 0 when it passed, 1 when any gate-severity check failed, so the
+script can double as a gate over a downloaded artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _fmt(value: object) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    return f"{value:.5g}"
+
+
+def _status(outcome: dict) -> str:
+    if outcome["passed"]:
+        return "PASS"
+    return "FAIL" if outcome["severity"] == "gate" else "WARN"
+
+
+def render_markdown(report: dict) -> str:
+    """The full markdown document for one validation report dict."""
+    outcomes = report["outcomes"]
+    gate_failures = report["gate_failures"]
+    warn_failures = report["warn_failures"]
+    verdict = "PASS" if report["passed"] else "FAIL"
+    icon = ":white_check_mark:" if report["passed"] else ":x:"
+
+    lines = [
+        f"# Validation report — {verdict} {icon}",
+        "",
+        f"Tier: `{report['tier']}` — {len(outcomes)} outcomes, "
+        f"{len(gate_failures)} gate failures, "
+        f"{len(warn_failures)} warnings.",
+        "",
+    ]
+    if gate_failures:
+        lines += [
+            "**Gate failures:** " + ", ".join(f"`{c}`" for c in gate_failures),
+            "",
+        ]
+    if warn_failures:
+        lines += [
+            "**Warnings:** " + ", ".join(f"`{c}`" for c in warn_failures),
+            "",
+        ]
+
+    lines += [
+        "| check | engine | backend | severity | metric | observed "
+        "| expected | statistic | threshold | status |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    # Worst offenders first: failed outcomes, then by how close each
+    # comparison came to its threshold.
+    def ratio(outcome: dict) -> float:
+        if outcome.get("error") is not None:
+            return float("inf")
+        ratios = [
+            c["statistic"] / c["threshold"]
+            for c in outcome["comparisons"]
+            if c["threshold"]
+        ]
+        return max(ratios, default=0.0)
+
+    ordered = sorted(
+        outcomes, key=lambda o: (o["passed"], -ratio(o), o["check"])
+    )
+    errors = []
+    for o in ordered:
+        status = _status(o)
+        if o.get("error") is not None:
+            errors.append(f"- `{o['check']}` [{o['backend']}]: {o['error']}")
+            lines.append(
+                f"| {o['check']} | {o['engine']} | {o['backend']} "
+                f"| {o['severity']} | (error) | - | - | - | - | {status} |"
+            )
+            continue
+        for c in o["comparisons"]:
+            lines.append(
+                f"| {o['check']} | {o['engine']} | {o['backend']} "
+                f"| {o['severity']} | {c['metric']} | {_fmt(c['observed'])} "
+                f"| {_fmt(c['expected'])} | {_fmt(c['statistic'])} "
+                f"| {_fmt(c['threshold'])} "
+                f"| {'PASS' if c['passed'] else status} |"
+            )
+    if errors:
+        lines += ["", "## Errors", ""] + errors
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not 1 <= len(args) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(args[0]) as fh:
+        report = json.load(fh)
+    markdown = render_markdown(report)
+    if len(args) == 2:
+        with open(args[1], "w") as fh:
+            fh.write(markdown)
+        print(f"markdown written to {args[1]}")
+    else:
+        print(markdown, end="")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,12 @@ Commands
 ``sweep``      run a declarative JSON/CSV sweep spec through the
                resumable runner (per-cell checkpoints; rerunning skips
                completed cells)
+``validate``   run the statistical validation harness (closed forms vs
+               engines, :mod:`repro.validation`): quick tier by default,
+               ``--tier full`` for the distribution-level cells,
+               ``--strict`` for a hard exit on gate failures (the CI
+               merge-gate mode), ``--json-out`` for the machine-readable
+               report CI uploads
 ``tables``     regenerate the paper's tables/figures (QUICK preset)
 ``figure1`` / ``figure2``  print the layering / saturated-edge figures
 
@@ -36,6 +42,9 @@ Examples
     python -m repro finite -n 16 --rho 0.9
     python -m repro sweep spec.json -o out/
     python -m repro sweep grid.csv -o out/ --processes 4
+    python -m repro validate --strict --json-out validation_report.json
+    python -m repro validate --tier full --select 'md1-*'
+    python -m repro validate --list-checks
     python -m repro figure2 -n 5
     python -m repro tables -o report.md
 """
@@ -249,6 +258,53 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    import json
+
+    from repro.validation import available_checks, run_validation
+
+    if args.list_checks:
+        t = Table(
+            title="Registered validation checks",
+            headers=[
+                "name", "severity", "tier", "engine", "backends",
+                "description",
+            ],
+        )
+        for c in available_checks():
+            t.add_row(
+                [c.name, c.severity, c.tier, c.engine,
+                 "/".join(c.backends), c.description]
+            )
+        print(t.render())
+        return 0
+
+    def progress(outcome) -> None:
+        status = "PASS" if outcome.passed else (
+            "FAIL" if outcome.severity == "gate" else "WARN"
+        )
+        print(f"  {outcome.check} [{outcome.backend}] ... {status}", flush=True)
+
+    report = run_validation(
+        select=args.select or None,
+        tier=args.tier,
+        engines=args.engine or None,
+        backends=args.backend or None,
+        processes=args.processes,
+        on_outcome=progress,
+    )
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"report written to {args.json_out}")
+    if args.strict and not report.passed:
+        # Mirror perf_gate.py: the default run is report-only so noisy
+        # local boxes never block work, --strict is the CI merge gate.
+        return 1
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from repro.experiments.runner import render_report, run_all
 
@@ -370,6 +426,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--processes", type=int, default=None)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "validate",
+        help="run the statistical validation harness (closed forms vs "
+        "engines); --strict is the CI merge-gate mode",
+    )
+    p.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="check name or fnmatch pattern (repeatable); unknown exact "
+        "names raise with the registered-checks listing",
+    )
+    p.add_argument(
+        "--tier",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = the push/PR merge-gate lane; full adds the "
+        "long-horizon distribution checks (nightly CI)",
+    )
+    p.add_argument(
+        "--engine",
+        action="append",
+        default=[],
+        help="restrict to checks of this engine (repeatable)",
+    )
+    p.add_argument(
+        "--backend",
+        action="append",
+        default=[],
+        help="restrict to these kernel backends (repeatable)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any gate-severity check fails",
+    )
+    p.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable validation_report.json",
+    )
+    p.add_argument("--processes", type=int, default=None)
+    p.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list the registered checks and exit",
+    )
+    p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("tables", help="regenerate every table/figure")
     p.add_argument("--full", action="store_true")

@@ -31,6 +31,10 @@ rule                   invariant
 ``bench-coverage``     every registered engine and non-reference
                        backend appears in a ``BENCH_*.json`` cell, so
                        the perf gate covers the whole registry surface
+``validation-coverage``  every registered engine and non-reference
+                       backend has a gate-severity validation check
+                       (:mod:`repro.validation`) cross-checking it
+                       against the queueing closed forms
 ``hot-loop-alloc``     no per-iteration allocations (displays,
                        ``list()``/``dict()``/``set()``, ``np.array`` /
                        ``np.zeros``, string formatting) inside ``sim/``
@@ -120,6 +124,7 @@ from repro.analysis import rules_rng as _rules_rng
 from repro.analysis import rules_imports as _rules_imports
 from repro.analysis import rules_registry as _rules_registry
 from repro.analysis import rules_coverage as _rules_coverage
+from repro.analysis import rules_validation as _rules_validation
 from repro.analysis import rules_hotloop as _rules_hotloop
 from repro.analysis import rules_suppression as _rules_suppression
 from repro.analysis import rules_shm as _rules_shm

@@ -14,7 +14,9 @@ closes the gap per registered engine:
   (slotted ``batch_rng``), of its ``run`` method;
 * ``supports_saturated`` implies the constructor accepts
   ``saturated_mask``; ``supports_maxima`` implies ``run`` accepts
-  ``track_maxima``;
+  ``track_maxima``; ``supports_delays`` implies ``run`` accepts
+  ``collect_delays``; ``supports_number_distribution`` implies ``run``
+  accepts ``track_number_distribution``;
 * an engine advertising the ``"numpy"`` backend must expose the
   ``backend`` constructor knob *and* the ``backend`` EngineParam, and a
   ``backend`` EngineParam's choices must equal the advertised
@@ -145,6 +147,24 @@ class RegistryConsistencyRule(Rule):
                 None,
                 f"engine {engine.name!r} claims supports_maxima but "
                 f"{cls.__name__}.run() has no track_maxima option",
+            )
+        if engine.supports_delays and "collect_delays" not in run_sig:
+            yield src.finding(
+                self.name,
+                None,
+                f"engine {engine.name!r} claims supports_delays but "
+                f"{cls.__name__}.run() has no collect_delays option",
+            )
+        if (
+            engine.supports_number_distribution
+            and "track_number_distribution" not in run_sig
+        ):
+            yield src.finding(
+                self.name,
+                None,
+                f"engine {engine.name!r} claims supports_number_distribution "
+                f"but {cls.__name__}.run() has no track_number_distribution "
+                "option",
             )
         backend_param = next(
             (p for p in engine.params if p.name == "backend"), None

@@ -1,0 +1,92 @@
+"""``validation-coverage``: no statistically unvalidated engine ships.
+
+The validation harness (:mod:`repro.validation`) is the runtime
+statistical merge gate: gate-severity checks compare each engine's
+simulated means and distributions against the queueing closed forms. But
+the harness only gates what a check covers — a sixth engine (or a third
+kernel backend) could be registered, pass lint, tests and the golden
+gate, and never have its statistics cross-checked at all. This project
+rule closes the loop against the *live* registries:
+
+* every registered engine must have at least one **gate-severity**
+  validation check (any tier) exercising it;
+* every non-reference kernel backend an engine advertises must be
+  covered by at least one gate-severity check that runs on that backend
+  (the reference ``python`` backend is implied by the engine-level
+  requirement).
+
+Like the golden/bench coverage rules, the rule triggers only when
+``repro.sim.registry`` is in the analyzed set and imports the live
+registries, so a synthetic engine registered by a test is held to the
+same standard as a shipped one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.analysis.core import Finding, Rule, SourceFile, register_rule
+from repro.analysis.rules_coverage import (
+    PYTHON_BACKEND,
+    _import_registry,
+    _registry_source,
+)
+
+
+class ValidationCoverageRule(Rule):
+    name = "validation-coverage"
+    description = (
+        "every registered engine and non-reference backend must have a "
+        "gate-severity validation check cross-checking it against the "
+        "closed forms"
+    )
+
+    def check_project(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        src = _registry_source(files)
+        if src is None:
+            return
+        registry, err = _import_registry(src, self.name)
+        if err is not None:
+            yield err
+            return
+        try:
+            from repro.validation import available_checks
+        except Exception as exc:  # pragma: no cover - broken tree
+            yield src.finding(
+                self.name, None, f"cannot import repro.validation: {exc}"
+            )
+            return
+        gates = [c for c in available_checks() if c.severity == "gate"]
+        for engine in registry.available_engines():
+            yield from self._check_engine(src, engine, gates)
+
+    def _check_engine(
+        self, src: SourceFile, engine: Any, gates: Sequence[Any]
+    ) -> Iterator[Finding]:
+        mine = [c for c in gates if c.engine == engine.name]
+        if not mine:
+            yield src.finding(
+                self.name,
+                None,
+                f"engine {engine.name!r} has no gate-severity validation "
+                "check — the statistical merge gate never cross-checks it "
+                "against a closed form; register one in repro.validation "
+                "(see the contract in repro/validation/__init__.py)",
+            )
+            return
+        for backend in engine.backends:
+            if backend == PYTHON_BACKEND:
+                continue
+            if not any(backend in c.backends for c in mine):
+                yield src.finding(
+                    self.name,
+                    None,
+                    f"engine {engine.name!r} advertises backend "
+                    f"{backend!r} but no gate-severity validation check "
+                    "runs on that backend — a biased kernel would merge "
+                    "unvalidated; extend a check's backends tuple or "
+                    "register a backend-specific check",
+                )
+
+
+register_rule(ValidationCoverageRule())

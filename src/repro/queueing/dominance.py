@@ -10,6 +10,8 @@ worst violation, so experiment code can assert "FIFO is dominated by PS"
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 
@@ -44,6 +46,35 @@ def dominance_violation(
     hi = max(x.max(), y.max())
     grid = np.linspace(lo, hi, grid_points)
     gap = _tail_probabilities(x, grid) - _tail_probabilities(y, grid)
+    return float(max(0.0, gap.max()))
+
+
+def dominance_violation_vs_tail(
+    samples: np.ndarray,
+    tail: Callable[[np.ndarray], np.ndarray],
+    *,
+    grid_points: int = 256,
+) -> float:
+    """Largest violation of ``X <=_st Y`` where ``Y`` is an analytic law.
+
+    ``tail(a)`` must return ``P(Y > a)`` elementwise. This is the
+    closed-form sibling of :func:`dominance_violation`, used by the
+    validation harness to check a simulated sample set against an exact
+    reference distribution (e.g. M/D/1 waiting times against the M/M/1
+    waiting-time law ``P(W > a) = rho e^{-(phi - lam) a}``) without
+    having to sample the reference.
+
+    Returns ``max_a [ P_emp(X > a) - tail(a) ]`` clipped below at 0, over
+    a grid spanning the empirical sample range (extended down to 0 so the
+    near-origin region — where deterministic-service laws put atoms — is
+    always examined).
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size == 0:
+        raise ValueError("the sample set must be non-empty")
+    lo = min(0.0, float(x.min()))
+    grid = np.linspace(lo, float(x.max()), grid_points)
+    gap = _tail_probabilities(x, grid) - np.asarray(tail(grid), dtype=float)
     return float(max(0.0, gap.max()))
 
 

@@ -1,0 +1,104 @@
+"""The M/M/1/K loss queue — the closed form behind the finite-buffer engine.
+
+The finite-buffer engine (:mod:`repro.sim.finite_buffer`) turns each edge
+into an M/M/1 queue with a *capped* system: a packet arriving when
+``capacity`` customers are already present is dropped. The equilibrium of
+that birth-death chain is the truncated geometric
+
+.. math::
+
+    \\pi_k = \\frac{(1 - \\rho)\\,\\rho^k}{1 - \\rho^{K+1}},
+    \\qquad k = 0, \\dots, K,
+
+(uniform ``1/(K+1)`` at ``rho = 1``), with blocking probability
+``pi_K`` by PASTA. Unlike the infinite-buffer M/M/1 no stability
+condition is needed — the chain is ergodic for every ``rho > 0``.
+
+Capacity convention: ``capacity`` counts *every* customer in the system,
+including the one in service. The finite engine's ``buffer_size`` knob
+counts waiting room *excluding* the packet in service, so a single edge
+with ``buffer_size=K`` is an ``MM1KQueue(..., capacity=K + 1)`` —
+:meth:`MM1KQueue.from_buffer` encodes that translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MM1KQueue:
+    """An M/M/1/K queue: Poisson arrivals ``lam``, service rate ``phi``,
+    at most ``capacity`` customers in the system (in service + waiting).
+
+    Attributes
+    ----------
+    lam:
+        Poisson arrival rate of *offered* traffic (accepted rate is
+        ``lam * (1 - blocking_probability())``).
+    phi:
+        Service rate; the paper's unit-rate edges have ``phi = 1``.
+    capacity:
+        Total system capacity K >= 1, including the customer in service.
+    """
+
+    lam: float
+    phi: float = 1.0
+    capacity: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.lam, "lam")
+        check_positive(self.phi, "phi")
+        if int(self.capacity) != self.capacity or self.capacity < 1:
+            raise ValueError(
+                f"capacity must be a positive integer, got {self.capacity!r}"
+            )
+
+    @classmethod
+    def from_buffer(
+        cls, lam: float, buffer_size: int, phi: float = 1.0
+    ) -> "MM1KQueue":
+        """The queue matching the finite engine's ``buffer_size`` knob
+        (waiting room excluding the packet in service):
+        ``capacity = buffer_size + 1``."""
+        return cls(lam=lam, phi=phi, capacity=int(buffer_size) + 1)
+
+    @property
+    def load(self) -> float:
+        """Offered load ``rho = lam / phi`` (may exceed 1)."""
+        return self.lam / self.phi
+
+    def number_pmf(self) -> np.ndarray:
+        """Equilibrium P(N = k) for k = 0..capacity (truncated geometric)."""
+        rho = self.load
+        k = np.arange(self.capacity + 1)
+        if np.isclose(rho, 1.0):
+            return np.full(self.capacity + 1, 1.0 / (self.capacity + 1))
+        pmf = rho**k
+        return pmf / pmf.sum()
+
+    def blocking_probability(self) -> float:
+        """P(an arrival is dropped) = ``pi_K`` by PASTA."""
+        return float(self.number_pmf()[-1])
+
+    def mean_number(self) -> float:
+        """Time-averaged number in system ``sum_k k pi_k``."""
+        pmf = self.number_pmf()
+        return float(np.arange(self.capacity + 1) @ pmf)
+
+    def throughput(self) -> float:
+        """Accepted (= departure) rate ``lam * (1 - pi_K)``."""
+        return self.lam * (1.0 - self.blocking_probability())
+
+    def mean_delay(self) -> float:
+        """Mean sojourn time of *accepted* customers, via Little's Law
+        against the accepted rate: ``E[N] / (lam (1 - pi_K))``."""
+        return self.mean_number() / self.throughput()
+
+    def utilization(self) -> float:
+        """Server busy fraction ``1 - pi_0``."""
+        return 1.0 - float(self.number_pmf()[0])

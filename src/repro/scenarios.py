@@ -33,6 +33,12 @@ Built-in scenarios
 ``torus``
     Uniform traffic on the n-by-n torus under shortest-way greedy routing
     (the Section 6 open-problem topology).
+``single``
+    One isolated M/*/1 queue: on the 2x2 mesh only node 0 generates and
+    always targets node 1, so all traffic crosses the single edge
+    ``0 -> 1`` at rate exactly ``rho`` — the reference cell the
+    validation harness (:mod:`repro.validation`) compares against the
+    M/M/1 / M/D/1 / M/M/1/K closed forms.
 
 Adding a scenario is one :func:`register` call; anything registered is
 immediately usable from ``python -m repro simulate --scenario <name>``,
@@ -215,6 +221,26 @@ def _geometric(n: int, stop: float = 0.5) -> ScenarioNetwork:
     )
 
 
+def _single(n: int) -> ScenarioNetwork:
+    # The smallest mesh that isolates one queue: node 0 is the only
+    # source and always targets its row neighbour 1, so every packet
+    # crosses exactly the edge 0 -> 1 and that edge is an M/*/1 queue in
+    # isolation. The permutation is an involution (0<->1, 2<->3) so the
+    # destination law stays a valid full permutation; the peak unit-rate
+    # edge load is 1, hence the generic calibration gives node_rate = rho
+    # exactly and the simulated queue has arrival rate rho, service rate
+    # 1 — directly comparable to the M/M/1, M/D/1 and M/M/1/K closed
+    # forms of repro.queueing (the validation harness's reference cells).
+    if n != 2:
+        raise ValueError(f"the single-queue scenario is fixed at n=2, got n={n}")
+    mesh = ArrayMesh(2)
+    return ScenarioNetwork(
+        GreedyArrayRouter(mesh),
+        PermutationDestinations([1, 0, 3, 2]),
+        source_nodes=[0],
+    )
+
+
 def _torus(n: int) -> ScenarioNetwork:
     torus = Torus(n)
     return ScenarioNetwork(
@@ -265,6 +291,14 @@ register(
         "geometric",
         "Section 5.2 distance-biased destinations on the mesh",
         _geometric,
+    )
+)
+register(
+    Scenario(
+        "single",
+        "one isolated M/*/1 queue (2x2 mesh, node 0 -> 1 only) for "
+        "closed-form validation cells",
+        _single,
     )
 )
 register(

@@ -167,6 +167,9 @@ class Engine:
     and runs the single replication for ``seed``, returning a
     :class:`~repro.sim.result.SimResult`. ``supports_saturated`` /
     ``supports_maxima`` gate the :class:`CellSpec` tracking flags;
+    ``supports_delays`` / ``supports_number_distribution`` gate the
+    sample-collection flags (raw per-packet delays; the time-weighted
+    number-in-system distribution) the validation harness relies on;
     ``littles_law`` marks engines whose ``mean_delay`` satisfies Little's
     Law against ``mean_number`` (the rushed makespan does not);
     ``bound_sandwich`` marks engines whose standard-model delay the
@@ -183,6 +186,8 @@ class Engine:
     aliases: tuple[str, ...] = ()
     supports_saturated: bool = False
     supports_maxima: bool = False
+    supports_delays: bool = False
+    supports_number_distribution: bool = False
     littles_law: bool = True
     bound_sandwich: bool = False
     backends: tuple[str, ...] = (PYTHON_BACKEND,)
@@ -297,7 +302,13 @@ def _fifo_cell(
         path_cache=cache,
         **spec.engine_params_dict,
     )
-    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
+    return sim.run(
+        spec.warmup,
+        spec.horizon,
+        track_maxima=spec.track_maxima,
+        collect_delays=spec.collect_delays,
+        track_number_distribution=spec.track_number_distribution,
+    )
 
 
 def _slotted_cell(
@@ -325,6 +336,7 @@ def _slotted_cell(
         warmup_slots,
         horizon_slots,
         track_maxima=spec.track_maxima,
+        collect_delays=spec.collect_delays,
         **run_params,
     )
 
@@ -359,7 +371,13 @@ def _finite_cell(
         path_cache=cache,
         **spec.engine_params_dict,
     )
-    return sim.run(spec.warmup, spec.horizon, track_maxima=spec.track_maxima)
+    return sim.run(
+        spec.warmup,
+        spec.horizon,
+        track_maxima=spec.track_maxima,
+        collect_delays=spec.collect_delays,
+        track_number_distribution=spec.track_number_distribution,
+    )
 
 
 def _ps_cell(
@@ -374,7 +392,12 @@ def _ps_cell(
         path_cache=cache,
         **spec.engine_params_dict,
     )
-    return sim.run(spec.warmup, spec.horizon)
+    return sim.run(
+        spec.warmup,
+        spec.horizon,
+        collect_delays=spec.collect_delays,
+        track_number_distribution=spec.track_number_distribution,
+    )
 
 
 register_engine(
@@ -390,6 +413,8 @@ register_engine(
         run_cell=_fifo_cell,
         supports_saturated=True,
         supports_maxima=True,
+        supports_delays=True,
+        supports_number_distribution=True,
         bound_sandwich=True,
         backends=KERNEL_BACKENDS,
     )
@@ -416,6 +441,7 @@ register_engine(
         run_cell=_slotted_cell,
         supports_saturated=True,
         supports_maxima=True,
+        supports_delays=True,
         bound_sandwich=True,
         backends=KERNEL_BACKENDS,
     )
@@ -460,6 +486,8 @@ register_engine(
         run_cell=_finite_cell,
         supports_saturated=True,
         supports_maxima=True,
+        supports_delays=True,
+        supports_number_distribution=True,
         # Loss breaks both identities: mean_delay averages survivors
         # only, so neither Little's Law against the *offered* rate nor
         # the Theorem 7 sandwich brackets it once drops occur.
@@ -482,5 +510,7 @@ register_engine(
         # versioned-event loop rides the pluggable queue too.
         params=(_SERVICE_RATES_PARAM, _EVENT_QUEUE_PARAM),
         run_cell=_ps_cell,
+        supports_delays=True,
+        supports_number_distribution=True,
     )
 )

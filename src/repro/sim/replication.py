@@ -103,6 +103,17 @@ class CellSpec:
     track_maxima:
         Track the worst per-packet delay / longest queue (FIFO and
         slotted engines).
+    collect_delays:
+        Keep the raw per-packet delay samples on each replication's
+        :class:`~repro.sim.result.SimResult` (engines whose registry
+        entry sets ``supports_delays``); pooled across replications via
+        :meth:`ReplicatedResult.pooled_delays`. The distribution-level
+        validation checks (:mod:`repro.validation`) run on these samples.
+    track_number_distribution:
+        Record the time-weighted distribution of the number in system
+        (engines with ``supports_number_distribution``; reference
+        ``python`` backend only — the vectorized kernels never
+        materialise the instantaneous N trajectory as a distribution).
     params:
         Scenario parameters as a tuple of ``(name, value)`` pairs, e.g.
         ``(("h", 0.3),)`` for the hot-spot mass (kept as a tuple so the
@@ -132,6 +143,8 @@ class CellSpec:
     seeds: tuple[int, ...] = (0, 1, 2, 3)
     track_saturated: bool = False
     track_maxima: bool = False
+    collect_delays: bool = False
+    track_number_distribution: bool = False
     params: tuple[tuple[str, object], ...] = ()
     engine_params: tuple[tuple[str, object], ...] = ()
 
@@ -178,6 +191,22 @@ class CellSpec:
             raise ValueError(
                 "backend='numpy' does not support track_maxima; use the "
                 "default backend='python' to track per-packet maxima"
+            )
+        if self.collect_delays and not info.supports_delays:
+            raise ValueError(
+                f"the {info.name} engine does not collect per-packet "
+                "delay samples"
+            )
+        if self.track_number_distribution and not info.supports_number_distribution:
+            raise ValueError(
+                f"the {info.name} engine does not track the "
+                "number-in-system distribution"
+            )
+        if self.track_number_distribution and ep.get("backend") == "numpy":
+            # Same whole-trajectory limitation as track_maxima above.
+            raise ValueError(
+                "backend='numpy' does not support track_number_distribution; "
+                "use the default backend='python'"
             )
         if self.rho is None and self.node_rate is None:
             raise ValueError("one of rho or node_rate is required")
@@ -295,6 +324,31 @@ class ReplicatedResult:
         """~95% across-replication half-width on the loss probability
         (``nan`` with a single replication)."""
         return self.pooled("loss_probability").half_width
+
+    # -- collected samples (validation harness) ------------------------
+    def pooled_delays(self) -> np.ndarray:
+        """All per-packet delay samples, concatenated in ``spec.seeds``
+        order (requires ``spec.collect_delays``)."""
+        if not self.spec.collect_delays:
+            raise ValueError(
+                "delays were not collected; build the CellSpec with "
+                "collect_delays=True"
+            )
+        return np.concatenate([r.delays for r in self.replications])
+
+    def pooled_number_distribution(self) -> dict[int, float]:
+        """Across-replication average of the time-weighted N distribution
+        (requires ``spec.track_number_distribution``)."""
+        if not self.spec.track_number_distribution:
+            raise ValueError(
+                "the number distribution was not tracked; build the "
+                "CellSpec with track_number_distribution=True"
+            )
+        pooled: dict[int, float] = {}
+        for rep in self.replications:
+            for k, frac in rep.number_distribution.items():
+                pooled[k] = pooled.get(k, 0.0) + frac
+        return {k: v / len(self.replications) for k, v in sorted(pooled.items())}
 
     # -- counts and extremes -------------------------------------------
     @property

@@ -1,0 +1,186 @@
+"""Full-tier distribution-level diagnostics (the nightly lane).
+
+These checks collect raw per-packet delay samples and time-weighted
+number-in-system distributions through the facade's ``collect_delays`` /
+``track_number_distribution`` flags and compare whole *laws*, not just
+means — the failure mode they exist for is an engine or backend whose
+mean happens to be right while its distribution is wrong (e.g. a draw
+stream consumed in the wrong order, or a service law silently swapped).
+
+* ``mm1-delay-distribution`` — the M/M/1 single-queue sojourn time is
+  exactly ``Exp(1 - rho)``; scored by the thinned KS statistic (gate)
+  and the max relative quantile (QQ) gap (same threshold family, looser
+  — a shape diagnostic).
+* ``wait-dominance`` — M/D/1 *waiting times* are stochastically
+  dominated by the M/M/1 waiting-time law ``P(W > a) = rho e^{-(1-rho)a}``
+  (a geometric sum of Uniform(0,1) excess-service terms against the same
+  geometric sum of Exp(1) terms, term-wise dominated). The deterministic
+  single queue yields exact per-packet waits as ``delay - 1``. Note the
+  ordering genuinely fails for raw *sojourn* times — deterministic
+  service puts a floor of 1 under every delay while exponential service
+  has mass near 0 — which is why this check subtracts the service time.
+* ``mm1-number-pmf`` / ``md1-number-pmf`` — the time-weighted N
+  distribution of the single queue against the geometric M/M/1 pmf and
+  the embedded-chain M/D/1 pmf (equal to the time-stationary law by
+  PASTA), scored by total variation.
+* ``mm1k-number-pmf`` — the finite engine's N distribution against the
+  truncated-geometric M/M/1/K pmf.
+
+All cells here are long-horizon (the pooled sample sets are ~10^5
+packets) and carry the ``slow`` pytest marker on the test side; CI runs
+them in the nightly ``full-tests`` lane only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queueing import (
+    MD1Queue,
+    MM1KQueue,
+    MM1Queue,
+    dominance_violation_vs_tail,
+)
+from repro.sim.fifo_network import DETERMINISTIC, EXPONENTIAL
+from repro.sim.replication import CellSpec
+from repro.validation.framework import (
+    DOM_GATE,
+    FULL,
+    GATE,
+    KS_GATE,
+    QQ_WARN,
+    TV_GATE,
+    Comparison,
+    ValidationCheck,
+    backend_engine_params,
+    qq_gap,
+    register_check,
+    run_cell,
+    thinned_ks,
+    tv_distance,
+)
+
+#: Long-horizon single-queue cell: ~1.4e4 packets per replication, six
+#: replications pooled.
+RHO = 0.7
+LONG = dict(scenario="single", n=2, rho=RHO, warmup=500.0, horizon=20000.0,
+            seeds=tuple(range(6)))
+
+#: Support grid for the number-distribution TV comparisons — wide enough
+#: that the closed-form tail mass beyond it is < 1e-8 at rho = 0.7.
+KMAX = 50
+
+
+def _mm1_delay_distribution(
+    backend: str, processes: int | None
+) -> list[Comparison]:
+    rate = 1.0 - RHO  # sojourn ~ Exp(phi - lam) = Exp(1 - rho)
+    res = run_cell(
+        CellSpec(engine="fifo", service=EXPONENTIAL, collect_delays=True,
+                 engine_params=backend_engine_params(backend), **LONG),
+        processes,
+    )
+    delays = res.pooled_delays()
+    ks = thinned_ks(delays, lambda t: 1.0 - np.exp(-rate * t))
+    qq = qq_gap(delays, lambda p: -np.log(1.0 - p) / rate)
+    return [
+        Comparison(metric="thinned_ks", observed=ks, expected=0.0,
+                   statistic=ks, threshold=KS_GATE),
+        Comparison(metric="qq_gap", observed=qq, expected=0.0,
+                   statistic=qq, threshold=QQ_WARN),
+    ]
+
+
+def _wait_dominance(backend: str, processes: int | None) -> list[Comparison]:
+    res = run_cell(
+        CellSpec(engine="fifo", service=DETERMINISTIC, collect_delays=True,
+                 engine_params=backend_engine_params(backend), **LONG),
+        processes,
+    )
+    # Deterministic unit service: wait = sojourn - 1, clamped at 0 so
+    # the zero-wait atom's float residue (delay = 1 +/- 1e-13) cannot
+    # leak the whole atom into the strict tail just below 0.
+    waits = np.maximum(res.pooled_delays() - 1.0, 0.0)
+    violation = dominance_violation_vs_tail(
+        waits, lambda a: RHO * np.exp(-(1.0 - RHO) * np.maximum(a, 0.0))
+    )
+    return [
+        Comparison(metric="dominance_violation", observed=violation,
+                   expected=0.0, statistic=violation, threshold=DOM_GATE),
+    ]
+
+
+def _number_pmf(service: str, pmf: np.ndarray):
+    def runner(backend: str, processes: int | None) -> list[Comparison]:
+        res = run_cell(
+            CellSpec(engine="fifo", service=service,
+                     track_number_distribution=True,
+                     engine_params=backend_engine_params(backend), **LONG),
+            processes,
+        )
+        tv = tv_distance(res.pooled_number_distribution(), pmf)
+        return [
+            Comparison(metric="tv_distance", observed=tv, expected=0.0,
+                       statistic=tv, threshold=TV_GATE),
+        ]
+
+    return runner
+
+
+#: The loss cell mirrors the quick-tier mm1k-loss check.
+BUFFER_K, RHO_LOSS = 2, 0.8
+
+
+def _mm1k_number_pmf(backend: str, processes: int | None) -> list[Comparison]:
+    q = MM1KQueue.from_buffer(RHO_LOSS, BUFFER_K)
+    res = run_cell(
+        CellSpec(engine="finite", service=EXPONENTIAL,
+                 track_number_distribution=True,
+                 engine_params=backend_engine_params(backend)
+                 + (("buffer_size", BUFFER_K),),
+                 scenario="single", n=2, rho=RHO_LOSS, warmup=500.0,
+                 horizon=20000.0, seeds=tuple(range(6))),
+        processes,
+    )
+    tv = tv_distance(res.pooled_number_distribution(), q.number_pmf())
+    return [
+        Comparison(metric="tv_distance", observed=tv, expected=0.0,
+                   statistic=tv, threshold=TV_GATE),
+    ]
+
+
+register_check(ValidationCheck(
+    name="mm1-delay-distribution",
+    description="the M/M/1 single-queue sojourn law Exp(1-rho): thinned "
+    "KS gate plus a QQ shape diagnostic",
+    severity=GATE, tier=FULL, engine="fifo", backends=("python",),
+    runner=_mm1_delay_distribution,
+))
+register_check(ValidationCheck(
+    name="wait-dominance",
+    description="M/D/1 waiting times are stochastically dominated by "
+    "the M/M/1 waiting-time law (waits, not sojourns)",
+    severity=GATE, tier=FULL, engine="fifo", backends=("python",),
+    runner=_wait_dominance,
+))
+register_check(ValidationCheck(
+    name="mm1-number-pmf",
+    description="time-weighted N distribution of the exponential single "
+    "queue vs the geometric M/M/1 pmf (total variation)",
+    severity=GATE, tier=FULL, engine="fifo", backends=("python",),
+    runner=_number_pmf(EXPONENTIAL, MM1Queue(RHO).number_pmf(KMAX)),
+))
+register_check(ValidationCheck(
+    name="md1-number-pmf",
+    description="time-weighted N distribution of the deterministic "
+    "single queue vs the embedded-chain M/D/1 pmf (total variation)",
+    severity=GATE, tier=FULL, engine="fifo", backends=("python",),
+    runner=_number_pmf(DETERMINISTIC, MD1Queue(RHO).number_pmf(KMAX)),
+))
+register_check(ValidationCheck(
+    name="mm1k-number-pmf",
+    description="the finite engine's N distribution vs the truncated-"
+    "geometric M/M/1/K pmf (total variation)",
+    severity=GATE, tier=FULL, engine="finite", backends=("python",),
+    runner=_mm1k_number_pmf,
+))

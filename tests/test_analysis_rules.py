@@ -30,13 +30,14 @@ def rules_hit(findings):
 
 # -- registry sanity ---------------------------------------------------
 
-def test_all_ten_rules_registered():
+def test_all_eleven_rules_registered():
     assert set(RULES) == {
         "rng-discipline",
         "backend-boundary",
         "registry-consistency",
         "golden-coverage",
         "bench-coverage",
+        "validation-coverage",
         "hot-loop-alloc",
         "stale-suppression",
         "shm-hygiene",
@@ -418,6 +419,46 @@ def test_unbenched_backend_trips_bench_coverage(monkeypatch):
     findings = run([REGISTRY_SRC], select=["bench-coverage"])
     assert len(findings) == 1
     assert "'cython'" in findings[0].message
+
+
+# -- validation-coverage -------------------------------------------------
+
+def test_real_registry_fully_covered_by_validation_checks():
+    assert run([REGISTRY_SRC], select=["validation-coverage"]) == []
+
+
+def test_validation_coverage_skips_when_registry_not_analyzed():
+    assert run(
+        [FIXTURES / "hygiene_good.py"], select=["validation-coverage"]
+    ) == []
+
+
+def test_unvalidated_synthetic_engine_trips_validation_coverage(monkeypatch):
+    """A sixth engine with no gate-severity check is a finding even
+    though the validation run itself would pass (it never runs)."""
+    _register_synthetic_engine(monkeypatch)
+    findings = run([REGISTRY_SRC], select=["validation-coverage"])
+    assert len(findings) == 1
+    assert "'priority'" in findings[0].message
+    assert "no gate-severity validation check" in findings[0].message
+
+
+def test_unvalidated_backend_trips_validation_coverage(monkeypatch):
+    """An advertised kernel backend no gate check runs on is a finding
+    — a biased vectorized solver must not merge unvalidated."""
+    import dataclasses
+
+    import repro.sim.registry as registry
+
+    fifo = registry.get_engine("fifo")
+    tampered = dataclasses.replace(fifo, backends=fifo.backends + ("cython",))
+    monkeypatch.setitem(registry._REGISTRY, "fifo", tampered)
+    findings = run([REGISTRY_SRC], select=["validation-coverage"])
+    assert len(findings) == 1
+    assert "'cython'" in findings[0].message
+    assert "no gate-severity validation check runs on that backend" in (
+        findings[0].message
+    )
 
 
 # -- stale-suppression --------------------------------------------------

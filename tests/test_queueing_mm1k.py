@@ -1,0 +1,89 @@
+"""Tests for the M/M/1/K loss queue (repro.queueing.mm1k)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.mm1k import MM1KQueue
+
+loads = st.floats(min_value=0.05, max_value=3.0)
+capacities = st.integers(min_value=1, max_value=30)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            MM1KQueue(lam=0.0, capacity=2)
+        with pytest.raises(ValueError):
+            MM1KQueue(lam=0.5, phi=-1.0, capacity=2)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MM1KQueue(lam=0.5, capacity=0)
+        with pytest.raises(ValueError, match="capacity"):
+            MM1KQueue(lam=0.5, capacity=2.5)
+
+    def test_from_buffer_translation(self):
+        # buffer_size counts waiting room only; system capacity adds the
+        # packet in service.
+        assert MM1KQueue.from_buffer(0.8, 2).capacity == 3
+
+    def test_overload_allowed(self):
+        # No stability condition: the truncated chain is ergodic at any
+        # positive load.
+        q = MM1KQueue(lam=2.0, capacity=3)
+        assert 0.0 < q.blocking_probability() < 1.0
+
+
+class TestClosedForms:
+    def test_truncated_geometric_hand_value(self):
+        # rho=0.8, K=3: pi_3 = 0.8^3 / (1 + .8 + .64 + .512) = 0.173...
+        q = MM1KQueue.from_buffer(0.8, 2)
+        assert q.blocking_probability() == pytest.approx(0.512 / 2.952)
+
+    def test_rho_one_is_uniform(self):
+        q = MM1KQueue(lam=1.0, phi=1.0, capacity=4)
+        assert q.number_pmf() == pytest.approx(np.full(5, 0.2))
+        assert q.mean_number() == pytest.approx(2.0)
+
+    @given(lam=loads, capacity=capacities)
+    def test_pmf_is_a_distribution(self, lam, capacity):
+        pmf = MM1KQueue(lam=lam, capacity=capacity).number_pmf()
+        assert pmf.size == capacity + 1
+        assert np.all(pmf >= 0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    @given(lam=loads, capacity=capacities)
+    def test_flow_balance(self, lam, capacity):
+        # Accepted rate = service rate x busy fraction (the departure
+        # rate of the birth-death chain in equilibrium). Tolerance covers
+        # the pmf's uniform snap inside np.isclose(rho, 1) of rho = 1.
+        q = MM1KQueue(lam=lam, capacity=capacity)
+        assert q.throughput() == pytest.approx(q.phi * q.utilization(), rel=1e-4)
+
+    @given(lam=st.floats(min_value=0.05, max_value=0.95))
+    def test_large_capacity_converges_to_mm1(self, lam):
+        q = MM1KQueue(lam=lam, capacity=200)
+        ref = MM1Queue(lam)
+        assert q.blocking_probability() < 1e-4
+        assert q.mean_number() == pytest.approx(ref.mean_number(), rel=1e-3)
+        assert q.mean_delay() == pytest.approx(ref.mean_delay(), rel=1e-3)
+
+    def test_capacity_one_is_erlang_loss(self):
+        # K=1 is the M/M/1/1 (Erlang-B with one server): B = a/(1+a).
+        q = MM1KQueue(lam=0.6, capacity=1)
+        assert q.blocking_probability() == pytest.approx(0.6 / 1.6)
+        assert q.mean_number() == pytest.approx(q.utilization())
+
+    def test_blocking_increases_with_load(self):
+        blocks = [
+            MM1KQueue(lam=lam, capacity=3).blocking_probability()
+            for lam in (0.2, 0.5, 0.8, 1.2, 2.0)
+        ]
+        assert blocks == sorted(blocks)
+
+    def test_mean_delay_is_littles_law_on_accepted_rate(self):
+        q = MM1KQueue.from_buffer(0.8, 2)
+        assert q.mean_delay() * q.throughput() == pytest.approx(q.mean_number())

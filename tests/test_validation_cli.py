@@ -1,0 +1,115 @@
+"""Tests for ``python -m repro validate`` (the CLI face of the harness).
+
+Everything runs ``main(argv)`` in-process; the expensive live checks are
+replaced by synthetic registry entries so the CLI contract — exit codes,
+JSON artifact shape, strict vs report-only semantics — is tested without
+simulating. ``scripts/validation_report.py`` (the CI markdown renderer)
+is covered against the same JSON the CLI writes.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.validation import framework
+from repro.validation.framework import Comparison, ValidationCheck
+
+
+def _load_report_script():
+    path = (
+        Path(__file__).parent.parent / "scripts" / "validation_report.py"
+    )
+    spec = importlib.util.spec_from_file_location("validation_report", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def synthetic(monkeypatch, name, *, statistic=0.0, severity="gate"):
+    check = ValidationCheck(
+        name=name, description="synthetic", severity=severity, tier="quick",
+        engine="fifo", backends=("python",),
+        runner=lambda b, p: [Comparison("m", statistic, 0.0, statistic, 1.0)],
+    )
+    monkeypatch.setitem(framework._REGISTRY, name, check)
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.tier == "quick" and not args.strict
+        assert args.select == [] and args.json_out is None
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--tier", "hourly"])
+
+
+class TestListChecks:
+    def test_lists_registered_checks(self, capsys):
+        assert main(["validate", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mm1-delay", "mm1k-loss", "jackson-mesh",
+                     "wait-dominance", "littles-law-fifo"):
+            assert name in out
+
+
+class TestExitCodes:
+    def test_pass_is_zero(self, monkeypatch, capsys):
+        synthetic(monkeypatch, "zz-cli-pass")
+        assert main(["validate", "--select", "zz-cli-pass", "--strict"]) == 0
+        assert "validation: PASS" in capsys.readouterr().out
+
+    def test_default_is_report_only(self, monkeypatch, capsys):
+        synthetic(monkeypatch, "zz-cli-fail", statistic=9.0)
+        assert main(["validate", "--select", "zz-cli-fail"]) == 0
+        assert "validation: FAIL" in capsys.readouterr().out
+
+    def test_strict_failure_is_nonzero(self, monkeypatch, capsys):
+        synthetic(monkeypatch, "zz-cli-fail", statistic=9.0)
+        assert main(["validate", "--select", "zz-cli-fail", "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "zz-cli-fail [python] ... FAIL" in out
+
+    def test_unknown_check_errors(self, capsys):
+        with pytest.raises(ValueError, match="unknown validation check"):
+            main(["validate", "--select", "no-such-check"])
+
+
+class TestJsonArtifact:
+    def test_offending_check_named_in_json(self, monkeypatch, tmp_path):
+        synthetic(monkeypatch, "zz-cli-fail", statistic=9.0)
+        out = tmp_path / "validation_report.json"
+        rc = main(["validate", "--select", "zz-cli-fail", "--strict",
+                   "--json-out", str(out)])
+        assert rc == 1
+        # The JSON is written even on a failing strict run — CI uploads
+        # it as the artifact that names the offender.
+        report = json.loads(out.read_text())
+        assert report["passed"] is False
+        assert report["gate_failures"] == ["zz-cli-fail"]
+        comp = report["outcomes"][0]["comparisons"][0]
+        assert set(comp) == {"metric", "observed", "expected", "statistic",
+                             "threshold", "passed"}
+
+    def test_markdown_renderer_roundtrip(self, monkeypatch, tmp_path):
+        synthetic(monkeypatch, "zz-cli-pass")
+        synthetic(monkeypatch, "zz-cli-warn", statistic=9.0, severity="warn")
+        out = tmp_path / "report.json"
+        main(["validate", "--select", "zz-cli-*", "--json-out", str(out)])
+        mod = _load_report_script()
+        md = tmp_path / "report.md"
+        assert mod.main([str(out), str(md)]) == 0  # warns never gate
+        text = md.read_text()
+        assert "PASS" in text and "| zz-cli-warn |" in text
+        assert "WARN" in text
+
+    def test_markdown_renderer_exit_mirrors_gate(self, monkeypatch, tmp_path):
+        synthetic(monkeypatch, "zz-cli-fail", statistic=9.0)
+        out = tmp_path / "report.json"
+        main(["validate", "--select", "zz-cli-fail", "--json-out", str(out)])
+        mod = _load_report_script()
+        assert mod.main([str(out)]) == 1
